@@ -1,0 +1,47 @@
+// FIG2-RES — §III: "In terms of FPGA resources, the virtualized solution
+// breaks even with multiple stand-alone controllers at four VMs."
+//
+// Series reproduced: LUT/FF/BRAM cost of (a) one stand-alone controller per
+// VM and (b) one virtualized controller serving all VMs, for 1..8 VMs.
+// Counter `virt_cheaper` flips to 1 at the break-even point (expected: 4).
+
+#include <benchmark/benchmark.h>
+
+#include "can/resource_model.hpp"
+
+using namespace sa::can;
+
+namespace {
+
+void BM_ResourceComparison(benchmark::State& state) {
+    const int vms = static_cast<int>(state.range(0));
+    CanControllerResourceModel model;
+    FpgaResources virt;
+    FpgaResources bank;
+    for (auto _ : state) {
+        virt = model.virtualized(vms);
+        bank = model.standalone_bank(vms);
+        benchmark::DoNotOptimize(virt);
+        benchmark::DoNotOptimize(bank);
+    }
+    state.counters["vms"] = vms;
+    state.counters["virt_luts"] = static_cast<double>(virt.luts);
+    state.counters["bank_luts"] = static_cast<double>(bank.luts);
+    state.counters["virt_cost"] = virt.cost();
+    state.counters["bank_cost"] = bank.cost();
+    state.counters["virt_cheaper"] = virt.cost() <= bank.cost() ? 1 : 0;
+}
+BENCHMARK(BM_ResourceComparison)->DenseRange(1, 8, 1);
+
+void BM_BreakEvenSearch(benchmark::State& state) {
+    CanControllerResourceModel model;
+    int break_even = 0;
+    for (auto _ : state) {
+        break_even = model.break_even_vms();
+        benchmark::DoNotOptimize(break_even);
+    }
+    state.counters["break_even_vms"] = break_even; // paper: 4
+}
+BENCHMARK(BM_BreakEvenSearch);
+
+} // namespace

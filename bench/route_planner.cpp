@@ -1,0 +1,71 @@
+// ROUTE — §V: "a self-aware vehicle could determine whether it plans a
+// (possibly shorter) route across an alpine pass in winter or whether it is
+// advantageous to take a longer detour without risking degraded performance."
+//
+// Series reproduced: route choice (pass vs. detour) and expected travel time
+// of the weather-blind vs. self-aware planner across a winter-severity sweep.
+
+#include <benchmark/benchmark.h>
+
+#include "vehicle/route_planner.hpp"
+
+using namespace sa::vehicle;
+
+namespace {
+
+void BM_AlpineChoice(benchmark::State& state) {
+    const double severity = static_cast<double>(state.range(0)) / 100.0;
+    auto planner = make_alpine_example(severity);
+    Route blind;
+    Route aware;
+    for (auto _ : state) {
+        blind = planner.plan("home", "destination", 0.0);
+        aware = planner.plan("home", "destination", 1.0);
+        benchmark::DoNotOptimize(blind);
+        benchmark::DoNotOptimize(aware);
+    }
+    const bool detour = aware.found && aware.waypoints.size() > 1 &&
+                        aware.waypoints[1] == std::string("valley_a");
+    state.counters["winter_severity_pct"] = severity * 100.0;
+    state.counters["aware_takes_detour"] = detour ? 1 : 0;
+    state.counters["blind_expected_min"] = blind.expected_minutes;
+    state.counters["aware_expected_min"] = aware.expected_minutes;
+    state.counters["expected_saving_min"] =
+        blind.expected_minutes - aware.expected_minutes;
+    state.counters["aware_nominal_min"] = aware.nominal_minutes;
+}
+BENCHMARK(BM_AlpineChoice)->Arg(0)->Arg(25)->Arg(50)->Arg(75)->Arg(100)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Planner scalability on a synthetic grid network.
+void BM_GridPlanning(benchmark::State& state) {
+    const int size = static_cast<int>(state.range(0));
+    RoutePlanner planner;
+    auto node = [](int x, int y) {
+        return "n" + std::to_string(x) + "_" + std::to_string(y);
+    };
+    for (int x = 0; x < size; ++x) {
+        for (int y = 0; y < size; ++y) {
+            if (x + 1 < size) {
+                planner.add_road(RoadEdge{node(x, y), node(x + 1, y), 5.0, 80.0,
+                                          (x * y) % 3 == 0 ? 0.3 : 0.0, 0.5});
+            }
+            if (y + 1 < size) {
+                planner.add_road(RoadEdge{node(x, y), node(x, y + 1), 5.0, 80.0,
+                                          (x + y) % 4 == 0 ? 0.2 : 0.0, 0.5});
+            }
+        }
+    }
+    Route route;
+    for (auto _ : state) {
+        route = planner.plan(node(0, 0), node(size - 1, size - 1), 1.0);
+        benchmark::DoNotOptimize(route);
+    }
+    state.counters["grid"] = size;
+    state.counters["edges"] = static_cast<double>(planner.edge_count());
+    state.counters["found"] = route.found ? 1 : 0;
+    state.counters["hops"] = static_cast<double>(route.waypoints.size());
+}
+BENCHMARK(BM_GridPlanning)->Arg(4)->Arg(8)->Arg(12)->Unit(benchmark::kMicrosecond);
+
+} // namespace

@@ -1,0 +1,121 @@
+// WCRT — §II-A: "a worst-case response time analysis can check real-time
+// constraints based on a timing model of the system."
+//
+// Series reproduced: acceptance-test cost (analysis wall time) and result
+// (schedulable fraction, max WCRT) vs. task-set size and utilization — the
+// scalability that makes the MCC's online acceptance tests viable.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/can_wcrt.hpp"
+#include "analysis/cpu_wcrt.hpp"
+#include "util/random.hpp"
+
+using namespace sa;
+using namespace sa::analysis;
+using sim::Duration;
+
+namespace {
+
+CpuResourceModel make_taskset(int n, double utilization, std::uint64_t seed) {
+    RandomEngine rng(seed);
+    CpuResourceModel cpu;
+    cpu.name = "bench";
+    // UUniFast-style utilization split.
+    std::vector<double> shares(static_cast<std::size_t>(n), 0.0);
+    double remaining = utilization;
+    for (int i = 0; i < n - 1; ++i) {
+        const double next =
+            remaining * std::pow(rng.uniform(0.0, 1.0), 1.0 / (n - 1 - i));
+        shares[static_cast<std::size_t>(i)] = remaining - next;
+        remaining = next;
+    }
+    shares[static_cast<std::size_t>(n - 1)] = remaining;
+    for (int i = 0; i < n; ++i) {
+        TaskModel t;
+        t.name = "t" + std::to_string(i);
+        const auto period = Duration::us(rng.uniform_int(1'000, 100'000));
+        t.activation = EventModel::periodic(period);
+        const auto wcet_ns = static_cast<std::int64_t>(
+            shares[static_cast<std::size_t>(i)] * static_cast<double>(period.count_ns()));
+        t.wcet = Duration(std::max<std::int64_t>(wcet_ns, 1'000));
+        t.bcet = t.wcet;
+        cpu.tasks.push_back(t);
+    }
+    // Rate-monotonic priorities (as the MCC's mapper would assign them).
+    std::sort(cpu.tasks.begin(), cpu.tasks.end(),
+              [](const TaskModel& a, const TaskModel& b) {
+                  return a.activation.period() < b.activation.period();
+              });
+    int prio = 1;
+    for (auto& t : cpu.tasks) {
+        t.priority = prio++;
+    }
+    return cpu;
+}
+
+void BM_CpuWcrtBySize(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    const auto cpu = make_taskset(n, 0.7, 42);
+    CpuWcrtAnalysis analysis;
+    ResourceAnalysisResult result;
+    for (auto _ : state) {
+        result = analysis.analyze(cpu);
+        benchmark::DoNotOptimize(result);
+    }
+    int schedulable = 0;
+    double max_wcrt_ms = 0.0;
+    for (const auto& e : result.entities) {
+        schedulable += e.schedulable ? 1 : 0;
+        max_wcrt_ms = std::max(max_wcrt_ms, e.wcrt.to_ms());
+    }
+    state.counters["tasks"] = n;
+    state.counters["schedulable"] = schedulable;
+    state.counters["max_wcrt_ms"] = max_wcrt_ms;
+}
+BENCHMARK(BM_CpuWcrtBySize)->Arg(4)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_CpuWcrtByUtilization(benchmark::State& state) {
+    const double utilization = static_cast<double>(state.range(0)) / 100.0;
+    const auto cpu = make_taskset(32, utilization, 7);
+    CpuWcrtAnalysis analysis;
+    ResourceAnalysisResult result;
+    for (auto _ : state) {
+        result = analysis.analyze(cpu);
+        benchmark::DoNotOptimize(result);
+    }
+    state.counters["utilization_pct"] = utilization * 100.0;
+    state.counters["all_schedulable"] = result.all_schedulable ? 1 : 0;
+}
+BENCHMARK(BM_CpuWcrtByUtilization)->Arg(50)->Arg(70)->Arg(85)->Arg(95)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_CanWcrt(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    CanBusModel bus;
+    bus.name = "bench";
+    bus.bitrate_bps = 500'000;
+    RandomEngine rng(11);
+    for (int i = 0; i < n; ++i) {
+        CanMessageModel m;
+        m.name = "m" + std::to_string(i);
+        m.can_id = 0x100 + static_cast<std::uint32_t>(i);
+        m.payload_bytes = static_cast<int>(rng.uniform_int(1, 8));
+        m.activation =
+            EventModel::periodic(Duration::ms(rng.uniform_int(10, 100)));
+        bus.messages.push_back(m);
+    }
+    CanWcrtAnalysis analysis;
+    ResourceAnalysisResult result;
+    for (auto _ : state) {
+        result = analysis.analyze(bus);
+        benchmark::DoNotOptimize(result);
+    }
+    state.counters["messages"] = n;
+    state.counters["bus_util_pct"] = CanWcrtAnalysis::utilization(bus) * 100.0;
+    state.counters["all_schedulable"] = result.all_schedulable ? 1 : 0;
+}
+BENCHMARK(BM_CanWcrt)->Arg(8)->Arg(32)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+} // namespace

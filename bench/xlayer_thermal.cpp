@@ -1,0 +1,154 @@
+// XLAYER-THERM — §V: ambient temperature as a common-cause fault. Series
+// reproduced: peak die temperature, DVFS level and deadline misses across an
+// ambient sweep, with and without self-aware thermal adaptation — including
+// the configuration where naive throttling *would* break deadlines and the
+// platform layer must refuse it (model-guarded DVFS).
+
+#include <benchmark/benchmark.h>
+
+#include "util/log.hpp"
+
+#include "core/coordinator.hpp"
+#include "core/platform_layer.hpp"
+#include "model/contract_parser.hpp"
+#include "model/mcc.hpp"
+#include "monitor/manager.hpp"
+#include "monitor/range_monitor.hpp"
+#include "rte/fault_injection.hpp"
+
+using namespace sa;
+using sim::Duration;
+using sim::Time;
+
+namespace {
+
+// Injection notices are expected here; keep benchmark output clean.
+const bool g_quiet = [] {
+    Log::set_level(LogLevel::Error);
+    return true;
+}();
+
+struct Outcome {
+    double peak_temp_c = 0.0;
+    double final_temp_c = 0.0;
+    int dvfs_level = 0;
+    std::uint64_t deadline_misses = 0;
+    std::uint64_t dvfs_actions = 0;
+    std::uint64_t unresolved = 0;
+};
+
+Outcome run(double ambient_c, bool self_aware, bool tight_deadlines) {
+    sim::Simulator simulator(13);
+    model::PlatformModel platform;
+    platform.ecus.push_back(
+        model::EcuDescriptor{"hot_ecu", 1.0, 0.75, model::Asil::D, "engine_bay", "main"});
+    model::Mcc mcc(platform);
+
+    model::ContractParser parser;
+    model::ChangeRequest change;
+    // Tight deadlines leave no DVFS headroom: the timing model must veto
+    // throttling; relaxed deadlines allow stepping down to 0.6x.
+    change.contracts = parser.parse(tight_deadlines ? R"(
+        component control {
+          asil D;
+          task loop { wcet 4ms; period 10ms; deadline 4500us; }
+        }
+        component filter {
+          asil C;
+          task run { wcet 2ms; period 20ms; deadline 19ms; }
+        }
+    )"
+                                                    : R"(
+        component control {
+          asil D;
+          task loop { wcet 2ms; period 10ms; }
+        }
+        component filter {
+          asil C;
+          task run { wcet 3ms; period 20ms; }
+        }
+    )");
+    SA_ASSERT(mcc.integrate(change).accepted, "bench integration must succeed");
+
+    rte::Rte rte(simulator);
+    rte::ThermalConfig thermal;
+    thermal.ambient_c = 25.0;
+    thermal.tau_s = 8.0;
+    rte.add_ecu(rte::EcuConfig{"hot_ecu", {1.0, 0.8, 0.6, 0.4}, thermal});
+    rte.apply(mcc.make_rte_config());
+    rte.start();
+
+    monitor::MonitorManager monitors(simulator);
+    core::CrossLayerCoordinator coordinator(simulator);
+    core::PlatformLayer* layer_ptr = nullptr;
+    if (self_aware) {
+        auto& range =
+            monitors.add<monitor::RangeMonitor>("thermal", monitor::Domain::Platform);
+        range.set_bounds("temp.hot_ecu", -40.0, 85.0, monitor::Severity::Critical);
+        rte.ecu("hot_ecu").thermal().temperature_updated().subscribe(
+            [&range](double celsius) { range.sample("temp.hot_ecu", celsius); });
+        auto layer = std::make_unique<core::PlatformLayer>(rte, mcc);
+        layer_ptr = layer.get();
+        coordinator.register_layer(std::move(layer));
+        coordinator.connect(monitors);
+    }
+
+    rte::FaultInjector chaos(rte);
+    simulator.schedule(Duration::sec(20), [&chaos, ambient_c] {
+        chaos.set_ambient_temperature("hot_ecu", ambient_c);
+    });
+
+    Outcome out;
+    simulator.schedule_periodic(Duration::ms(500), [&] {
+        out.peak_temp_c =
+            std::max(out.peak_temp_c, rte.ecu("hot_ecu").thermal().temperature_c());
+    });
+    simulator.run_until(Time(Duration::sec(150).count_ns()));
+
+    out.final_temp_c = rte.ecu("hot_ecu").thermal().temperature_c();
+    out.dvfs_level = rte.ecu("hot_ecu").dvfs_level();
+    out.deadline_misses = rte.total_deadline_misses();
+    out.dvfs_actions = layer_ptr != nullptr ? layer_ptr->dvfs_actions() : 0;
+    out.unresolved = coordinator.problems_unresolved();
+    return out;
+}
+
+void BM_AmbientSweep(benchmark::State& state) {
+    const double ambient = static_cast<double>(state.range(0));
+    const bool self_aware = state.range(1) != 0;
+    Outcome out;
+    for (auto _ : state) {
+        out = run(ambient, self_aware, /*tight_deadlines=*/false);
+        benchmark::DoNotOptimize(out);
+    }
+    state.counters["ambient_c"] = ambient;
+    state.counters["self_aware"] = self_aware ? 1 : 0;
+    state.counters["peak_temp_c"] = out.peak_temp_c;
+    state.counters["final_temp_c"] = out.final_temp_c;
+    state.counters["dvfs_level"] = out.dvfs_level;
+    state.counters["dvfs_actions"] = static_cast<double>(out.dvfs_actions);
+    state.counters["deadline_misses"] = static_cast<double>(out.deadline_misses);
+}
+BENCHMARK(BM_AmbientSweep)
+    ->Args({40, 0})->Args({40, 1})
+    ->Args({60, 0})->Args({60, 1})
+    ->Args({90, 0})->Args({90, 1})
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+/// Model-guarded DVFS: with tight deadlines the platform layer must refuse
+/// to throttle (adequacy below threshold) instead of causing misses.
+void BM_GuardedDvfs(benchmark::State& state) {
+    const bool tight = state.range(0) != 0;
+    Outcome out;
+    for (auto _ : state) {
+        out = run(95.0, /*self_aware=*/true, tight);
+        benchmark::DoNotOptimize(out);
+    }
+    state.counters["tight_deadlines"] = tight ? 1 : 0;
+    state.counters["dvfs_actions"] = static_cast<double>(out.dvfs_actions);
+    state.counters["deadline_misses"] = static_cast<double>(out.deadline_misses);
+    state.counters["unresolved_problems"] = static_cast<double>(out.unresolved);
+}
+BENCHMARK(BM_GuardedDvfs)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+} // namespace

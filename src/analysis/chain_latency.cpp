@@ -1,0 +1,56 @@
+#include "analysis/chain_latency.hpp"
+
+#include "util/assert.hpp"
+
+namespace sa::analysis {
+
+void ChainLatencyAnalysis::add_resource_result(const ResourceAnalysisResult& result) {
+    results_.push_back(result);
+}
+
+const WcrtResult* ChainLatencyAnalysis::lookup(const ChainStage& stage) const {
+    for (const auto& rr : results_) {
+        if (rr.resource == stage.resource) {
+            if (const WcrtResult* e = rr.find(stage.entity)) {
+                return e;
+            }
+        }
+    }
+    return nullptr;
+}
+
+ChainLatencyResult ChainLatencyAnalysis::analyze(
+    const std::string& chain_name, const std::vector<ChainStage>& stages,
+    sim::Duration requirement, const std::vector<sim::Duration>& sampling_periods) const {
+    SA_REQUIRE(!stages.empty(), "chain must have at least one stage");
+    SA_REQUIRE(sampling_periods.empty() || sampling_periods.size() == stages.size(),
+               "sampling_periods must be empty or match the number of stages");
+
+    ChainLatencyResult out;
+    out.chain_name = chain_name;
+    out.requirement = requirement;
+
+    std::int64_t total = 0;
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+        const WcrtResult* r = lookup(stages[i]);
+        if (r == nullptr || !r->converged) {
+            out.complete = false;
+            out.stage_latency.push_back(sim::Duration::zero());
+            continue;
+        }
+        std::int64_t stage = r->wcrt.count_ns();
+        // Asynchronous hand-over: the consumer may have sampled just before
+        // the producer's output arrived; add one sampling period.
+        if (!sampling_periods.empty() && sampling_periods[i].count_ns() > 0) {
+            stage += sampling_periods[i].count_ns();
+        }
+        out.stage_latency.push_back(sim::Duration(stage));
+        total += stage;
+    }
+
+    out.worst_case = sim::Duration(total);
+    out.satisfied = out.complete && out.worst_case <= requirement;
+    return out;
+}
+
+} // namespace sa::analysis

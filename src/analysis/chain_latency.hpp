@@ -1,0 +1,53 @@
+#pragma once
+// End-to-end latency along a cause-effect chain (sensor -> task -> CAN
+// message -> task -> actuator), composed from per-resource WCRT results.
+// The MCC uses this to check function-level latency requirements that span
+// several resources; the safety viewpoint uses it for fault-reaction times.
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "analysis/can_wcrt.hpp"
+#include "analysis/cpu_wcrt.hpp"
+
+namespace sa::analysis {
+
+/// One stage of a cause-effect chain.
+struct ChainStage {
+    enum class Kind { CpuTask, CanMessage };
+    Kind kind = Kind::CpuTask;
+    std::string resource; ///< CPU or bus name
+    std::string entity;   ///< task or message name
+};
+
+struct ChainLatencyResult {
+    std::string chain_name;
+    sim::Duration worst_case = sim::Duration::zero();
+    sim::Duration requirement = sim::Duration::zero();
+    bool satisfied = false;
+    bool complete = true; ///< false if a stage had no analysis result
+    std::vector<sim::Duration> stage_latency;
+};
+
+class ChainLatencyAnalysis {
+public:
+    /// Register per-resource analysis results to compose from.
+    void add_resource_result(const ResourceAnalysisResult& result);
+
+    /// Worst-case end-to-end latency with asynchronous (sampling) hand-over:
+    /// each stage contributes its WCRT plus, for periodic under-sampled
+    /// hand-over, one activation period of the consuming stage.
+    [[nodiscard]] ChainLatencyResult analyze(const std::string& chain_name,
+                                             const std::vector<ChainStage>& stages,
+                                             sim::Duration requirement,
+                                             const std::vector<sim::Duration>&
+                                                 sampling_periods = {}) const;
+
+private:
+    [[nodiscard]] const WcrtResult* lookup(const ChainStage& stage) const;
+
+    std::vector<ResourceAnalysisResult> results_;
+};
+
+} // namespace sa::analysis

@@ -1,0 +1,89 @@
+#include "analysis/event_model.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace sa::analysis {
+
+namespace {
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+    SA_ASSERT(b > 0, "ceil_div divisor must be positive");
+    return (a + b - 1) / b;
+}
+} // namespace
+
+EventModel::EventModel(Duration period, Duration jitter, Duration d_min)
+    : period_(period), jitter_(jitter), d_min_(d_min) {
+    SA_REQUIRE(period_.count_ns() > 0, "event model period must be positive");
+    SA_REQUIRE(jitter_.count_ns() >= 0, "event model jitter must be non-negative");
+    SA_REQUIRE(d_min_.count_ns() >= 0, "event model d_min must be non-negative");
+}
+
+EventModel EventModel::periodic(Duration period) {
+    return EventModel(period, Duration::zero(), period);
+}
+
+EventModel EventModel::periodic_jitter(Duration period, Duration jitter, Duration d_min) {
+    return EventModel(period, jitter, d_min);
+}
+
+EventModel EventModel::sporadic(Duration min_interarrival) {
+    // A sporadic stream with min inter-arrival T is the worst case of a
+    // periodic stream with period T (eta_plus identical).
+    return EventModel(min_interarrival, Duration::zero(), min_interarrival);
+}
+
+std::int64_t EventModel::eta_plus(Duration window) const {
+    if (window.count_ns() <= 0) {
+        return 0;
+    }
+    // eta+(w) = ceil((w + J) / P), optionally limited by d_min bursts.
+    const std::int64_t by_period =
+        ceil_div(window.count_ns() + jitter_.count_ns(), period_.count_ns());
+    if (d_min_.count_ns() > 0) {
+        const std::int64_t by_dmin = ceil_div(window.count_ns(), d_min_.count_ns());
+        return std::min(by_period, by_dmin);
+    }
+    return by_period;
+}
+
+std::int64_t EventModel::eta_minus(Duration window) const {
+    if (window.count_ns() <= 0) {
+        return 0;
+    }
+    // eta-(w) = floor((w - J) / P) clamped at 0.
+    const std::int64_t num = window.count_ns() - jitter_.count_ns();
+    if (num <= 0) {
+        return 0;
+    }
+    return num / period_.count_ns();
+}
+
+Duration EventModel::delta_minus(std::int64_t n) const {
+    if (n < 2) {
+        return Duration::zero();
+    }
+    // delta-(n) = max((n-1) * P - J, (n-1) * d_min)
+    const std::int64_t by_period = (n - 1) * period_.count_ns() - jitter_.count_ns();
+    const std::int64_t by_dmin = (n - 1) * d_min_.count_ns();
+    return Duration(std::max<std::int64_t>({by_period, by_dmin, 0}));
+}
+
+Duration EventModel::delta_plus(std::int64_t n) const {
+    if (n < 2) {
+        return Duration::zero();
+    }
+    return Duration((n - 1) * period_.count_ns() + jitter_.count_ns());
+}
+
+double EventModel::rate_hz() const {
+    return 1e9 / static_cast<double>(period_.count_ns());
+}
+
+EventModel EventModel::with_added_jitter(Duration response_jitter) const {
+    SA_REQUIRE(response_jitter.count_ns() >= 0, "response jitter must be non-negative");
+    return EventModel(period_, jitter_ + response_jitter, d_min_);
+}
+
+} // namespace sa::analysis

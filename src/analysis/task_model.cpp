@@ -1,0 +1,6 @@
+#include "analysis/task_model.hpp"
+
+// Header-only data model; this translation unit exists so the target has a
+// stable archive member for the module and to host future out-of-line logic.
+
+namespace sa::analysis {} // namespace sa::analysis

@@ -1,0 +1,132 @@
+#include "can/bus.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace sa::can {
+
+CanBus::CanBus(sim::Simulator& simulator, std::string name, CanBusConfig config)
+    : simulator_(simulator),
+      name_(std::move(name)),
+      config_(config),
+      trace_(config.trace_capacity) {
+    SA_REQUIRE(config_.bitrate_bps > 0, "bitrate must be positive");
+    SA_REQUIRE(config_.bit_error_rate >= 0.0 && config_.bit_error_rate <= 1.0,
+               "bit_error_rate must be a probability");
+}
+
+void CanBus::attach(CanControllerBase& controller) {
+    SA_REQUIRE(std::find(controllers_.begin(), controllers_.end(), &controller) ==
+                   controllers_.end(),
+               "controller already attached");
+    controllers_.push_back(&controller);
+}
+
+void CanBus::detach(CanControllerBase& controller) {
+    controllers_.erase(std::remove(controllers_.begin(), controllers_.end(), &controller),
+                       controllers_.end());
+}
+
+void CanBus::set_bitrate(std::int64_t bps) {
+    SA_REQUIRE(bps > 0, "bitrate must be positive");
+    config_.bitrate_bps = bps;
+}
+
+void CanBus::set_bit_error_rate(double p) {
+    SA_REQUIRE(p >= 0.0 && p <= 1.0, "bit_error_rate must be a probability");
+    config_.bit_error_rate = p;
+}
+
+void CanBus::notify_tx_pending() {
+    if (!transmitting_) {
+        try_start_transmission();
+    }
+}
+
+void CanBus::try_start_transmission() {
+    SA_ASSERT(!transmitting_, "arbitration while bus is busy");
+
+    // Arbitration: among all controllers' head frames, the lowest identifier
+    // wins (dominant bits win on the wire). Extended frames lose against a
+    // standard frame with the same base id (SRR/IDE are recessive).
+    CanControllerBase* winner = nullptr;
+    CanFrame best{};
+    for (auto* c : controllers_) {
+        const auto f = c->peek_tx();
+        if (!f.has_value()) {
+            continue;
+        }
+        SA_ASSERT(f->valid(), "controller offered an invalid frame");
+        if (winner == nullptr) {
+            winner = c;
+            best = *f;
+            continue;
+        }
+        const std::uint32_t base_new = f->extended ? (f->id >> 18) : f->id;
+        const std::uint32_t base_old = best.extended ? (best.id >> 18) : best.id;
+        const bool new_wins =
+            (base_new < base_old) ||
+            (base_new == base_old && !f->extended && best.extended) ||
+            (base_new == base_old && f->extended == best.extended && f->id < best.id);
+        if (new_wins) {
+            winner = c;
+            best = *f;
+        }
+    }
+    if (winner == nullptr) {
+        return; // bus stays idle
+    }
+    ++arb_rounds_;
+    transmitting_ = true;
+    winner->tx_started(best);
+
+    const std::int64_t bits = frame_exact_bits(best) + kInterframeSpaceBits;
+    const Duration tx_time = Duration(bits * 1'000'000'000LL / config_.bitrate_bps);
+    busy_ns_ += tx_time.count_ns();
+
+    const bool corrupted =
+        config_.bit_error_rate > 0.0 && simulator_.rng().chance(config_.bit_error_rate);
+
+    trace_.record(simulator_.now(), "can.arb",
+                  winner->node_name() + " wins with " + best.str());
+
+    simulator_.schedule(tx_time, [this, winner, frame = best, corrupted] {
+        finish_transmission(winner, frame, corrupted);
+    });
+}
+
+void CanBus::finish_transmission(CanControllerBase* winner, CanFrame frame, bool corrupted) {
+    transmitting_ = false;
+    if (corrupted) {
+        // Error frame: all nodes discard; the transmitter retries via the
+        // next arbitration round.
+        ++frames_err_;
+        trace_.record(simulator_.now(), "can.err", frame.str());
+        winner->tx_aborted(frame);
+    } else {
+        ++frames_tx_;
+        trace_.record(simulator_.now(), "can.tx", frame.str());
+        // Completion order: the transmitter is told first (it frees its
+        // mailbox), then every attached controller sees the frame.
+        winner->tx_done(frame, simulator_.now());
+        for (auto* c : controllers_) {
+            c->rx_frame(frame, simulator_.now());
+        }
+    }
+    // An RX callback may already have kicked off the next transmission
+    // synchronously (echo patterns); only arbitrate if still idle.
+    if (!transmitting_) {
+        try_start_transmission();
+    }
+}
+
+double CanBus::busy_fraction(Time horizon) const {
+    if (horizon.ns() <= 0) {
+        return 0.0;
+    }
+    return static_cast<double>(busy_ns_) / static_cast<double>(horizon.ns());
+}
+
+} // namespace sa::can

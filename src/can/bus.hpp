@@ -1,0 +1,107 @@
+#pragma once
+// Discrete-event CAN bus: CSMA/CR arbitration by identifier priority,
+// exact frame timing (can/frame.hpp), optional bit-error injection with
+// automatic retransmission. Controllers attach to the bus and are polled
+// for their highest-priority pending frame whenever the bus goes idle —
+// this models the fact that arbitration happens among the *current* heads
+// of all controllers' transmit queues.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "can/frame.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace sa::can {
+
+using sim::Duration;
+using sim::Time;
+
+class CanBus;
+
+/// Interface between bus and controller. Implemented by CanController and
+/// VirtualCanController.
+class CanControllerBase {
+public:
+    virtual ~CanControllerBase() = default;
+
+    /// The bus asks for the frame this controller would send now.
+    /// Return nullopt if nothing is pending.
+    virtual std::optional<CanFrame> peek_tx() = 0;
+
+    /// The bus tells the controller its peeked frame won arbitration and is
+    /// now on the wire (it must stay at the head of the TX selection until
+    /// tx_done or tx_aborted).
+    virtual void tx_started(const CanFrame& frame) { (void)frame; }
+
+    /// Transmission was corrupted (error frame); the controller will retry
+    /// via the next arbitration round.
+    virtual void tx_aborted(const CanFrame& frame) { (void)frame; }
+
+    /// The bus tells the controller its peeked frame won arbitration and
+    /// transmission completed at `at`.
+    virtual void tx_done(const CanFrame& frame, Time at) = 0;
+
+    /// A frame (from any controller, including this one) completed on the
+    /// bus. Controllers apply their own acceptance filtering.
+    virtual void rx_frame(const CanFrame& frame, Time at) = 0;
+
+    [[nodiscard]] virtual const std::string& node_name() const = 0;
+};
+
+struct CanBusConfig {
+    std::int64_t bitrate_bps = 500'000;
+    double bit_error_rate = 0.0; ///< per-frame probability of corruption
+    std::size_t trace_capacity = 65536;
+};
+
+class CanBus {
+public:
+    CanBus(sim::Simulator& simulator, std::string name, CanBusConfig config = {});
+
+    void attach(CanControllerBase& controller);
+    void detach(CanControllerBase& controller);
+
+    /// A controller signals that it has (new) pending TX data. Idempotent.
+    void notify_tx_pending();
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] std::int64_t bitrate_bps() const noexcept { return config_.bitrate_bps; }
+    [[nodiscard]] Duration bit_time() const noexcept {
+        return Duration(1'000'000'000LL / config_.bitrate_bps);
+    }
+    [[nodiscard]] bool busy() const noexcept { return transmitting_; }
+
+    void set_bitrate(std::int64_t bps);
+    void set_bit_error_rate(double p);
+
+    // Statistics.
+    [[nodiscard]] std::uint64_t frames_transmitted() const noexcept { return frames_tx_; }
+    [[nodiscard]] std::uint64_t frames_corrupted() const noexcept { return frames_err_; }
+    [[nodiscard]] std::uint64_t arbitration_rounds() const noexcept { return arb_rounds_; }
+    [[nodiscard]] double busy_fraction(Time horizon) const;
+
+    [[nodiscard]] sim::Trace& trace() noexcept { return trace_; }
+    sim::Simulator& simulator() noexcept { return simulator_; }
+
+private:
+    void try_start_transmission();
+    void finish_transmission(CanControllerBase* winner, CanFrame frame, bool corrupted);
+
+    sim::Simulator& simulator_;
+    std::string name_;
+    CanBusConfig config_;
+    std::vector<CanControllerBase*> controllers_;
+    bool transmitting_ = false;
+    std::uint64_t frames_tx_ = 0;
+    std::uint64_t frames_err_ = 0;
+    std::uint64_t arb_rounds_ = 0;
+    std::int64_t busy_ns_ = 0;
+    sim::Trace trace_;
+};
+
+} // namespace sa::can

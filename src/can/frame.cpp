@@ -1,0 +1,129 @@
+#include "can/frame.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace sa::can {
+
+CanFrame CanFrame::make(std::uint32_t id, std::initializer_list<std::uint8_t> bytes,
+                        bool extended) {
+    return make(id, std::vector<std::uint8_t>(bytes), extended);
+}
+
+CanFrame CanFrame::make(std::uint32_t id, const std::vector<std::uint8_t>& bytes,
+                        bool extended) {
+    SA_REQUIRE(bytes.size() <= 8, "classic CAN payload is at most 8 bytes");
+    SA_REQUIRE(id <= (extended ? kMaxExtendedId : kMaxStandardId), "CAN id out of range");
+    CanFrame f;
+    f.id = id;
+    f.extended = extended;
+    f.dlc = static_cast<std::uint8_t>(bytes.size());
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        f.data[i] = bytes[i];
+    }
+    return f;
+}
+
+bool CanFrame::valid() const noexcept {
+    if (dlc > 8) {
+        return false;
+    }
+    return id <= (extended ? kMaxExtendedId : kMaxStandardId);
+}
+
+std::string CanFrame::str() const {
+    std::ostringstream os;
+    os << (extended ? "x" : "") << std::hex << id << std::dec << " [" << int(dlc) << "]";
+    for (int i = 0; i < dlc; ++i) {
+        os << (i ? " " : " : ") << std::hex << int(data[static_cast<std::size_t>(i)]) << std::dec;
+    }
+    return os.str();
+}
+
+std::uint16_t can_crc15(const std::vector<bool>& bits) {
+    std::uint16_t crc = 0;
+    for (bool bit : bits) {
+        const bool crc_nxt = bit ^ ((crc >> 14) & 1u);
+        crc = static_cast<std::uint16_t>((crc << 1) & 0x7FFF);
+        if (crc_nxt) {
+            crc ^= 0x4599;
+        }
+    }
+    return crc;
+}
+
+namespace {
+void push_bits(std::vector<bool>& out, std::uint32_t value, int width) {
+    for (int i = width - 1; i >= 0; --i) {
+        out.push_back(((value >> i) & 1u) != 0);
+    }
+}
+} // namespace
+
+std::vector<bool> frame_stuffable_bits(const CanFrame& frame) {
+    SA_REQUIRE(frame.valid(), "invalid CAN frame");
+    std::vector<bool> bits;
+    bits.reserve(128);
+    bits.push_back(false); // SOF (dominant)
+    if (!frame.extended) {
+        push_bits(bits, frame.id, 11);
+        bits.push_back(false); // RTR = dominant (data frame)
+        bits.push_back(false); // IDE = dominant (standard)
+        bits.push_back(false); // r0
+    } else {
+        push_bits(bits, frame.id >> 18, 11); // base id
+        bits.push_back(true);                // SRR = recessive
+        bits.push_back(true);                // IDE = recessive (extended)
+        push_bits(bits, frame.id & 0x3FFFF, 18);
+        bits.push_back(false); // RTR
+        bits.push_back(false); // r1
+        bits.push_back(false); // r0
+    }
+    push_bits(bits, frame.dlc, 4);
+    for (int i = 0; i < frame.dlc; ++i) {
+        push_bits(bits, frame.data[static_cast<std::size_t>(i)], 8);
+    }
+    const std::uint16_t crc = can_crc15(bits);
+    push_bits(bits, crc, 15);
+    return bits;
+}
+
+int count_stuff_bits(const std::vector<bool>& bits) {
+    // After 5 consecutive equal bits, a complementary bit is inserted; the
+    // inserted bit participates in subsequent stuffing decisions.
+    int stuffed = 0;
+    int run = 0;
+    bool last = true; // bus idle is recessive; SOF (dominant) starts a run of 1
+    bool first = true;
+    for (bool b : bits) {
+        if (first) {
+            last = b;
+            run = 1;
+            first = false;
+            continue;
+        }
+        if (b == last) {
+            ++run;
+            if (run == 5) {
+                ++stuffed;
+                // Inserted complement bit resets the run to length 1 of the
+                // complement value; the next real bit compares against it.
+                last = !b;
+                run = 1;
+            }
+        } else {
+            last = b;
+            run = 1;
+        }
+    }
+    return stuffed;
+}
+
+std::int64_t frame_exact_bits(const CanFrame& frame) {
+    const auto bits = frame_stuffable_bits(frame);
+    const int stuffed = count_stuff_bits(bits);
+    return static_cast<std::int64_t>(bits.size()) + stuffed + kFrameTrailerBits;
+}
+
+} // namespace sa::can

@@ -1,0 +1,57 @@
+#pragma once
+// Classic CAN (2.0A/2.0B) data frames with exact on-wire bit counts:
+// we serialize the frame fields (SOF, arbitration, control, data, CRC-15)
+// and apply the CAN bit-stuffing rule to obtain the true transmission
+// length. Tests verify the exact length never exceeds the analytical
+// worst case used by the schedulability analysis (analysis/can_wcrt).
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sa::can {
+
+inline constexpr std::uint32_t kMaxStandardId = 0x7FF;
+inline constexpr std::uint32_t kMaxExtendedId = 0x1FFFFFFF;
+
+struct CanFrame {
+    std::uint32_t id = 0;
+    bool extended = false;
+    std::uint8_t dlc = 0; ///< 0..8 data bytes
+    std::array<std::uint8_t, 8> data{};
+
+    /// Construct with validation.
+    static CanFrame make(std::uint32_t id, std::initializer_list<std::uint8_t> bytes,
+                         bool extended = false);
+    static CanFrame make(std::uint32_t id, const std::vector<std::uint8_t>& bytes,
+                         bool extended = false);
+
+    [[nodiscard]] bool valid() const noexcept;
+    [[nodiscard]] std::string str() const;
+
+    bool operator==(const CanFrame&) const = default;
+};
+
+/// CAN CRC-15 (polynomial x^15+x^14+x^10+x^8+x^7+x^4+x^3+1 = 0x4599) over a
+/// bit sequence, as specified in ISO 11898-1.
+[[nodiscard]] std::uint16_t can_crc15(const std::vector<bool>& bits);
+
+/// The stuffable portion of the frame as transmitted: SOF, arbitration,
+/// control and data fields plus the CRC sequence (stuffing applies up to and
+/// including the CRC sequence; the CRC delimiter, ACK and EOF are not stuffed).
+[[nodiscard]] std::vector<bool> frame_stuffable_bits(const CanFrame& frame);
+
+/// Number of stuff bits the transmitter inserts for this exact frame.
+[[nodiscard]] int count_stuff_bits(const std::vector<bool>& bits);
+
+/// Exact total number of bits on the wire for this frame, including stuff
+/// bits and the fixed trailer (CRC delimiter, ACK slot + delimiter, EOF) but
+/// excluding inter-frame space.
+[[nodiscard]] std::int64_t frame_exact_bits(const CanFrame& frame);
+
+/// Fixed trailer + interframe space constants.
+inline constexpr std::int64_t kFrameTrailerBits = 1 /*CRC del*/ + 2 /*ACK*/ + 7 /*EOF*/;
+inline constexpr std::int64_t kInterframeSpaceBits = 3;
+
+} // namespace sa::can

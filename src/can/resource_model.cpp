@@ -1,0 +1,32 @@
+#include "can/resource_model.hpp"
+
+#include "util/assert.hpp"
+#include "util/string_util.hpp"
+
+namespace sa::can {
+
+std::string FpgaResources::str() const {
+    return format("%lld LUT, %lld FF, %.2f BRAM", static_cast<long long>(luts),
+                  static_cast<long long>(ffs), brams);
+}
+
+FpgaResources CanControllerResourceModel::virtualized(int vms) const {
+    SA_REQUIRE(vms >= 1, "need at least one VM");
+    return virtualized_base + per_vf * vms;
+}
+
+FpgaResources CanControllerResourceModel::standalone_bank(int vms) const {
+    SA_REQUIRE(vms >= 1, "need at least one VM");
+    return standalone * vms;
+}
+
+int CanControllerResourceModel::break_even_vms(int max_vms) const {
+    for (int n = 1; n <= max_vms; ++n) {
+        if (virtualized(n).cost() <= standalone_bank(n).cost()) {
+            return n;
+        }
+    }
+    return -1;
+}
+
+} // namespace sa::can

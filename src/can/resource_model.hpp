@@ -1,0 +1,60 @@
+#pragma once
+// Analytical FPGA resource model for the virtualized CAN controller,
+// calibrated to the synthesis results of Herber et al. (DAC 2015 [8]) that
+// §III of the paper summarizes: "In terms of FPGA resources, the virtualized
+// solution breaks even with multiple stand-alone controllers at four VMs."
+//
+// The model is intentionally simple: a stand-alone controller costs a fixed
+// amount of LUT/FF/BRAM; the virtualized controller pays a larger one-time
+// cost (protocol layer + virtualization layer + PF) plus a small per-VF
+// increment (mailbox RAM mapping, filter table slice, doorbell logic).
+
+#include <cstdint>
+#include <string>
+
+namespace sa::can {
+
+struct FpgaResources {
+    std::int64_t luts = 0;
+    std::int64_t ffs = 0;
+    double brams = 0.0;
+
+    FpgaResources operator+(const FpgaResources& o) const noexcept {
+        return {luts + o.luts, ffs + o.ffs, brams + o.brams};
+    }
+    FpgaResources operator*(std::int64_t k) const noexcept {
+        return {luts * k, ffs * k, brams * static_cast<double>(k)};
+    }
+
+    /// Scalar cost used for break-even comparison: weighted sum roughly
+    /// proportional to Virtex-7 slice usage.
+    [[nodiscard]] double cost() const noexcept {
+        return static_cast<double>(luts) + 0.5 * static_cast<double>(ffs) + 400.0 * brams;
+    }
+
+    [[nodiscard]] std::string str() const;
+};
+
+struct CanControllerResourceModel {
+    /// One conventional stand-alone CAN controller (protocol layer only).
+    FpgaResources standalone{1'200, 900, 1.0};
+
+    /// Virtualized controller: protocol layer + virtualization layer + PF.
+    FpgaResources virtualized_base{2'700, 2'000, 2.0};
+
+    /// Per-VF increment: mailboxes, filter-table slice, doorbell.
+    FpgaResources per_vf{350, 260, 0.25};
+
+    /// Total resources of a virtualized controller serving `vms` VMs.
+    [[nodiscard]] FpgaResources virtualized(int vms) const;
+
+    /// Total resources of `vms` stand-alone controllers (one per VM).
+    [[nodiscard]] FpgaResources standalone_bank(int vms) const;
+
+    /// Smallest number of VMs for which the virtualized controller is
+    /// cheaper (by scalar cost) than one stand-alone controller per VM.
+    /// Returns -1 if it never breaks even within `max_vms`.
+    [[nodiscard]] int break_even_vms(int max_vms = 64) const;
+};
+
+} // namespace sa::can

@@ -1,0 +1,218 @@
+#include "can/virtual_controller.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace sa::can {
+
+// ---------------------------------------------------------------------------
+// VirtualFunction
+// ---------------------------------------------------------------------------
+
+bool VirtualFunction::send(const CanFrame& frame) {
+    SA_REQUIRE(frame.valid(), "cannot send an invalid frame");
+    if (!enabled_ || queue_.size() >= mailboxes_) {
+        ++tx_dropped_;
+        return false;
+    }
+    // Mailboxes transmit in priority order: insert sorted by CAN id, stable.
+    const std::uint64_t seq = owner_.next_tx_seq_++;
+    auto it = std::find_if(queue_.begin(), queue_.end(),
+                           [&](const PendingTx& p) { return frame.id < p.frame.id; });
+    queue_.insert(it, PendingTx{frame, owner_.bus_.simulator().now(), seq, false});
+    owner_.vf_doorbell(*this, seq);
+    return true;
+}
+
+void VirtualFunction::add_rx_filter(std::uint32_t id, std::uint32_t mask,
+                                    std::function<void(const CanFrame&, Time)> callback) {
+    SA_REQUIRE(static_cast<bool>(callback), "RX filter needs a callback");
+    filters_.push_back(RxFilter{id, mask, std::move(callback)});
+}
+
+// ---------------------------------------------------------------------------
+// VirtualCanController
+// ---------------------------------------------------------------------------
+
+VirtualCanController::VirtualCanController(CanBus& bus, std::string name,
+                                           VirtLatencyModel latency)
+    : bus_(bus), name_(std::move(name)), latency_(latency) {
+    bus_.attach(*this);
+}
+
+VirtualCanController::~VirtualCanController() { bus_.detach(*this); }
+
+PfToken VirtualCanController::take_pf_token() {
+    SA_REQUIRE(!pf_token_taken_, "PF token already taken — only one privileged owner");
+    pf_token_taken_ = true;
+    return PfToken{};
+}
+
+VirtualFunction& VirtualCanController::pf_create_vf(const PfToken&, std::size_t mailboxes) {
+    SA_REQUIRE(mailboxes > 0, "a VF needs at least one mailbox");
+    const int index = static_cast<int>(vfs_.size());
+    vfs_.push_back(std::unique_ptr<VirtualFunction>(
+        new VirtualFunction(*this, index, mailboxes)));
+    return *vfs_.back();
+}
+
+void VirtualCanController::pf_enable_vf(const PfToken&, int vf_index, bool enabled) {
+    vf(vf_index).enabled_ = enabled;
+    if (enabled) {
+        bus_.notify_tx_pending();
+    }
+}
+
+void VirtualCanController::pf_set_bus_bitrate(const PfToken&, std::int64_t bps) {
+    bus_.set_bitrate(bps);
+}
+
+void VirtualCanController::pf_set_vf_mailboxes(const PfToken&, int vf_index,
+                                               std::size_t mailboxes) {
+    SA_REQUIRE(mailboxes > 0, "a VF needs at least one mailbox");
+    vf(vf_index).mailboxes_ = mailboxes;
+}
+
+VirtualFunction& VirtualCanController::vf(int index) {
+    SA_REQUIRE(index >= 0 && static_cast<std::size_t>(index) < vfs_.size(),
+               "VF index out of range");
+    return *vfs_[static_cast<std::size_t>(index)];
+}
+
+std::size_t VirtualCanController::active_vf_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& vf : vfs_) {
+        if (vf->enabled_) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+Duration VirtualCanController::arbitration_latency() const {
+    const std::size_t active = active_vf_count();
+    const std::int64_t extra =
+        active > 1 ? static_cast<std::int64_t>(active - 1) * latency_.tx_per_active_vf.count_ns()
+                   : 0;
+    return latency_.tx_arbitration + Duration(extra);
+}
+
+void VirtualCanController::vf_doorbell(VirtualFunction& vf, std::uint64_t seq) {
+    // The frame becomes visible to the bus-side protocol layer only after the
+    // doorbell write propagates and the virtualization layer re-arbitrates
+    // across VFs. Latch exactly the slot this doorbell announced.
+    const Duration delay = latency_.tx_doorbell + arbitration_latency();
+    const int vf_index = vf.index_;
+    bus_.simulator().schedule(delay, [this, vf_index, seq] {
+        VirtualFunction& f = *vfs_[static_cast<std::size_t>(vf_index)];
+        for (auto& p : f.queue_) {
+            if (p.seq == seq) {
+                p.latched = true;
+                break;
+            }
+        }
+        bus_.notify_tx_pending();
+    });
+}
+
+void VirtualCanController::pf_set_arbitration(const PfToken&, VfArbitration arbitration) {
+    arbitration_ = arbitration;
+}
+
+VirtualFunction* VirtualCanController::best_pending(const CanFrame** frame_out) {
+    VirtualFunction* best_vf = nullptr;
+    const CanFrame* best = nullptr;
+    if (arbitration_ == VfArbitration::Priority) {
+        // The paper's design: lowest CAN id across all VFs wins.
+        for (auto& vfp : vfs_) {
+            if (!vfp->enabled_) {
+                continue;
+            }
+            for (const auto& p : vfp->queue_) {
+                if (!p.latched) {
+                    continue;
+                }
+                if (best == nullptr || p.frame.id < best->id) {
+                    best = &p.frame;
+                    best_vf = vfp.get();
+                }
+                break; // queue is priority-sorted; first latched is its best
+            }
+        }
+    } else {
+        // Ablation baseline: serve VFs in turn regardless of frame priority.
+        const std::size_t n = vfs_.size();
+        for (std::size_t k = 0; k < n && best == nullptr; ++k) {
+            auto& vfp = vfs_[(rr_next_ + k) % n];
+            if (!vfp->enabled_) {
+                continue;
+            }
+            for (const auto& p : vfp->queue_) {
+                if (p.latched) {
+                    best = &p.frame;
+                    best_vf = vfp.get();
+                    rr_next_ = (static_cast<std::size_t>(vfp->index_) + 1) % n;
+                    break;
+                }
+            }
+        }
+    }
+    if (frame_out != nullptr) {
+        *frame_out = best;
+    }
+    return best_vf;
+}
+
+std::optional<CanFrame> VirtualCanController::peek_tx() {
+    const CanFrame* frame = nullptr;
+    if (best_pending(&frame) == nullptr) {
+        return std::nullopt;
+    }
+    return *frame;
+}
+
+void VirtualCanController::tx_done(const CanFrame& frame, Time at) {
+    // Find the VF holding this latched frame at its head position.
+    for (auto& vfp : vfs_) {
+        auto& q = vfp->queue_;
+        auto it = std::find_if(q.begin(), q.end(), [&](const VirtualFunction::PendingTx& p) {
+            return p.latched && p.frame == frame;
+        });
+        if (it != q.end()) {
+            vfp->tx_count_++;
+            vfp->tx_latency_us_.add((at - it->enqueued).to_us());
+            last_tx_vf_ = vfp->index_;
+            q.erase(it);
+            return;
+        }
+    }
+    SA_ASSERT(false, "tx_done for a frame not owned by any VF");
+}
+
+void VirtualCanController::rx_frame(const CanFrame& frame, Time at) {
+    // Filter towards the VMs; the transmitting VF does not see its own frame.
+    const bool own = (last_tx_vf_ >= 0) && (at == bus_.simulator().now());
+    for (auto& vfp : vfs_) {
+        if (!vfp->enabled_) {
+            continue;
+        }
+        if (own && vfp->index_ == last_tx_vf_) {
+            continue;
+        }
+        for (const auto& f : vfp->filters_) {
+            if (f.matches(frame)) {
+                const Duration delay = latency_.rx_filter + latency_.rx_copy;
+                VirtualFunction* target = vfp.get();
+                bus_.simulator().schedule(delay, [target, cb = f.callback, frame] {
+                    target->rx_count_++;
+                    cb(frame, target->owner_.bus_.simulator().now());
+                });
+                break; // first matching filter wins per VF
+            }
+        }
+    }
+    last_tx_vf_ = -1;
+}
+
+} // namespace sa::can

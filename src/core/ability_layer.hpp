@@ -1,0 +1,47 @@
+#pragma once
+// Ability layer: functional self-awareness (§IV/§V). Reassesses the ability
+// graph when lower layers report losses and offers graceful-degradation
+// tactics ("the objective of driving can be kept operational although the
+// ability to brake is only partially available by reducing the maximum
+// speed and generating additional brake torque from the drive train").
+//
+// Tactics come from the DegradationManager; the layer converts every
+// currently applicable tactic into a proposal. An optional ability-update
+// hook lets the embedding system refresh source levels (e.g. brake sink
+// level after containment) before planning.
+
+#include <functional>
+
+#include "core/layer.hpp"
+#include "skills/ability_graph.hpp"
+#include "skills/degradation.hpp"
+
+namespace sa::core {
+
+class AbilityLayer : public Layer {
+public:
+    AbilityLayer(skills::AbilityGraph& abilities, skills::DegradationManager& tactics,
+                 std::string root_skill);
+
+    /// Called before planning on each problem: lets the embedding system map
+    /// the anomaly onto ability-graph inputs (e.g. contained rear brake =>
+    /// brake_system level 0.35). The hook returns true if it updated levels.
+    using AbilityUpdateHook = std::function<bool(const Problem&)>;
+    void set_update_hook(AbilityUpdateHook hook) { update_hook_ = std::move(hook); }
+
+    std::vector<Proposal> propose(const Problem& problem) override;
+    [[nodiscard]] double health() const override;
+
+    [[nodiscard]] std::uint64_t tactics_applied() const noexcept {
+        return tactics_applied_;
+    }
+
+private:
+    skills::AbilityGraph& abilities_;
+    skills::DegradationManager& tactics_;
+    std::string root_skill_;
+    AbilityUpdateHook update_hook_;
+    std::uint64_t tactics_applied_ = 0;
+};
+
+} // namespace sa::core

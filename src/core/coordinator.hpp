@@ -1,0 +1,88 @@
+#pragma once
+// Cross-layer coordinator — the paper's central mechanism (§V). Anomalies
+// enter at their origin layer; the coordinator collects countermeasure
+// proposals, picks the *lowest adequate layer with minimal scope* (contain
+// an IP service rather than kill the Ethernet), executes it, and processes
+// any follow-up consequences through the stack again. Escalation is bounded
+// by a hop budget so problems are never "forwarded ad infinitum", and
+// concurrently proposed actions on the same target are serialized to avoid
+// the "conflicting decisions [that] could lead to catastrophic effects".
+
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "core/countermeasure.hpp"
+#include "core/layer.hpp"
+#include "monitor/manager.hpp"
+#include "sim/simulator.hpp"
+
+namespace sa::core {
+
+struct CoordinatorConfig {
+    /// Minimum adequacy for a proposal to be acceptable.
+    double min_adequacy = 0.5;
+    /// Hop budget: max escalations per problem (including follow-ups).
+    int max_escalations = kLayerCount;
+    /// Max follow-up problems processed per root anomaly.
+    int max_follow_ups = 4;
+    /// Cooldown during which a second action on the same target is treated
+    /// as a conflict and suppressed.
+    sim::Duration conflict_cooldown = sim::Duration::ms(500);
+    /// Ablation switch: false = only the entry layer is consulted, no
+    /// escalation (the "single-layer self-awareness" baseline of the paper's
+    /// argument).
+    bool cross_layer_enabled = true;
+};
+
+class CrossLayerCoordinator {
+public:
+    CrossLayerCoordinator(sim::Simulator& simulator, CoordinatorConfig config = {});
+
+    /// Register a layer implementation (owned). Each LayerId at most once.
+    void register_layer(std::unique_ptr<Layer> layer);
+    [[nodiscard]] bool has_layer(LayerId id) const;
+    [[nodiscard]] Layer& layer(LayerId id);
+
+    /// Subscribe to a monitor manager's anomaly stream; Warning and Critical
+    /// anomalies are handled, Info is ignored.
+    void connect(monitor::MonitorManager& monitors);
+
+    /// Handle one anomaly synchronously; returns the (root) decision.
+    Decision handle(const monitor::Anomaly& anomaly);
+
+    // --- introspection -------------------------------------------------------
+    [[nodiscard]] const std::deque<Decision>& decisions() const noexcept {
+        return decisions_;
+    }
+    [[nodiscard]] std::uint64_t problems_handled() const noexcept { return handled_; }
+    [[nodiscard]] std::uint64_t problems_resolved() const noexcept { return resolved_; }
+    [[nodiscard]] std::uint64_t problems_unresolved() const noexcept {
+        return handled_ - resolved_;
+    }
+    [[nodiscard]] std::uint64_t total_escalations() const noexcept { return escalations_; }
+    [[nodiscard]] std::uint64_t conflicts_avoided() const noexcept { return conflicts_; }
+
+    [[nodiscard]] const CoordinatorConfig& config() const noexcept { return config_; }
+    void set_cross_layer_enabled(bool enabled) noexcept {
+        config_.cross_layer_enabled = enabled;
+    }
+
+private:
+    Decision resolve(Problem problem, int follow_up_budget);
+    [[nodiscard]] bool target_locked(const std::string& target) const;
+
+    sim::Simulator& simulator_;
+    CoordinatorConfig config_;
+    std::map<LayerId, std::unique_ptr<Layer>> layers_;
+    std::deque<Decision> decisions_;
+    std::map<std::string, sim::Time> target_locks_;
+    std::uint64_t next_problem_id_ = 1;
+    std::uint64_t handled_ = 0;
+    std::uint64_t resolved_ = 0;
+    std::uint64_t escalations_ = 0;
+    std::uint64_t conflicts_ = 0;
+    static constexpr std::size_t kDecisionHistory = 1024;
+};
+
+} // namespace sa::core

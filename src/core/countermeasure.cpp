@@ -1,0 +1,17 @@
+#include "core/countermeasure.hpp"
+
+#include "util/string_util.hpp"
+
+namespace sa::core {
+
+ProposalSummary ProposalSummary::of(const Proposal& proposal) {
+    return ProposalSummary{proposal.layer, proposal.action, proposal.target,
+                           proposal.scope,  proposal.cost,  proposal.adequacy};
+}
+
+std::string ProposalSummary::str() const {
+    return format("[%s] %s(%s) scope=%.2f cost=%.2f adequacy=%.2f", to_string(layer),
+                  action.c_str(), target.c_str(), scope, cost, adequacy);
+}
+
+} // namespace sa::core

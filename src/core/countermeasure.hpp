@@ -1,0 +1,42 @@
+#pragma once
+// Decision records of the cross-layer coordinator: which proposals were
+// considered for a problem, which was executed and why. These records make
+// the system's self-aware decision process auditable ("forcing the system to
+// be aware of the consequences of the chosen solution", §V).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/layer.hpp"
+#include "sim/time.hpp"
+
+namespace sa::core {
+
+/// Copyable summary of a proposal (without the action closure).
+struct ProposalSummary {
+    LayerId layer = LayerId::Platform;
+    std::string action;
+    std::string target;
+    double scope = 0.0;
+    double cost = 0.0;
+    double adequacy = 0.0;
+
+    [[nodiscard]] static ProposalSummary of(const Proposal& proposal);
+    [[nodiscard]] std::string str() const;
+};
+
+struct Decision {
+    std::uint64_t problem_id = 0;
+    sim::Time at;
+    monitor::Anomaly anomaly;
+    LayerId entry = LayerId::Platform;
+    std::vector<ProposalSummary> considered;
+    std::optional<ProposalSummary> executed;
+    bool resolved = false;
+    int escalations = 0;
+    int conflicts_avoided = 0;
+    std::string rationale;
+};
+
+} // namespace sa::core

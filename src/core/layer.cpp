@@ -1,0 +1,27 @@
+#include "core/layer.hpp"
+
+namespace sa::core {
+
+const char* to_string(LayerId layer) noexcept {
+    switch (layer) {
+    case LayerId::Platform: return "platform";
+    case LayerId::Network: return "network";
+    case LayerId::Safety: return "safety";
+    case LayerId::Ability: return "ability";
+    case LayerId::Objective: return "objective";
+    }
+    return "?";
+}
+
+LayerId entry_layer(monitor::Domain domain) noexcept {
+    switch (domain) {
+    case monitor::Domain::Platform: return LayerId::Platform;
+    case monitor::Domain::Network: return LayerId::Network;
+    case monitor::Domain::Security: return LayerId::Network;
+    case monitor::Domain::Function: return LayerId::Safety;
+    case monitor::Domain::Sensor: return LayerId::Ability;
+    }
+    return LayerId::Platform;
+}
+
+} // namespace sa::core

@@ -1,0 +1,67 @@
+#include "core/self_model.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/string_util.hpp"
+
+namespace sa::core {
+
+double SelfSnapshot::health(LayerId layer) const {
+    auto it = layer_health.find(layer);
+    return it == layer_health.end() ? 1.0 : it->second;
+}
+
+std::string SelfSnapshot::str() const {
+    std::string out = format("self v%llu @%s overall=%.2f",
+                             static_cast<unsigned long long>(version),
+                             at.str().c_str(), overall);
+    for (const auto& [layer, health] : layer_health) {
+        out += format(" %s=%.2f", to_string(layer), health);
+    }
+    return out;
+}
+
+SelfSnapshot SelfModel::capture() {
+    SelfSnapshot snap;
+    snap.version = next_version_++;
+    snap.at = simulator_.now();
+    snap.overall = 1.0;
+    for (int li = 0; li < kLayerCount; ++li) {
+        const auto id = static_cast<LayerId>(li);
+        if (!coordinator_.has_layer(id)) {
+            continue;
+        }
+        const double h = std::clamp(coordinator_.layer(id).health(), 0.0, 1.0);
+        snap.layer_health[id] = h;
+        snap.overall = std::min(snap.overall, h);
+    }
+    snap.open_problems = coordinator_.problems_unresolved();
+    if (history_.size() == kHistoryCapacity) {
+        history_.pop_front();
+    }
+    history_.push_back(snap);
+    published_.emit(history_.back());
+    return history_.back();
+}
+
+void SelfModel::start(sim::Duration period) {
+    if (periodic_id_ != 0) {
+        return;
+    }
+    periodic_id_ = simulator_.schedule_periodic(period, [this] { (void)capture(); });
+}
+
+void SelfModel::stop() {
+    if (periodic_id_ != 0) {
+        simulator_.cancel_periodic(periodic_id_);
+        periodic_id_ = 0;
+    }
+}
+
+const SelfSnapshot& SelfModel::latest() const {
+    SA_REQUIRE(!history_.empty(), "no snapshot captured yet");
+    return history_.back();
+}
+
+} // namespace sa::core

@@ -1,0 +1,57 @@
+#pragma once
+// Vehicle self-model: the "consistent self-representation of the system"
+// (§V) aggregated from all layers. Snapshots are versioned and taken
+// atomically in simulation time, so consumers (decision making, HMI,
+// telemetry) always see a coherent picture rather than a mix of stale and
+// fresh per-layer values.
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/coordinator.hpp"
+
+namespace sa::core {
+
+struct SelfSnapshot {
+    std::uint64_t version = 0;
+    sim::Time at;
+    std::map<LayerId, double> layer_health; ///< [0, 1] per registered layer
+    double overall = 1.0;                   ///< min over layers
+    std::uint64_t open_problems = 0;        ///< handled - resolved so far
+
+    [[nodiscard]] double health(LayerId layer) const;
+    [[nodiscard]] std::string str() const;
+};
+
+class SelfModel {
+public:
+    SelfModel(sim::Simulator& simulator, CrossLayerCoordinator& coordinator)
+        : simulator_(simulator), coordinator_(coordinator) {}
+
+    /// Take a consistent snapshot now.
+    SelfSnapshot capture();
+
+    /// Capture periodically; snapshots are retained (bounded) and published.
+    void start(sim::Duration period);
+    void stop();
+
+    [[nodiscard]] const SelfSnapshot& latest() const;
+    [[nodiscard]] const std::deque<SelfSnapshot>& history() const noexcept {
+        return history_;
+    }
+
+    sim::Signal<const SelfSnapshot&>& snapshot_taken() noexcept { return published_; }
+
+private:
+    sim::Simulator& simulator_;
+    CrossLayerCoordinator& coordinator_;
+    std::deque<SelfSnapshot> history_;
+    std::uint64_t next_version_ = 1;
+    std::uint64_t periodic_id_ = 0;
+    sim::Signal<const SelfSnapshot&> published_;
+    static constexpr std::size_t kHistoryCapacity = 1024;
+};
+
+} // namespace sa::core

@@ -1,0 +1,46 @@
+#include "model/contract.hpp"
+
+#include "util/string_util.hpp"
+
+namespace sa::model {
+
+const char* to_string(Asil asil) noexcept {
+    switch (asil) {
+    case Asil::QM: return "QM";
+    case Asil::A: return "A";
+    case Asil::B: return "B";
+    case Asil::C: return "C";
+    case Asil::D: return "D";
+    }
+    return "?";
+}
+
+std::optional<Asil> asil_from_string(const std::string& text) noexcept {
+    const std::string t = to_lower(text);
+    if (t == "qm") return Asil::QM;
+    if (t == "a") return Asil::A;
+    if (t == "b") return Asil::B;
+    if (t == "c") return Asil::C;
+    if (t == "d") return Asil::D;
+    return std::nullopt;
+}
+
+double Contract::cpu_utilization() const {
+    double u = 0.0;
+    for (const auto& t : tasks) {
+        u += static_cast<double>(t.wcet.count_ns()) /
+             static_cast<double>(t.period.count_ns());
+    }
+    return u;
+}
+
+const TaskSpec* Contract::find_task(const std::string& name) const {
+    for (const auto& t : tasks) {
+        if (t.name == name) {
+            return &t;
+        }
+    }
+    return nullptr;
+}
+
+} // namespace sa::model

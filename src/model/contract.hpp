@@ -1,0 +1,73 @@
+#pragma once
+// The "contracting language" of §II-A: requirements and constraints of each
+// component are collected per viewpoint (safety level, real-time constraints,
+// security, resources) and serve as input to the MCC. This header is the
+// parsed representation; model/contract_parser.hpp reads the textual syntax.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace sa::model {
+
+using sim::Duration;
+
+/// Automotive safety integrity level (ISO 26262).
+enum class Asil { QM = 0, A = 1, B = 2, C = 3, D = 4 };
+
+const char* to_string(Asil asil) noexcept;
+std::optional<Asil> asil_from_string(const std::string& text) noexcept;
+
+/// A real-time task the component contributes (priority is assigned by the
+/// MCC during integration, not by the contract).
+struct TaskSpec {
+    std::string name;
+    Duration wcet = Duration::us(100);
+    Duration bcet = Duration::zero(); ///< zero => == wcet
+    Duration period = Duration::ms(10);
+    Duration deadline = Duration::zero(); ///< zero => == period
+};
+
+/// A micro-server service endpoint offered by the component.
+struct ProvidedService {
+    std::string name;
+    double max_client_rate_hz = 0.0; ///< contracted call-rate bound (0 = unbounded)
+    int min_client_level = 0;        ///< minimum security level of clients
+};
+
+struct RequiredService {
+    std::string name;
+};
+
+/// A CAN message the component transmits.
+struct MessageSpec {
+    std::string name;
+    std::uint32_t can_id = 0; ///< 0 => assigned by the MCC
+    int payload_bytes = 8;
+    Duration period = Duration::ms(10);
+    Duration deadline = Duration::zero(); ///< zero => == period
+    std::string bus;                      ///< empty => assigned by the MCC
+};
+
+/// Per-component contract — one entry of the MCC's input model.
+struct Contract {
+    std::string component;
+    Asil asil = Asil::QM;
+    int security_level = 0; ///< 0 (untrusted) .. 3 (highest privilege)
+    bool external_interface = false; ///< attack surface (telematics, OBD, V2X)
+    bool gateway = false;            ///< mediates between security zones
+    std::vector<TaskSpec> tasks;
+    std::vector<ProvidedService> provides;
+    std::vector<RequiredService> requires_;
+    std::vector<MessageSpec> messages;
+    std::optional<std::string> pinned_ecu;      ///< placement constraint
+    std::optional<std::string> redundant_with;  ///< must be placed on another ECU
+    std::optional<Duration> max_e2e_latency;    ///< end-to-end requirement
+
+    [[nodiscard]] double cpu_utilization() const;
+    [[nodiscard]] const TaskSpec* find_task(const std::string& name) const;
+};
+
+} // namespace sa::model

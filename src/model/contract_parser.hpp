@@ -1,0 +1,47 @@
+#pragma once
+// Parser for the textual contracting language. Example:
+//
+//   component brake_ctrl {
+//     asil D;
+//     security_level 2;
+//     task control { wcet 200us; bcet 100us; period 10ms; deadline 5ms; }
+//     provides service brake_cmd { max_rate 200/s; min_client_level 1; }
+//     requires service brake_actuator;
+//     message brake_status { id 0x120; payload 8; period 20ms; }
+//     pin ecu brake_ecu;
+//     redundant_with brake_ctrl_b;
+//     max_e2e_latency 15ms;
+//     external;     // has an external interface (attack surface)
+//     gateway;      // mediates between security zones
+//   }
+//
+// Durations accept ns/us/ms/s suffixes; rates accept "<n>/s"; ids accept
+// decimal or 0x hex. Comments: // to end of line.
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "model/contract.hpp"
+
+namespace sa::model {
+
+class ParseError : public std::runtime_error {
+public:
+    ParseError(int line, const std::string& message);
+    [[nodiscard]] int line() const noexcept { return line_; }
+
+private:
+    int line_;
+};
+
+class ContractParser {
+public:
+    /// Parse a document possibly containing several component contracts.
+    [[nodiscard]] std::vector<Contract> parse(const std::string& text) const;
+
+    /// Parse exactly one contract (throws if the document has != 1).
+    [[nodiscard]] Contract parse_one(const std::string& text) const;
+};
+
+} // namespace sa::model

@@ -1,0 +1,226 @@
+#include "model/mapping.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/assert.hpp"
+#include "util/string_util.hpp"
+
+namespace sa::model {
+
+std::string Mapping::ecu_of(const std::string& component) const {
+    auto it = component_to_ecu.find(component);
+    return it == component_to_ecu.end() ? std::string{} : it->second;
+}
+
+namespace {
+
+double ecu_load(const FunctionModel& functions, const Mapping& mapping,
+                const EcuDescriptor& ecu) {
+    double u = 0.0;
+    for (const auto& [comp, target] : mapping.component_to_ecu) {
+        if (target != ecu.name) {
+            continue;
+        }
+        if (const Contract* c = functions.find(comp)) {
+            u += c->cpu_utilization() / ecu.speed_factor;
+        }
+    }
+    return u;
+}
+
+bool placement_ok(const Contract& contract, const EcuDescriptor& ecu,
+                  const FunctionModel& functions, const Mapping& mapping,
+                  std::string* why) {
+    if (contract.asil > ecu.max_asil) {
+        *why = format("%s: ASIL %s exceeds ECU %s cap %s", contract.component.c_str(),
+                      to_string(contract.asil), ecu.name.c_str(), to_string(ecu.max_asil));
+        return false;
+    }
+    const double load = ecu_load(functions, mapping, ecu);
+    const double demand = contract.cpu_utilization() / ecu.speed_factor;
+    if (load + demand > ecu.max_utilization) {
+        *why = format("%s: ECU %s over capacity (%.2f + %.2f > %.2f)",
+                      contract.component.c_str(), ecu.name.c_str(), load, demand,
+                      ecu.max_utilization);
+        return false;
+    }
+    if (contract.redundant_with.has_value()) {
+        const std::string partner_ecu = mapping.ecu_of(*contract.redundant_with);
+        if (!partner_ecu.empty() && partner_ecu == ecu.name) {
+            *why = format("%s: redundancy partner %s already on %s",
+                          contract.component.c_str(), contract.redundant_with->c_str(),
+                          ecu.name.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+MappingResult Mapper::map(const FunctionModel& functions, const PlatformModel& platform,
+                          const Mapping& existing) const {
+    MappingResult result;
+    Mapping& mapping = result.mapping;
+
+    // Keep placements of components that still exist.
+    for (const auto& [comp, ecu] : existing.component_to_ecu) {
+        if (functions.find(comp) != nullptr && platform.find_ecu(ecu) != nullptr) {
+            mapping.component_to_ecu[comp] = ecu;
+        }
+    }
+
+    // Order unplaced components by decreasing utilization (first-fit
+    // decreasing); deterministic tie-break by name.
+    std::vector<const Contract*> todo;
+    for (const auto& c : functions.contracts()) {
+        if (!mapping.placed(c.component)) {
+            todo.push_back(&c);
+        }
+    }
+    std::sort(todo.begin(), todo.end(), [](const Contract* a, const Contract* b) {
+        const double ua = a->cpu_utilization();
+        const double ub = b->cpu_utilization();
+        if (ua != ub) {
+            return ua > ub;
+        }
+        return a->component < b->component;
+    });
+
+    for (const Contract* c : todo) {
+        std::string last_reason = "no ECUs in platform";
+        bool placed = false;
+        if (c->pinned_ecu.has_value()) {
+            const EcuDescriptor* ecu = platform.find_ecu(*c->pinned_ecu);
+            if (ecu == nullptr) {
+                result.errors.push_back(
+                    format("%s: pinned to unknown ECU %s", c->component.c_str(),
+                           c->pinned_ecu->c_str()));
+                result.feasible = false;
+                continue;
+            }
+            if (placement_ok(*c, *ecu, functions, mapping, &last_reason)) {
+                mapping.component_to_ecu[c->component] = ecu->name;
+                placed = true;
+            }
+        } else {
+            // First fit over ECUs sorted by current load (balance), then name.
+            std::vector<const EcuDescriptor*> ecus;
+            for (const auto& e : platform.ecus) {
+                ecus.push_back(&e);
+            }
+            std::sort(ecus.begin(), ecus.end(),
+                      [&](const EcuDescriptor* a, const EcuDescriptor* b) {
+                          const double la = ecu_load(functions, mapping, *a);
+                          const double lb = ecu_load(functions, mapping, *b);
+                          if (la != lb) {
+                              return la < lb;
+                          }
+                          return a->name < b->name;
+                      });
+            for (const EcuDescriptor* ecu : ecus) {
+                if (placement_ok(*c, *ecu, functions, mapping, &last_reason)) {
+                    mapping.component_to_ecu[c->component] = ecu->name;
+                    placed = true;
+                    break;
+                }
+            }
+        }
+        if (!placed) {
+            result.errors.push_back(last_reason);
+            result.feasible = false;
+        }
+    }
+
+    // Task priorities: rate-monotonic per ECU over all placed components.
+    // Deterministic tie-break: deadline, then name. Priorities 1..n.
+    for (const auto& ecu : platform.ecus) {
+        struct Entry {
+            std::string qualified;
+            Duration period;
+            Duration deadline;
+        };
+        std::vector<Entry> entries;
+        for (const auto& c : functions.contracts()) {
+            if (mapping.ecu_of(c.component) != ecu.name) {
+                continue;
+            }
+            for (const auto& t : c.tasks) {
+                entries.push_back(Entry{c.component + "." + t.name, t.period,
+                                        t.deadline.count_ns() > 0 ? t.deadline : t.period});
+            }
+        }
+        std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+            if (a.period != b.period) {
+                return a.period < b.period;
+            }
+            if (a.deadline != b.deadline) {
+                return a.deadline < b.deadline;
+            }
+            return a.qualified < b.qualified;
+        });
+        int prio = 1;
+        for (const auto& e : entries) {
+            mapping.task_priority[e.qualified] = prio++;
+        }
+    }
+
+    // Messages: keep declared bus/id; otherwise assign the first bus and
+    // deadline-monotonic ids starting at 0x100 (lower id = shorter deadline).
+    if (!platform.buses.empty()) {
+        struct MsgEntry {
+            const MessageSpec* spec;
+            std::string component;
+        };
+        std::vector<MsgEntry> msgs;
+        for (const auto& c : functions.contracts()) {
+            for (const auto& m : c.messages) {
+                msgs.push_back(MsgEntry{&m, c.component});
+            }
+        }
+        std::sort(msgs.begin(), msgs.end(), [](const MsgEntry& a, const MsgEntry& b) {
+            const Duration da =
+                a.spec->deadline.count_ns() > 0 ? a.spec->deadline : a.spec->period;
+            const Duration db =
+                b.spec->deadline.count_ns() > 0 ? b.spec->deadline : b.spec->period;
+            if (da != db) {
+                return da < db;
+            }
+            return a.spec->name < b.spec->name;
+        });
+        std::uint32_t next_id = 0x100;
+        std::set<std::uint32_t> used;
+        for (const auto& m : msgs) {
+            if (m.spec->can_id != 0) {
+                used.insert(m.spec->can_id);
+            }
+        }
+        for (const auto& m : msgs) {
+            const std::string bus =
+                !m.spec->bus.empty() ? m.spec->bus : platform.buses.front().name;
+            if (platform.find_bus(bus) == nullptr) {
+                result.errors.push_back(
+                    format("message %s names unknown bus %s", m.spec->name.c_str(),
+                           bus.c_str()));
+                result.feasible = false;
+                continue;
+            }
+            mapping.message_to_bus[m.spec->name] = bus;
+            if (m.spec->can_id != 0) {
+                mapping.message_id[m.spec->name] = m.spec->can_id;
+            } else {
+                while (used.count(next_id) > 0) {
+                    ++next_id;
+                }
+                mapping.message_id[m.spec->name] = next_id;
+                used.insert(next_id);
+                ++next_id;
+            }
+        }
+    }
+
+    return result;
+}
+
+} // namespace sa::model

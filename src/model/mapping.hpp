@@ -1,0 +1,51 @@
+#pragma once
+// Mapping step of the integration process (§II-A: "first involves fitting
+// this functionality to the target platform ... the resulting technical
+// architecture is transformed and mapped to a model of its implementation").
+//
+// The mapper performs deterministic first-fit-decreasing placement of
+// components onto ECUs (respecting pins, ASIL caps, utilization caps and
+// redundancy separation), assigns rate-monotonic task priorities per ECU and
+// deadline-monotonic CAN identifiers per bus.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/function_model.hpp"
+#include "model/platform_model.hpp"
+
+namespace sa::model {
+
+struct Mapping {
+    std::map<std::string, std::string> component_to_ecu;
+    /// Fully-qualified task name ("component.task") -> priority on its ECU.
+    std::map<std::string, int> task_priority;
+    /// Message name -> bus name.
+    std::map<std::string, std::string> message_to_bus;
+    /// Message name -> assigned CAN id.
+    std::map<std::string, std::uint32_t> message_id;
+
+    [[nodiscard]] std::string ecu_of(const std::string& component) const;
+    [[nodiscard]] bool placed(const std::string& component) const {
+        return component_to_ecu.count(component) > 0;
+    }
+};
+
+struct MappingResult {
+    Mapping mapping;
+    bool feasible = true;
+    std::vector<std::string> errors;
+};
+
+class Mapper {
+public:
+    /// Produce a mapping for `functions` on `platform`. Components already
+    /// placed in `existing` keep their placement (in-field change: do not
+    /// disturb running components).
+    [[nodiscard]] MappingResult map(const FunctionModel& functions,
+                                    const PlatformModel& platform,
+                                    const Mapping& existing = {}) const;
+};
+
+} // namespace sa::model

@@ -1,0 +1,221 @@
+#include "model/mcc.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+#include "util/string_util.hpp"
+
+namespace sa::model {
+
+const ViewpointReport* IntegrationReport::viewpoint(const std::string& name) const {
+    for (const auto& r : viewpoints) {
+        if (r.viewpoint == name) {
+            return &r;
+        }
+    }
+    return nullptr;
+}
+
+Mcc::Mcc(PlatformModel platform, MccOptions options)
+    : platform_(std::move(platform)), options_(options) {
+    SA_REQUIRE(!platform_.ecus.empty(), "MCC needs a platform with at least one ECU");
+    viewpoints_.push_back(std::make_unique<TimingViewpoint>());
+    viewpoints_.push_back(std::make_unique<LatencyViewpoint>());
+    viewpoints_.push_back(std::make_unique<SafetyViewpoint>());
+    auto security = std::make_unique<SecurityViewpoint>();
+    security_viewpoint_ = security.get();
+    viewpoints_.push_back(std::move(security));
+}
+
+void Mcc::add_viewpoint(std::unique_ptr<Viewpoint> viewpoint) {
+    SA_REQUIRE(viewpoint != nullptr, "viewpoint must not be null");
+    viewpoints_.push_back(std::move(viewpoint));
+}
+
+IntegrationReport Mcc::integrate(const ChangeRequest& change) {
+    ++attempts_;
+    IntegrationReport report;
+
+    // Step 1: candidate function model (platform-independent refinement).
+    FunctionModel candidate = functions_;
+    switch (change.kind) {
+    case ChangeRequest::Kind::Add:
+    case ChangeRequest::Kind::Update:
+        for (const auto& c : change.contracts) {
+            candidate.upsert(c);
+        }
+        report.steps.push_back(IntegrationStep{
+            "merge", true,
+            format("%zu contract(s) merged, %zu total", change.contracts.size(),
+                   candidate.size())});
+        break;
+    case ChangeRequest::Kind::Remove: {
+        if (candidate.find(change.component) == nullptr) {
+            report.steps.push_back(IntegrationStep{"merge", false,
+                                                   "unknown component " + change.component});
+            report.rejection_reason = "unknown component " + change.component;
+            return report;
+        }
+        candidate.remove(change.component);
+        report.steps.push_back(
+            IntegrationStep{"merge", true, "removed " + change.component});
+        break;
+    }
+    }
+
+    // Step 2: mapping (technical architecture). Existing placements are kept
+    // so an accepted change does not disturb running components.
+    MappingResult mapped = mapper_.map(candidate, platform_, mapping_);
+    {
+        IntegrationStep step{"mapping", mapped.feasible, ""};
+        if (!mapped.feasible) {
+            std::string all;
+            for (const auto& e : mapped.errors) {
+                all += (all.empty() ? "" : "; ") + e;
+            }
+            step.detail = all;
+        } else {
+            step.detail = format("%zu component(s) placed", candidate.size());
+        }
+        report.steps.push_back(step);
+        if (!mapped.feasible) {
+            report.rejection_reason = "mapping infeasible: " + report.steps.back().detail;
+            return report;
+        }
+    }
+    report.mapping = mapped.mapping;
+
+    // Step 3: viewpoint acceptance tests.
+    const SystemModel system{candidate, platform_, mapped.mapping};
+    bool all_passed = true;
+    for (auto& vp : viewpoints_) {
+        ViewpointReport vr = vp->check(system);
+        const bool passed = vr.passed();
+        report.steps.push_back(IntegrationStep{
+            "viewpoint:" + vp->name(), passed,
+            format("%zu error(s), %zu warning(s)", vr.count(IssueSeverity::Error),
+                   vr.count(IssueSeverity::Warning))});
+        all_passed = all_passed && passed;
+        report.viewpoints.push_back(std::move(vr));
+    }
+    if (!all_passed) {
+        std::string reason = "acceptance tests failed:";
+        for (const auto& vr : report.viewpoints) {
+            for (const auto& issue : vr.issues) {
+                if (issue.severity == IssueSeverity::Error) {
+                    reason += " [" + vr.viewpoint + "] " + issue.code + " (" +
+                              issue.subject + ")";
+                }
+            }
+        }
+        report.rejection_reason = reason;
+        SA_LOG_INFO << "MCC rejected change '" << change.description << "': " << reason;
+        return report;
+    }
+
+    // Step 4: commit.
+    functions_ = std::move(candidate);
+    mapping_ = mapped.mapping;
+    rebuild_committed_artifacts();
+    report.steps.push_back(IntegrationStep{
+        "commit", true,
+        format("dependency graph: %zu node(s), %zu edge(s)",
+               dependency_graph_.node_count(), dependency_graph_.edge_count())});
+    report.accepted = true;
+    ++accepted_;
+    SA_LOG_INFO << "MCC accepted change '" << change.description << "'";
+    return report;
+}
+
+void Mcc::rebuild_committed_artifacts() {
+    dependency_graph_ = build_dependency_graph(functions_, platform_, mapping_);
+    if (options_.run_fmea) {
+        FmeaEngine engine(dependency_graph_, functions_);
+        fmea_ = engine.analyze_all();
+    }
+    if (security_viewpoint_ != nullptr) {
+        // Re-derive policy against the committed model.
+        const SystemModel system{functions_, platform_, mapping_};
+        (void)security_viewpoint_->check(system);
+        security_policy_ = security_viewpoint_->policy();
+    }
+}
+
+rte::RteConfig Mcc::make_rte_config(const std::map<std::string, TaskBody>& bodies) const {
+    rte::RteConfig config;
+    for (const auto& c : functions_.contracts()) {
+        rte::ComponentSpec spec;
+        spec.name = c.component;
+        spec.ecu = mapping_.ecu_of(c.component);
+        spec.safety_level = static_cast<int>(c.asil);
+        for (const auto& p : c.provides) {
+            spec.provides.push_back(p.name);
+        }
+        for (const auto& r : c.requires_) {
+            spec.requires_.push_back(r.name);
+        }
+        for (const auto& t : c.tasks) {
+            rte::RtTaskConfig task;
+            const std::string qualified = c.component + "." + t.name;
+            task.name = qualified;
+            task.period = t.period;
+            task.wcet = t.wcet;
+            task.bcet = t.bcet;
+            task.deadline = t.deadline;
+            auto prio = mapping_.task_priority.find(qualified);
+            task.priority = prio != mapping_.task_priority.end() ? prio->second : 1000;
+            auto body = bodies.find(qualified);
+            if (body != bodies.end()) {
+                task.on_complete = body->second;
+            }
+            spec.tasks.push_back(std::move(task));
+        }
+        config.components.push_back(std::move(spec));
+    }
+    config.grants = security_policy_.grants;
+    return config;
+}
+
+void Mcc::ingest_observed_wcet(const std::string& qualified_task, sim::Duration observed) {
+    auto& seen = observed_wcet_[qualified_task];
+    seen = std::max(seen, observed);
+}
+
+sim::Duration Mcc::observed_wcet(const std::string& qualified_task) const {
+    auto it = observed_wcet_.find(qualified_task);
+    return it == observed_wcet_.end() ? sim::Duration::zero() : it->second;
+}
+
+std::vector<std::string> Mcc::wcet_violations() const {
+    std::vector<std::string> out;
+    for (const auto& [qualified, observed] : observed_wcet_) {
+        const auto dot = qualified.find('.');
+        if (dot == std::string::npos) {
+            continue;
+        }
+        const Contract* c = functions_.find(qualified.substr(0, dot));
+        if (c == nullptr) {
+            continue;
+        }
+        const TaskSpec* t = c->find_task(qualified.substr(dot + 1));
+        if (t != nullptr && observed > t->wcet) {
+            out.push_back(qualified);
+        }
+    }
+    return out;
+}
+
+bool Mcc::revalidate_with_speed(const std::string& ecu, double speed_factor) const {
+    const EcuDescriptor* descriptor = platform_.find_ecu(ecu);
+    SA_REQUIRE(descriptor != nullptr, "unknown ECU: " + ecu);
+    const SystemModel system{functions_, platform_, mapping_};
+    const auto cpu = TimingViewpoint::cpu_model(system, *descriptor, speed_factor);
+    if (cpu.tasks.empty()) {
+        return true;
+    }
+    analysis::CpuWcrtAnalysis analysis;
+    return analysis.analyze(cpu).all_schedulable;
+}
+
+} // namespace sa::model

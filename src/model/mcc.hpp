@@ -1,0 +1,132 @@
+#pragma once
+// Multi-Change Controller (§II-A): "takes full control over the system and
+// platform configuration ... performs the integration process and ensures
+// that a new configuration passes all necessary acceptance and conformance
+// tests". The MCC gradually refines the model of a requested change:
+//
+//   1. merge the change into a candidate function model
+//   2. map the candidate onto the platform (technical architecture)
+//   3. run every viewpoint analysis as acceptance tests
+//   4. on success: commit the candidate, derive the executable RteConfig and
+//      the monitor configuration; on failure: reject, keep the old model
+//
+// At run time the MCC ingests monitoring metrics (Fig. 1 "metrics" arrow),
+// refines WCET assumptions, and re-validates the configuration under
+// changed platform conditions (DVFS levels in the thermal scenario).
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/dependency_graph.hpp"
+#include "model/fmea.hpp"
+#include "model/latency_viewpoint.hpp"
+#include "model/safety_viewpoint.hpp"
+#include "model/security_viewpoint.hpp"
+#include "model/timing_viewpoint.hpp"
+#include "model/viewpoint.hpp"
+#include "rte/rte.hpp"
+
+namespace sa::model {
+
+struct ChangeRequest {
+    enum class Kind { Add, Update, Remove };
+    Kind kind = Kind::Add;
+    std::vector<Contract> contracts; ///< for Add/Update
+    std::string component;           ///< for Remove
+    std::string description;
+};
+
+struct IntegrationStep {
+    std::string name;
+    bool passed = true;
+    std::string detail;
+};
+
+struct IntegrationReport {
+    bool accepted = false;
+    std::string rejection_reason;
+    std::vector<IntegrationStep> steps;
+    std::vector<ViewpointReport> viewpoints;
+    Mapping mapping; ///< candidate mapping (committed only if accepted)
+
+    [[nodiscard]] const ViewpointReport* viewpoint(const std::string& name) const;
+};
+
+struct MccOptions {
+    bool run_fmea = true; ///< include the automated FMEA sweep as evidence
+};
+
+class Mcc {
+public:
+    explicit Mcc(PlatformModel platform, MccOptions options = {});
+
+    /// Register an additional viewpoint (owned). Timing/safety/security are
+    /// built in.
+    void add_viewpoint(std::unique_ptr<Viewpoint> viewpoint);
+
+    /// Run the integration process for a change request.
+    IntegrationReport integrate(const ChangeRequest& change);
+
+    // --- committed state ----------------------------------------------------
+    [[nodiscard]] const FunctionModel& functions() const noexcept { return functions_; }
+    [[nodiscard]] const PlatformModel& platform() const noexcept { return platform_; }
+    [[nodiscard]] const Mapping& mapping() const noexcept { return mapping_; }
+    [[nodiscard]] const DependencyGraph& dependency_graph() const noexcept {
+        return dependency_graph_;
+    }
+    [[nodiscard]] const FmeaReport& fmea() const noexcept { return fmea_; }
+    [[nodiscard]] const DerivedPolicy& security_policy() const noexcept {
+        return security_policy_;
+    }
+
+    /// Executable configuration for the committed model. `bodies` lets the
+    /// caller attach application logic to tasks ("component.task" -> body).
+    using TaskBody = std::function<void(sim::Time)>;
+    [[nodiscard]] rte::RteConfig
+    make_rte_config(const std::map<std::string, TaskBody>& bodies = {}) const;
+
+    // --- run-time self-awareness hooks --------------------------------------
+    /// Feed an observed execution time for "component.task"; the MCC tracks
+    /// the max and can tighten/flag the contract (model refinement).
+    void ingest_observed_wcet(const std::string& qualified_task, sim::Duration observed);
+
+    /// Observed maxima (fed back from BudgetMonitor).
+    [[nodiscard]] sim::Duration observed_wcet(const std::string& qualified_task) const;
+
+    /// Tasks whose observed execution exceeded the contracted WCET.
+    [[nodiscard]] std::vector<std::string> wcet_violations() const;
+
+    /// Re-run the timing acceptance test assuming `ecu` runs at
+    /// `speed_factor` (thermal scenario: is the configuration still safe
+    /// after throttling?). Does not change committed state.
+    [[nodiscard]] bool revalidate_with_speed(const std::string& ecu,
+                                             double speed_factor) const;
+
+    [[nodiscard]] std::uint64_t integrations_attempted() const noexcept {
+        return attempts_;
+    }
+    [[nodiscard]] std::uint64_t integrations_accepted() const noexcept {
+        return accepted_;
+    }
+
+private:
+    void rebuild_committed_artifacts();
+
+    PlatformModel platform_;
+    MccOptions options_;
+    FunctionModel functions_;
+    Mapping mapping_;
+    DependencyGraph dependency_graph_;
+    FmeaReport fmea_;
+    DerivedPolicy security_policy_;
+    Mapper mapper_;
+    std::vector<std::unique_ptr<Viewpoint>> viewpoints_;
+    SecurityViewpoint* security_viewpoint_ = nullptr; ///< owned by viewpoints_
+    std::map<std::string, sim::Duration> observed_wcet_;
+    std::uint64_t attempts_ = 0;
+    std::uint64_t accepted_ = 0;
+};
+
+} // namespace sa::model

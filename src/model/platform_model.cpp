@@ -1,0 +1,23 @@
+#include "model/platform_model.hpp"
+
+namespace sa::model {
+
+const EcuDescriptor* PlatformModel::find_ecu(const std::string& name) const {
+    for (const auto& e : ecus) {
+        if (e.name == name) {
+            return &e;
+        }
+    }
+    return nullptr;
+}
+
+const BusDescriptor* PlatformModel::find_bus(const std::string& name) const {
+    for (const auto& b : buses) {
+        if (b.name == name) {
+            return &b;
+        }
+    }
+    return nullptr;
+}
+
+} // namespace sa::model

@@ -1,0 +1,72 @@
+#include "model/safety_viewpoint.hpp"
+
+#include "util/string_util.hpp"
+
+namespace sa::model {
+
+ViewpointReport SafetyViewpoint::check(const SystemModel& model) {
+    ViewpointReport report;
+    report.viewpoint = name();
+
+    for (const auto& c : model.functions.contracts()) {
+        const std::string ecu_name = model.mapping.ecu_of(c.component);
+        if (ecu_name.empty()) {
+            report.issues.push_back(ViewpointIssue{IssueSeverity::Error, "safety.unplaced",
+                                                   c.component, "component not mapped"});
+            continue;
+        }
+        const EcuDescriptor* ecu = model.platform.find_ecu(ecu_name);
+        if (ecu == nullptr) {
+            report.issues.push_back(ViewpointIssue{IssueSeverity::Error, "safety.bad_ecu",
+                                                   c.component,
+                                                   "mapped to unknown ECU " + ecu_name});
+            continue;
+        }
+        if (c.asil > ecu->max_asil) {
+            report.issues.push_back(ViewpointIssue{
+                IssueSeverity::Error, "safety.asil_cap", c.component,
+                format("ASIL %s exceeds ECU %s cap %s", to_string(c.asil),
+                       ecu->name.c_str(), to_string(ecu->max_asil))});
+        }
+        if (c.redundant_with.has_value()) {
+            const Contract* partner = model.functions.find(*c.redundant_with);
+            if (partner == nullptr) {
+                report.issues.push_back(ViewpointIssue{
+                    IssueSeverity::Warning, "safety.redundancy_missing", c.component,
+                    "redundancy partner " + *c.redundant_with + " not in the model"});
+            } else if (model.mapping.ecu_of(partner->component) == ecu_name) {
+                report.issues.push_back(ViewpointIssue{
+                    IssueSeverity::Error, "safety.common_cause", c.component,
+                    "redundancy partner " + partner->component +
+                        " shares ECU " + ecu_name});
+            }
+        }
+    }
+
+    // Dependency integrity rules.
+    for (const auto& ch : model.functions.channels()) {
+        const Contract* client = model.functions.find(ch.client);
+        if (client == nullptr) {
+            continue;
+        }
+        if (ch.provider.empty()) {
+            report.issues.push_back(ViewpointIssue{
+                IssueSeverity::Error, "safety.unresolved_service", ch.client,
+                "required service " + ch.service + " has no provider"});
+            continue;
+        }
+        const Contract* provider = model.functions.find(ch.provider);
+        if (provider != nullptr && client->asil >= Asil::C &&
+            provider->asil < client->asil) {
+            report.issues.push_back(ViewpointIssue{
+                IssueSeverity::Error, "safety.integrity_inversion", ch.client,
+                format("ASIL %s client depends on ASIL %s provider %s for %s",
+                       to_string(client->asil), to_string(provider->asil),
+                       ch.provider.c_str(), ch.service.c_str())});
+        }
+    }
+
+    return report;
+}
+
+} // namespace sa::model

@@ -1,0 +1,23 @@
+#pragma once
+// Safety viewpoint: ISO 26262-flavoured placement and redundancy rules.
+//  - a component's ASIL must not exceed the ECU's certifiable cap
+//  - declared redundancy partners must be placed on distinct ECUs
+//    (freedom from common-cause platform failure)
+//  - services required by ASIL >= C components must be provided by a
+//    component of at least the same ASIL (no dependence on lower-integrity
+//    providers), unless a redundant provider exists
+//  - unresolved required services are errors (fail-operational argument
+//    needs the dependency to exist)
+
+#include "model/viewpoint.hpp"
+
+namespace sa::model {
+
+class SafetyViewpoint : public Viewpoint {
+public:
+    SafetyViewpoint() : Viewpoint("safety") {}
+
+    ViewpointReport check(const SystemModel& model) override;
+};
+
+} // namespace sa::model

@@ -1,0 +1,127 @@
+#include "model/security_viewpoint.hpp"
+
+#include <map>
+#include <queue>
+#include <set>
+
+#include "util/string_util.hpp"
+
+namespace sa::model {
+
+namespace {
+
+/// Breadth-first reach over the service-dependency graph, recording whether
+/// any path avoids gateways.
+struct Reach {
+    int hops = 0;
+    bool through_gateway = false;
+};
+
+std::map<std::string, Reach> reachable_from(const FunctionModel& functions,
+                                            const std::string& start) {
+    // Edge: client -> provider (the client can inject data into the provider).
+    std::multimap<std::string, std::string> edges;
+    for (const auto& ch : functions.channels()) {
+        if (!ch.provider.empty()) {
+            edges.insert({ch.client, ch.provider});
+        }
+    }
+    std::map<std::string, Reach> seen;
+    std::queue<std::pair<std::string, Reach>> frontier;
+    frontier.push({start, Reach{0, false}});
+    while (!frontier.empty()) {
+        auto [node, reach] = frontier.front();
+        frontier.pop();
+        auto [it, inserted] = seen.insert({node, reach});
+        if (!inserted) {
+            // Keep the most pessimistic path: fewer hops / no gateway.
+            if (it->second.through_gateway && !reach.through_gateway) {
+                it->second = reach;
+            } else {
+                continue;
+            }
+        }
+        const Contract* c = functions.find(node);
+        const bool node_is_gateway = c != nullptr && c->gateway;
+        auto range = edges.equal_range(node);
+        for (auto e = range.first; e != range.second; ++e) {
+            Reach next = reach;
+            ++next.hops;
+            next.through_gateway = next.through_gateway || node_is_gateway;
+            frontier.push({e->second, next});
+        }
+    }
+    seen.erase(start);
+    return seen;
+}
+
+} // namespace
+
+ViewpointReport SecurityViewpoint::check(const SystemModel& model) {
+    ViewpointReport report;
+    report.viewpoint = name();
+    policy_ = DerivedPolicy{};
+
+    // Zone rules + policy derivation.
+    for (const auto& ch : model.functions.channels()) {
+        if (ch.provider.empty()) {
+            continue; // safety viewpoint reports unresolved services
+        }
+        const Contract* client = model.functions.find(ch.client);
+        const Contract* provider = model.functions.find(ch.provider);
+        if (client == nullptr || provider == nullptr) {
+            continue;
+        }
+        const ProvidedService* svc = nullptr;
+        for (const auto& p : provider->provides) {
+            if (p.name == ch.service) {
+                svc = &p;
+            }
+        }
+        if (svc == nullptr) {
+            continue;
+        }
+        if (client->security_level < svc->min_client_level) {
+            report.issues.push_back(ViewpointIssue{
+                IssueSeverity::Error, "security.zone_violation", ch.client,
+                format("level %d client may not open %s (requires level %d)",
+                       client->security_level, ch.service.c_str(),
+                       svc->min_client_level)});
+            continue; // no grant derived
+        }
+        policy_.grants.push_back({ch.client, ch.service});
+        if (svc->max_client_rate_hz > 0.0) {
+            policy_.rate_bounds.push_back(
+                DerivedPolicy::RateBound{ch.client, ch.service, svc->max_client_rate_hz});
+        }
+    }
+
+    // Attack-surface analysis.
+    for (const auto& c : model.functions.contracts()) {
+        if (!c.external_interface) {
+            continue;
+        }
+        const auto reach = reachable_from(model.functions, c.component);
+        for (const auto& [target, r] : reach) {
+            const Contract* t = model.functions.find(target);
+            if (t == nullptr || t->asil < Asil::C) {
+                continue;
+            }
+            if (!r.through_gateway) {
+                report.issues.push_back(ViewpointIssue{
+                    IssueSeverity::Error, "security.exposed_critical", target,
+                    format("reachable from external %s in %d hop(s) without a gateway",
+                           c.component.c_str(), r.hops)});
+            } else {
+                report.issues.push_back(ViewpointIssue{
+                    IssueSeverity::Warning, "security.gateway_mediated", target,
+                    format("reachable from external %s via gateway (%d hops)",
+                           c.component.c_str(), r.hops)});
+            }
+        }
+    }
+
+    return report;
+}
+
+} // namespace sa::model

@@ -1,0 +1,44 @@
+#pragma once
+// Security viewpoint, following the threat-modelling direction of Hamad et
+// al. [4] and the distributed access-control enforcement of [5]:
+//  - derives the least-privilege access policy (grants) from the contracts
+//  - checks security-zone rules: a client may only open a service whose
+//    min_client_level it satisfies
+//  - attack-surface analysis: a path from an external-interface component to
+//    an ASIL >= C component that does not pass a gateway is an error; with a
+//    gateway it is a warning (documented residual risk)
+//  - derives rate bounds for the communication IDS (RateMonitor)
+
+#include <utility>
+#include <vector>
+
+#include "model/viewpoint.hpp"
+
+namespace sa::model {
+
+struct DerivedPolicy {
+    /// (client, service) grants for the RTE access control.
+    std::vector<std::pair<std::string, std::string>> grants;
+    /// (client, service, max_rate_hz) for the IDS.
+    struct RateBound {
+        std::string client;
+        std::string service;
+        double max_rate_hz;
+    };
+    std::vector<RateBound> rate_bounds;
+};
+
+class SecurityViewpoint : public Viewpoint {
+public:
+    SecurityViewpoint() : Viewpoint("security") {}
+
+    ViewpointReport check(const SystemModel& model) override;
+
+    /// Policy derived during the last check().
+    [[nodiscard]] const DerivedPolicy& policy() const noexcept { return policy_; }
+
+private:
+    DerivedPolicy policy_;
+};
+
+} // namespace sa::model

@@ -1,0 +1,14 @@
+#include "model/viewpoint.hpp"
+
+namespace sa::model {
+
+const char* to_string(IssueSeverity severity) noexcept {
+    switch (severity) {
+    case IssueSeverity::Info: return "info";
+    case IssueSeverity::Warning: return "warning";
+    case IssueSeverity::Error: return "error";
+    }
+    return "?";
+}
+
+} // namespace sa::model

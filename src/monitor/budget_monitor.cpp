@@ -1,0 +1,63 @@
+#include "monitor/budget_monitor.hpp"
+
+#include <algorithm>
+
+#include "util/string_util.hpp"
+
+namespace sa::monitor {
+
+const char* to_string(BudgetMode mode) noexcept {
+    switch (mode) {
+    case BudgetMode::Observe: return "observe";
+    case BudgetMode::Warn: return "warn";
+    case BudgetMode::Enforce: return "enforce";
+    }
+    return "?";
+}
+
+BudgetMonitor::BudgetMonitor(sim::Simulator& simulator,
+                             rte::FixedPriorityScheduler& scheduler)
+    : Monitor(simulator, "budget:" + scheduler.ecu_name(), Domain::Platform),
+      scheduler_(scheduler) {
+    subscription_ = scheduler_.job_completed().subscribe(
+        [this](const rte::JobRecord& job) { on_job(job); });
+}
+
+BudgetMonitor::~BudgetMonitor() {
+    scheduler_.job_completed().unsubscribe(subscription_);
+}
+
+void BudgetMonitor::set_budget(rte::TaskId task, sim::Duration budget) {
+    budgets_[task] = budget;
+}
+
+sim::Duration BudgetMonitor::observed_max(rte::TaskId task) const {
+    auto it = observed_max_.find(task);
+    return it == observed_max_.end() ? sim::Duration::zero() : it->second;
+}
+
+void BudgetMonitor::on_job(const rte::JobRecord& job) {
+    note_check();
+    auto& seen = observed_max_[job.task];
+    seen = std::max(seen, job.executed);
+
+    auto it = budgets_.find(job.task);
+    if (it == budgets_.end() || job.executed <= it->second) {
+        return;
+    }
+    ++violations_;
+    const double magnitude = static_cast<double>(job.executed.count_ns()) /
+                             static_cast<double>(it->second.count_ns());
+    if (mode_ == BudgetMode::Warn || mode_ == BudgetMode::Enforce) {
+        raise(Severity::Warning, job.task_name, "budget_violation",
+              sa::format("executed %s > budget %s", job.executed.str().c_str(),
+                         it->second.str().c_str()),
+              magnitude);
+    }
+    if (mode_ == BudgetMode::Enforce && action_) {
+        ++enforcements_;
+        action_(job.task, job);
+    }
+}
+
+} // namespace sa::monitor

@@ -1,0 +1,57 @@
+#include "monitor/deadline_monitor.hpp"
+
+#include "util/string_util.hpp"
+
+namespace sa::monitor {
+
+DeadlineMonitor::DeadlineMonitor(sim::Simulator& simulator,
+                                 rte::FixedPriorityScheduler& scheduler, std::size_t window)
+    : Monitor(simulator, "deadline:" + scheduler.ecu_name(), Domain::Platform),
+      scheduler_(scheduler),
+      window_(window) {
+    subscription_ = scheduler_.job_completed().subscribe(
+        [this](const rte::JobRecord& job) { on_job(job); });
+}
+
+DeadlineMonitor::~DeadlineMonitor() {
+    scheduler_.job_completed().unsubscribe(subscription_);
+}
+
+double DeadlineMonitor::miss_ratio() const noexcept {
+    if (recent_.empty()) {
+        return 0.0;
+    }
+    std::size_t missed = 0;
+    for (bool m : recent_) {
+        missed += m ? 1 : 0;
+    }
+    return static_cast<double>(missed) / static_cast<double>(recent_.size());
+}
+
+void DeadlineMonitor::on_job(const rte::JobRecord& job) {
+    note_check();
+    recent_.push_back(job.deadline_missed);
+    if (recent_.size() > window_) {
+        recent_.pop_front();
+    }
+    if (job.deadline_missed) {
+        ++misses_;
+        raise(Severity::Warning, job.task_name, "deadline_miss",
+              sa::format("response %s", job.response.str().c_str()),
+              1.0);
+    }
+    const double ratio = miss_ratio();
+    if (!ratio_alarmed_ && recent_.size() >= window_ / 2 && ratio > ratio_threshold_) {
+        ratio_alarmed_ = true;
+        raise(Severity::Critical, scheduler_.ecu_name(), "miss_ratio_high",
+              sa::format("miss ratio %.2f over last %zu jobs", ratio, recent_.size()),
+              ratio / ratio_threshold_);
+    }
+    if (ratio_alarmed_ && ratio <= ratio_threshold_ / 2) {
+        ratio_alarmed_ = false;
+        raise(Severity::Info, scheduler_.ecu_name(), "miss_ratio_recovered",
+              sa::format("miss ratio %.2f", ratio), 0.0);
+    }
+}
+
+} // namespace sa::monitor

@@ -1,0 +1,38 @@
+#pragma once
+// Deadline monitor: observes a scheduler and raises an anomaly for every
+// missed deadline; additionally tracks the miss ratio over a sliding count
+// window so sustained overload is distinguishable from a one-off miss.
+
+#include <deque>
+
+#include "monitor/monitor.hpp"
+#include "rte/scheduler.hpp"
+
+namespace sa::monitor {
+
+class DeadlineMonitor : public Monitor {
+public:
+    DeadlineMonitor(sim::Simulator& simulator, rte::FixedPriorityScheduler& scheduler,
+                    std::size_t window = 100);
+    ~DeadlineMonitor() override;
+
+    /// Fraction of the last `window` jobs that missed their deadline.
+    [[nodiscard]] double miss_ratio() const noexcept;
+    [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+    /// Raise a Critical "miss_ratio_high" anomaly when the ratio exceeds this.
+    void set_ratio_threshold(double ratio) noexcept { ratio_threshold_ = ratio; }
+
+private:
+    void on_job(const rte::JobRecord& job);
+
+    rte::FixedPriorityScheduler& scheduler_;
+    std::size_t window_;
+    std::deque<bool> recent_;
+    std::uint64_t misses_ = 0;
+    double ratio_threshold_ = 0.1;
+    bool ratio_alarmed_ = false;
+    std::uint64_t subscription_ = 0;
+};
+
+} // namespace sa::monitor

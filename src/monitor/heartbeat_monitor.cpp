@@ -1,0 +1,73 @@
+#include "monitor/heartbeat_monitor.hpp"
+
+#include <algorithm>
+
+#include "util/string_util.hpp"
+
+namespace sa::monitor {
+
+HeartbeatMonitor::HeartbeatMonitor(sim::Simulator& simulator, std::string watched,
+                                   sim::Duration timeout, sim::Duration check_period)
+    : Monitor(simulator, "heartbeat:" + watched, Domain::Function),
+      watched_(std::move(watched)),
+      timeout_(timeout),
+      check_period_(check_period) {}
+
+HeartbeatMonitor::~HeartbeatMonitor() {
+    stop();
+    if (attached_sched_ != nullptr) {
+        attached_sched_->job_completed().unsubscribe(subscription_);
+    }
+}
+
+void HeartbeatMonitor::beat() {
+    last_beat_ = simulator_.now();
+    if (!alive_) {
+        alive_ = true;
+        raise(Severity::Info, watched_, "heartbeat_recovered", "liveness restored", 0.0);
+    }
+}
+
+void HeartbeatMonitor::attach(rte::Component& component) {
+    watched_tasks_ = component.task_ids();
+    attached_sched_ = &component.ecu().scheduler();
+    subscription_ =
+        attached_sched_->job_completed().subscribe([this](const rte::JobRecord& job) {
+            if (std::find(watched_tasks_.begin(), watched_tasks_.end(), job.task) !=
+                watched_tasks_.end()) {
+                beat();
+            }
+        });
+}
+
+void HeartbeatMonitor::start() {
+    if (started_) {
+        return;
+    }
+    started_ = true;
+    last_beat_ = simulator_.now();
+    periodic_id_ = simulator_.schedule_periodic(check_period_, [this] { check(); });
+}
+
+void HeartbeatMonitor::stop() {
+    if (!started_) {
+        return;
+    }
+    started_ = false;
+    simulator_.cancel_periodic(periodic_id_);
+    periodic_id_ = 0;
+}
+
+void HeartbeatMonitor::check() {
+    note_check();
+    const sim::Duration silence = simulator_.now() - last_beat_;
+    if (alive_ && silence > timeout_) {
+        alive_ = false;
+        raise(Severity::Critical, watched_, "heartbeat_loss",
+              sa::format("no heartbeat for %s", silence.str().c_str()),
+              static_cast<double>(silence.count_ns()) /
+                  static_cast<double>(timeout_.count_ns()));
+    }
+}
+
+} // namespace sa::monitor

@@ -1,0 +1,61 @@
+#include "monitor/manager.hpp"
+
+namespace sa::monitor {
+
+void MonitorManager::hook(Monitor& monitor) {
+    monitor.anomaly().subscribe([this](const Anomaly& a) {
+        ++total_;
+        if (history_.size() == kHistoryCapacity) {
+            history_.pop_front();
+        }
+        history_.push_back(a);
+        anomalies_.emit(a);
+    });
+}
+
+void MonitorManager::ingest(const Metric& metric) {
+    metric_stats_[metric.name].add(metric.value);
+    metric_last_[metric.name] = metric.value;
+}
+
+double MonitorManager::last_value(const std::string& name) const {
+    auto it = metric_last_.find(name);
+    return it == metric_last_.end() ? 0.0 : it->second;
+}
+
+const RunningStats* MonitorManager::stats(const std::string& name) const {
+    auto it = metric_stats_.find(name);
+    return it == metric_stats_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> MonitorManager::metric_names() const {
+    std::vector<std::string> names;
+    names.reserve(metric_stats_.size());
+    for (const auto& [name, _] : metric_stats_) {
+        names.push_back(name);
+    }
+    return names;
+}
+
+std::size_t MonitorManager::count_kind(const std::string& kind) const {
+    std::size_t n = 0;
+    for (const auto& a : history_) {
+        if (a.kind == kind) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+rte::TaskId MonitorManager::attach_overhead_task(rte::Ecu& ecu, sim::Duration period,
+                                                 sim::Duration wcet, int priority) {
+    rte::RtTaskConfig task;
+    task.name = "monitor.overhead." + ecu.name();
+    task.priority = priority;
+    task.period = period;
+    task.wcet = wcet;
+    task.randomize_exec = false;
+    return ecu.scheduler().add_task(task);
+}
+
+} // namespace sa::monitor

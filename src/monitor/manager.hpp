@@ -1,0 +1,74 @@
+#pragma once
+// MonitorManager: the application/platform monitor block of Fig. 1. It owns
+// monitors, funnels their anomalies into one stream (consumed by the
+// cross-layer coordinator), keeps a metric store that the model domain reads
+// for optimization ("extract run-time metrics that can be fed back into the
+// model domain"), and accounts for the monitoring overhead itself by running
+// its checks as real RTE tasks when asked to (MON-OVH experiment).
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "monitor/monitor.hpp"
+#include "rte/ecu.hpp"
+#include "util/stats.hpp"
+
+namespace sa::monitor {
+
+class MonitorManager {
+public:
+    explicit MonitorManager(sim::Simulator& simulator) : simulator_(simulator) {}
+
+    MonitorManager(const MonitorManager&) = delete;
+    MonitorManager& operator=(const MonitorManager&) = delete;
+
+    /// Construct and register a monitor; the manager owns it and re-emits
+    /// its anomalies.
+    template <typename T, typename... Args>
+    T& add(Args&&... args) {
+        auto mon = std::make_unique<T>(simulator_, std::forward<Args>(args)...);
+        T& ref = *mon;
+        hook(ref);
+        monitors_.push_back(std::move(mon));
+        return ref;
+    }
+
+    /// All anomalies from all registered monitors.
+    sim::Signal<const Anomaly&>& anomalies() noexcept { return anomalies_; }
+
+    /// Metric ingestion (monitors and substrates push; the MCC reads).
+    void ingest(const Metric& metric);
+    [[nodiscard]] double last_value(const std::string& name) const;
+    [[nodiscard]] const RunningStats* stats(const std::string& name) const;
+    [[nodiscard]] std::vector<std::string> metric_names() const;
+
+    /// Retained anomaly history (bounded).
+    [[nodiscard]] const std::deque<Anomaly>& history() const noexcept { return history_; }
+    [[nodiscard]] std::uint64_t total_anomalies() const noexcept { return total_; }
+    [[nodiscard]] std::size_t count_kind(const std::string& kind) const;
+
+    /// Model the monitoring cost: run a periodic no-op task with the given
+    /// WCET on the ECU, so monitors interfere measurably (but little) with
+    /// application tasks. Returns the created task id.
+    rte::TaskId attach_overhead_task(rte::Ecu& ecu, sim::Duration period,
+                                     sim::Duration wcet, int priority);
+
+    [[nodiscard]] std::size_t monitor_count() const noexcept { return monitors_.size(); }
+
+private:
+    void hook(Monitor& monitor);
+
+    sim::Simulator& simulator_;
+    std::vector<std::unique_ptr<Monitor>> monitors_;
+    sim::Signal<const Anomaly&> anomalies_;
+    std::map<std::string, RunningStats> metric_stats_;
+    std::map<std::string, double> metric_last_;
+    std::deque<Anomaly> history_;
+    std::uint64_t total_ = 0;
+    static constexpr std::size_t kHistoryCapacity = 4096;
+};
+
+} // namespace sa::monitor

@@ -1,0 +1,25 @@
+#include "monitor/metric.hpp"
+
+namespace sa::monitor {
+
+const char* to_string(Domain domain) noexcept {
+    switch (domain) {
+    case Domain::Platform: return "platform";
+    case Domain::Network: return "network";
+    case Domain::Function: return "function";
+    case Domain::Sensor: return "sensor";
+    case Domain::Security: return "security";
+    }
+    return "?";
+}
+
+const char* to_string(Severity severity) noexcept {
+    switch (severity) {
+    case Severity::Info: return "info";
+    case Severity::Warning: return "warning";
+    case Severity::Critical: return "critical";
+    }
+    return "?";
+}
+
+} // namespace sa::monitor

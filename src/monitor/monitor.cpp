@@ -1,0 +1,5 @@
+#include "monitor/monitor.hpp"
+
+// Base class is header-only; translation unit anchors the module.
+
+namespace sa::monitor {} // namespace sa::monitor

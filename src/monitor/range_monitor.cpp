@@ -1,0 +1,48 @@
+#include "monitor/range_monitor.hpp"
+
+#include "util/assert.hpp"
+#include "util/string_util.hpp"
+
+namespace sa::monitor {
+
+RangeMonitor::RangeMonitor(sim::Simulator& simulator, std::string name, Domain domain)
+    : Monitor(simulator, "range:" + name, domain) {}
+
+void RangeMonitor::set_bounds(const std::string& signal, double lo, double hi,
+                              Severity severity) {
+    SA_REQUIRE(lo <= hi, "bounds must satisfy lo <= hi for " + signal);
+    bounds_[signal] = Bounds{lo, hi, severity, false};
+}
+
+bool RangeMonitor::sample(const std::string& signal, double value) {
+    note_check();
+    last_[signal] = value;
+    auto it = bounds_.find(signal);
+    if (it == bounds_.end()) {
+        return true;
+    }
+    Bounds& b = it->second;
+    const bool ok = value >= b.lo && value <= b.hi;
+    if (!ok && !b.in_violation) {
+        b.in_violation = true;
+        ++violations_;
+        const double span = b.hi - b.lo;
+        const double excess =
+            value < b.lo ? (b.lo - value) : (value - b.hi);
+        raise(b.severity, signal, "range_violation",
+              sa::format("%.3f outside [%.3f, %.3f]", value, b.lo, b.hi),
+              span > 0 ? 1.0 + excess / span : 1.0);
+    } else if (ok && b.in_violation) {
+        b.in_violation = false;
+        raise(Severity::Info, signal, "range_recovered",
+              sa::format("%.3f back within [%.3f, %.3f]", value, b.lo, b.hi), 0.0);
+    }
+    return ok;
+}
+
+double RangeMonitor::last(const std::string& signal) const {
+    auto it = last_.find(signal);
+    return it == last_.end() ? 0.0 : it->second;
+}
+
+} // namespace sa::monitor

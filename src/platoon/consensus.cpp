@@ -1,0 +1,82 @@
+#include "platoon/consensus.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace sa::platoon {
+
+double ApproximateAgreement::trimmed_mean(std::vector<double> values, int f) {
+    SA_REQUIRE(f >= 0, "f must be non-negative");
+    SA_REQUIRE(values.size() > static_cast<std::size_t>(2 * f),
+               "trimmed mean needs more than 2f values");
+    std::sort(values.begin(), values.end());
+    double sum = 0.0;
+    const std::size_t lo = static_cast<std::size_t>(f);
+    const std::size_t hi = values.size() - static_cast<std::size_t>(f);
+    for (std::size_t i = lo; i < hi; ++i) {
+        sum += values[i];
+    }
+    return sum / static_cast<double>(hi - lo);
+}
+
+double ApproximateAgreement::plain_mean(const std::vector<double>& values) {
+    SA_REQUIRE(!values.empty(), "mean of empty set");
+    double sum = 0.0;
+    for (double v : values) {
+        sum += v;
+    }
+    return sum / static_cast<double>(values.size());
+}
+
+ConsensusResult ApproximateAgreement::run(
+    std::vector<double> honest_initial,
+    const std::vector<ByzantineBehavior>& byzantine) const {
+    SA_REQUIRE(!honest_initial.empty(), "need at least one honest node");
+    const int f = config_.assumed_faults;
+    const std::size_t n_honest = honest_initial.size();
+    SA_REQUIRE(n_honest + byzantine.size() > static_cast<std::size_t>(2 * f),
+               "not enough nodes for the assumed fault count");
+
+    const double initial_min =
+        *std::min_element(honest_initial.begin(), honest_initial.end());
+    const double initial_max =
+        *std::max_element(honest_initial.begin(), honest_initial.end());
+
+    ConsensusResult result;
+    std::vector<double> values = std::move(honest_initial);
+
+    for (int round = 1; round <= config_.max_rounds; ++round) {
+        result.rounds = round;
+        std::vector<double> next(n_honest);
+        for (std::size_t receiver = 0; receiver < n_honest; ++receiver) {
+            // Receive all honest broadcasts plus byzantine (possibly
+            // equivocating) values.
+            std::vector<double> received = values;
+            for (const auto& byz : byzantine) {
+                received.push_back(byz(round, receiver));
+            }
+            next[receiver] = trimmed_mean(std::move(received), f);
+        }
+        values = std::move(next);
+
+        const double lo = *std::min_element(values.begin(), values.end());
+        const double hi = *std::max_element(values.begin(), values.end());
+        if (lo < initial_min - 1e-9 || hi > initial_max + 1e-9) {
+            result.validity_held = false;
+        }
+        if (hi - lo < config_.epsilon) {
+            result.converged = true;
+            break;
+        }
+    }
+
+    result.final_values = values;
+    const double lo = *std::min_element(values.begin(), values.end());
+    const double hi = *std::max_element(values.begin(), values.end());
+    result.spread = hi - lo;
+    result.agreed_value = plain_mean(values);
+    return result;
+}
+
+} // namespace sa::platoon

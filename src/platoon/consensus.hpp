@@ -1,0 +1,62 @@
+#pragma once
+// Approximate agreement on a scalar (common platoon velocity / minimum
+// distance; §V: "agreeing on a common velocity or a minimum distance between
+// vehicles in a platoon is an essential but non-trivial problem as ... the
+// platform of another vehicle might not be fully trustworthy or even
+// compromised. ... this can be addressed by agreement or consensus
+// protocols").
+//
+// Synchronous trimmed-mean approximate agreement (Dolev et al. style): each
+// round, every honest node broadcasts its value, collects all n values,
+// discards the f lowest and f highest, and adopts the mean of the rest.
+// Byzantine nodes may equivocate (send different values to different
+// receivers). With n >= 3f + 1 the honest values contract towards the honest
+// range and converge; validity (staying within the initial honest range)
+// holds throughout.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace sa::platoon {
+
+struct ConsensusConfig {
+    int max_rounds = 30;
+    double epsilon = 0.05; ///< stop when honest spread < epsilon
+    int assumed_faults = 0; ///< f used for trimming
+};
+
+/// A byzantine node's behaviour: value sent in `round` to honest `receiver`.
+using ByzantineBehavior = std::function<double(int round, std::size_t receiver)>;
+
+struct ConsensusResult {
+    bool converged = false;
+    int rounds = 0;
+    std::vector<double> final_values; ///< one per honest node
+    double spread = 0.0;              ///< max - min of final honest values
+    double agreed_value = 0.0;        ///< mean of final honest values
+    bool validity_held = true; ///< honest values stayed within initial honest range
+};
+
+class ApproximateAgreement {
+public:
+    explicit ApproximateAgreement(ConsensusConfig config = {}) : config_(config) {}
+
+    /// Run with the given honest initial values and byzantine behaviours.
+    [[nodiscard]] ConsensusResult run(std::vector<double> honest_initial,
+                                      const std::vector<ByzantineBehavior>& byzantine) const;
+
+    /// Trimmed mean: drop the f smallest and f largest, average the rest.
+    /// Requires values.size() > 2 * f.
+    [[nodiscard]] static double trimmed_mean(std::vector<double> values, int f);
+
+    /// Plain mean — the non-robust ablation baseline.
+    [[nodiscard]] static double plain_mean(const std::vector<double>& values);
+
+private:
+    ConsensusConfig config_;
+};
+
+} // namespace sa::platoon

@@ -1,0 +1,103 @@
+#include "platoon/platoon.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace sa::platoon {
+
+double safe_speed_for_quality(double quality, double nominal_mps) {
+    quality = std::clamp(quality, 0.0, 1.0);
+    return std::max(2.0, nominal_mps * (0.25 + 0.75 * quality));
+}
+
+PlatoonAgreement PlatoonCoordinator::form(const std::vector<MemberCapability>& candidates,
+                                          RandomEngine& rng) const {
+    PlatoonAgreement agreement;
+
+    // Trust gating: only admit members we trust.
+    std::vector<const MemberCapability*> admitted;
+    for (const auto& c : candidates) {
+        if (trust_.trusted(c.id, config_.trust_threshold)) {
+            admitted.push_back(&c);
+            agreement.members.push_back(c.id);
+        }
+    }
+    if (admitted.size() < 2) {
+        agreement.rejected_reason = "fewer than two trusted members";
+        return agreement;
+    }
+
+    // Partition into honest proposals and byzantine behaviours. Trust gating
+    // is imperfect: byzantine members with good reputations still get in —
+    // that is exactly what the consensus must tolerate.
+    std::vector<double> honest_speeds;
+    std::vector<double> honest_gaps;
+    std::size_t byz_count = 0;
+    for (const auto* m : admitted) {
+        if (m->byzantine) {
+            ++byz_count;
+        } else {
+            honest_speeds.push_back(m->safe_speed_mps);
+            honest_gaps.push_back(m->min_gap_m);
+        }
+    }
+    if (honest_speeds.empty()) {
+        agreement.rejected_reason = "no honest members";
+        return agreement;
+    }
+
+    const double lo_speed =
+        *std::min_element(honest_speeds.begin(), honest_speeds.end());
+    const double hi_speed =
+        *std::max_element(honest_speeds.begin(), honest_speeds.end());
+
+    // Byzantine strategy: equivocate wildly around the honest range to pull
+    // receivers apart (worst case for convergence).
+    std::vector<ByzantineBehavior> byz_speed;
+    std::vector<ByzantineBehavior> byz_gap;
+    for (std::size_t i = 0; i < byz_count; ++i) {
+        const double low = lo_speed - 20.0;
+        const double high = hi_speed + 40.0;
+        byz_speed.push_back([low, high](int round, std::size_t receiver) {
+            return (receiver + static_cast<std::size_t>(round)) % 2 == 0 ? high : low;
+        });
+        byz_gap.push_back([](int round, std::size_t receiver) {
+            return (receiver + static_cast<std::size_t>(round)) % 2 == 0 ? 0.5 : 80.0;
+        });
+    }
+    (void)rng;
+
+    ConsensusConfig cc;
+    // Clamp f to what the admitted population supports: approximate
+    // agreement under equivocation needs n >= 3f + 1. Small platoons cannot
+    // tolerate byzantine members at all — the consensus then fails safe
+    // (no convergence => no platoon) rather than agreeing on a poisoned value.
+    const int max_f = (static_cast<int>(admitted.size()) - 1) / 3;
+    cc.assumed_faults = std::min(config_.assumed_faults, max_f);
+    cc.epsilon = config_.consensus_epsilon;
+    ApproximateAgreement protocol(cc);
+
+    agreement.speed_consensus = protocol.run(honest_speeds, byz_speed);
+    agreement.gap_consensus = protocol.run(honest_gaps, byz_gap);
+    agreement.formed =
+        agreement.speed_consensus.converged && agreement.gap_consensus.converged;
+    if (!agreement.formed) {
+        agreement.rejected_reason = "consensus did not converge";
+        return agreement;
+    }
+
+    // The agreed speed must respect the slowest member: cap at the minimum
+    // honest proposal (validity already bounds it; the cap makes it exact).
+    agreement.common_speed_mps =
+        std::min(agreement.speed_consensus.agreed_value, lo_speed);
+    // The agreed gap must respect the largest requirement among honest
+    // members: take the max of the consensus value and the honest max.
+    const double hi_gap = *std::max_element(honest_gaps.begin(), honest_gaps.end());
+    agreement.min_gap_m = std::max(agreement.gap_consensus.agreed_value, hi_gap);
+    agreement.speed_safe =
+        agreement.common_speed_mps <= lo_speed + config_.safety_tolerance_mps;
+    return agreement;
+}
+
+} // namespace sa::platoon

@@ -1,0 +1,74 @@
+#pragma once
+// Platoon formation and operation (§V: "driving in dense fog with
+// inappropriate or broken sensors will not be possible by a single
+// autonomous vehicle. Nevertheless, building a platoon with better equipped
+// vehicles could still be a viable option, which, however, raises the issue
+// of trustworthiness"). A degraded vehicle may join a platoon whose leader
+// it trusts; the platoon agrees on a common velocity and minimum gap via
+// byzantine-tolerant approximate agreement over per-member safe proposals.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "platoon/consensus.hpp"
+#include "platoon/trust.hpp"
+#include "vehicle/sensor.hpp"
+#include "vehicle/weather.hpp"
+
+namespace sa::platoon {
+
+struct MemberCapability {
+    std::string id;
+    /// Best sensor quality among the member's environment sensors in the
+    /// current weather (drives its safe speed).
+    double sensor_quality = 1.0;
+    /// Maximum speed the member considers safe under current conditions.
+    double safe_speed_mps = 30.0;
+    /// Minimum gap the member needs (degraded braking => larger).
+    double min_gap_m = 10.0;
+    bool byzantine = false; ///< ground truth, for experiments only
+};
+
+/// Safe-speed heuristic: scale a nominal speed by sensor quality, floored so
+/// a blind vehicle proposes walking pace rather than zero.
+[[nodiscard]] double safe_speed_for_quality(double quality, double nominal_mps = 33.0);
+
+struct PlatoonAgreement {
+    bool formed = false;
+    std::string rejected_reason;
+    std::vector<std::string> members; ///< admitted members
+    double common_speed_mps = 0.0;
+    double min_gap_m = 0.0;
+    ConsensusResult speed_consensus;
+    ConsensusResult gap_consensus;
+    /// Safety check: agreed speed must not exceed the slowest honest
+    /// member's safe speed by more than the tolerance.
+    bool speed_safe = true;
+};
+
+struct PlatoonConfig {
+    double trust_threshold = 0.55;
+    int assumed_faults = 1;
+    double consensus_epsilon = 0.1;
+    double safety_tolerance_mps = 0.5;
+};
+
+class PlatoonCoordinator {
+public:
+    PlatoonCoordinator(TrustManager& trust, PlatoonConfig config = {})
+        : trust_(trust), config_(config) {}
+
+    /// Form a platoon from candidates: untrusted members are rejected, then
+    /// the admitted members agree on common speed and gap. Byzantine members
+    /// that slipped through trust gating participate adversarially in the
+    /// consensus (equivocating around the honest range).
+    [[nodiscard]] PlatoonAgreement form(const std::vector<MemberCapability>& candidates,
+                                        RandomEngine& rng) const;
+
+private:
+    TrustManager& trust_;
+    PlatoonConfig config_;
+};
+
+} // namespace sa::platoon

@@ -1,0 +1,39 @@
+#pragma once
+// Trust management for cooperating vehicles (§V: "any reaction it takes
+// might require cooperation with others and even delegation, raising issues
+// of trust and self-protection against other malicious neighbors").
+// Beta-reputation: trust = (positive + 1) / (interactions + 2), i.e. a
+// Laplace-smoothed success ratio starting at 0.5 for strangers.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sa::platoon {
+
+class TrustManager {
+public:
+    /// Record an interaction outcome with a peer (e.g. its broadcast matched
+    /// our own observation).
+    void record(const std::string& peer, bool positive);
+
+    /// Current trust in [0, 1]; unknown peers score 0.5.
+    [[nodiscard]] double trust(const std::string& peer) const;
+
+    [[nodiscard]] bool trusted(const std::string& peer, double threshold = 0.6) const {
+        return trust(peer) >= threshold;
+    }
+
+    [[nodiscard]] std::uint64_t interactions(const std::string& peer) const;
+    [[nodiscard]] std::vector<std::string> known_peers() const;
+
+private:
+    struct Record {
+        std::uint64_t positive = 0;
+        std::uint64_t total = 0;
+    };
+    std::map<std::string, Record> records_;
+};
+
+} // namespace sa::platoon

@@ -1,0 +1,56 @@
+#include "platoon/v2v.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace sa::platoon {
+
+V2vChannel::V2vChannel(sim::Simulator& simulator, double loss_probability,
+                       Duration latency)
+    : simulator_(simulator), loss_probability_(loss_probability), latency_(latency) {
+    SA_REQUIRE(loss_probability_ >= 0.0 && loss_probability_ <= 1.0,
+               "loss probability must be within [0,1]");
+    SA_REQUIRE(latency_.count_ns() >= 0, "latency must be non-negative");
+}
+
+void V2vChannel::join(const std::string& name, Receiver receiver) {
+    SA_REQUIRE(static_cast<bool>(receiver), "receiver must be callable");
+    SA_REQUIRE(members_.count(name) == 0, "duplicate channel member: " + name);
+    members_[name] = std::move(receiver);
+}
+
+void V2vChannel::leave(const std::string& name) { members_.erase(name); }
+
+void V2vChannel::broadcast(V2vBeacon beacon) {
+    ++broadcasts_;
+    beacon.sent = simulator_.now();
+    for (const auto& [name, receiver] : members_) {
+        if (name == beacon.sender) {
+            continue;
+        }
+        if (loss_probability_ > 0.0 && simulator_.rng().chance(loss_probability_)) {
+            ++losses_;
+            continue;
+        }
+        ++deliveries_;
+        simulator_.schedule(latency_, [receiver, beacon] { receiver(beacon); });
+    }
+}
+
+bool PlausibilityChecker::check(const V2vBeacon& beacon, double measured_position_m,
+                                double measured_speed_mps) {
+    ++checks_;
+    const bool position_ok =
+        std::abs(beacon.position_m - measured_position_m) <= position_tolerance_m_;
+    const bool speed_ok =
+        std::abs(beacon.speed_mps - measured_speed_mps) <= speed_tolerance_mps_;
+    const bool plausible = position_ok && speed_ok;
+    if (!plausible) {
+        ++implausible_;
+    }
+    trust_.record(beacon.sender, plausible);
+    return plausible;
+}
+
+} // namespace sa::platoon

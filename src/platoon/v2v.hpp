@@ -1,0 +1,87 @@
+#pragma once
+// Vehicle-to-vehicle communication substrate and plausibility-based trust
+// formation (§V: cooperating vehicles "share information", but "the
+// communication to or the platform of another vehicle might not be fully
+// trustworthy"). Beacons broadcast over a lossy channel; receivers compare a
+// neighbour's claims against their own sensor observations and feed the
+// outcome into the TrustManager — this is how the reputation that gates
+// platoon formation is earned in the first place.
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "platoon/trust.hpp"
+#include "sim/simulator.hpp"
+
+namespace sa::platoon {
+
+using sim::Duration;
+using sim::Time;
+
+/// Periodic cooperative-awareness message (CAM-style).
+struct V2vBeacon {
+    std::string sender;
+    double position_m = 0.0; ///< along-track position
+    double speed_mps = 0.0;
+    Time sent;
+};
+
+/// Lossy broadcast channel with constant latency.
+class V2vChannel {
+public:
+    V2vChannel(sim::Simulator& simulator, double loss_probability = 0.0,
+               Duration latency = Duration::ms(20));
+
+    using Receiver = std::function<void(const V2vBeacon&)>;
+
+    /// Join the channel; every delivered beacon from *other* senders invokes
+    /// the callback.
+    void join(const std::string& name, Receiver receiver);
+    void leave(const std::string& name);
+
+    /// Broadcast a beacon; each receiver independently experiences loss.
+    void broadcast(V2vBeacon beacon);
+
+    [[nodiscard]] std::uint64_t broadcasts() const noexcept { return broadcasts_; }
+    [[nodiscard]] std::uint64_t deliveries() const noexcept { return deliveries_; }
+    [[nodiscard]] std::uint64_t losses() const noexcept { return losses_; }
+
+private:
+    sim::Simulator& simulator_;
+    double loss_probability_;
+    Duration latency_;
+    std::map<std::string, Receiver> members_;
+    std::uint64_t broadcasts_ = 0;
+    std::uint64_t deliveries_ = 0;
+    std::uint64_t losses_ = 0;
+};
+
+/// Compares a neighbour's claimed kinematics against own observations and
+/// records the outcome as a trust interaction.
+class PlausibilityChecker {
+public:
+    PlausibilityChecker(TrustManager& trust, double position_tolerance_m = 5.0,
+                        double speed_tolerance_mps = 2.0)
+        : trust_(trust),
+          position_tolerance_m_(position_tolerance_m),
+          speed_tolerance_mps_(speed_tolerance_mps) {}
+
+    /// Check a beacon against an own measurement of the sender (e.g. from
+    /// radar): measured position/speed of the vehicle the beacon claims to
+    /// be. Records positive/negative trust and returns plausibility.
+    bool check(const V2vBeacon& beacon, double measured_position_m,
+               double measured_speed_mps);
+
+    [[nodiscard]] std::uint64_t checks() const noexcept { return checks_; }
+    [[nodiscard]] std::uint64_t implausible() const noexcept { return implausible_; }
+
+private:
+    TrustManager& trust_;
+    double position_tolerance_m_;
+    double speed_tolerance_mps_;
+    std::uint64_t checks_ = 0;
+    std::uint64_t implausible_ = 0;
+};
+
+} // namespace sa::platoon

@@ -1,0 +1,43 @@
+#include "rte/ecu.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace sa::rte {
+
+Ecu::Ecu(sim::Simulator& simulator, EcuConfig config)
+    : simulator_(simulator),
+      config_(std::move(config)),
+      scheduler_(simulator, config_.name),
+      thermal_(simulator, scheduler_, config_.thermal) {
+    SA_REQUIRE(!config_.dvfs_levels.empty(), "ECU needs at least one DVFS level");
+    for (double s : config_.dvfs_levels) {
+        SA_REQUIRE(s > 0.0 && s <= 2.0, "DVFS speed factors must be in (0, 2]");
+    }
+}
+
+double Ecu::dvfs_speed(int level) const noexcept {
+    const int clamped =
+        std::clamp(level, 0, static_cast<int>(config_.dvfs_levels.size()) - 1);
+    return config_.dvfs_levels[static_cast<std::size_t>(clamped)];
+}
+
+void Ecu::set_dvfs_level(int level) {
+    const int clamped =
+        std::clamp(level, 0, static_cast<int>(config_.dvfs_levels.size()) - 1);
+    dvfs_level_ = clamped;
+    scheduler_.set_speed_factor(config_.dvfs_levels[static_cast<std::size_t>(clamped)]);
+}
+
+void Ecu::start() {
+    scheduler_.start();
+    thermal_.start();
+}
+
+void Ecu::stop() {
+    thermal_.stop();
+    scheduler_.stop();
+}
+
+} // namespace sa::rte

@@ -1,0 +1,68 @@
+#include "rte/fault_injection.hpp"
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+#include "util/string_util.hpp"
+
+namespace sa::rte {
+
+void FaultInjector::crash_component(const std::string& name) {
+    rte_.component(name).fail();
+    ++injected_;
+    SA_LOG_WARN << "fault injected: crash of " << name;
+}
+
+void FaultInjector::compromise_with_message_storm(const std::string& component,
+                                                  const std::string& victim_service,
+                                                  Duration storm_period) {
+    Component& comp = rte_.component(component);
+    comp.compromise();
+
+    // The attacker opens a session from inside the compromised component; if
+    // the access policy already allows the component to reach the service,
+    // the storm is indistinguishable from legitimate traffic except by rate.
+    auto session = rte_.services().open(component, victim_service);
+
+    RtTaskConfig storm;
+    storm.name = format("%s.storm%llu", component.c_str(),
+                        static_cast<unsigned long long>(storm_task_counter_++));
+    // Attacker task priority: distinct, low importance (high number).
+    storm.priority = 9000 + static_cast<int>(storm_task_counter_);
+    storm.period = storm_period;
+    storm.wcet = Duration::us(20);
+    storm.randomize_exec = false;
+    auto& services = rte_.services();
+    if (session.has_value()) {
+        const SessionId sid = *session;
+        storm.on_complete = [&services, sid](Time) {
+            services.call(sid, {1.0}, "storm");
+        };
+    } else {
+        // No legitimate session: the attacker still hammers open() attempts,
+        // which the access monitor sees as repeated denials.
+        auto& reg = rte_.services();
+        const std::string comp_name = component;
+        const std::string svc = victim_service;
+        storm.on_complete = [&reg, comp_name, svc](Time) { (void)reg.open(comp_name, svc); };
+    }
+    comp.adopt_task(comp.ecu().scheduler().add_task(storm));
+    ++injected_;
+    SA_LOG_WARN << "fault injected: compromise of " << component << " storming "
+                << victim_service;
+}
+
+void FaultInjector::inject_wcet_violation(const std::string& component,
+                                          std::size_t task_index, Duration exec) {
+    Component& comp = rte_.component(component);
+    SA_REQUIRE(task_index < comp.task_ids().size(), "task index out of range");
+    comp.ecu().scheduler().inject_exec_time(comp.task_ids()[task_index], exec);
+    ++injected_;
+}
+
+void FaultInjector::set_ambient_temperature(const std::string& ecu, double celsius) {
+    rte_.ecu(ecu).thermal().set_ambient_c(celsius);
+    ++injected_;
+    SA_LOG_INFO << "environment: ambient of " << ecu << " set to " << celsius << " C";
+}
+
+} // namespace sa::rte

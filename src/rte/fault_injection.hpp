@@ -1,0 +1,44 @@
+#pragma once
+// Fault and attack injection (the "environment effects" of §V that can
+// "never be fully anticipated at design time"): component crashes, security
+// compromises with message storms, WCET violations, sensor dropouts are
+// modelled here so experiments can trigger them deterministically.
+
+#include <string>
+
+#include "rte/rte.hpp"
+
+namespace sa::rte {
+
+class FaultInjector {
+public:
+    explicit FaultInjector(Rte& rte) : rte_(rte) {}
+
+    /// Crash fault: component stops producing anything (state Failed).
+    void crash_component(const std::string& name);
+
+    /// Security compromise (§V example: "a security flaw in the software
+    /// component governing rear braking"): the component keeps running but an
+    /// attacker-controlled task floods a service at `storm_period`, which the
+    /// rate-based IDS should flag.
+    void compromise_with_message_storm(const std::string& component,
+                                       const std::string& victim_service,
+                                       Duration storm_period = Duration::ms(1));
+
+    /// Timing fault: the next job of the task runs for `exec` instead of its
+    /// declared WCET (exercises the budget monitor / enforcement).
+    void inject_wcet_violation(const std::string& component, std::size_t task_index,
+                               Duration exec);
+
+    /// Environmental fault: ambient temperature step on one ECU.
+    void set_ambient_temperature(const std::string& ecu, double celsius);
+
+    [[nodiscard]] std::uint64_t injected_faults() const noexcept { return injected_; }
+
+private:
+    Rte& rte_;
+    std::uint64_t injected_ = 0;
+    std::uint64_t storm_task_counter_ = 0;
+};
+
+} // namespace sa::rte

@@ -1,0 +1,93 @@
+#include "rte/service.hpp"
+
+#include "util/assert.hpp"
+
+namespace sa::rte {
+
+ServiceRegistry::ServiceRegistry(sim::Simulator& simulator, AccessControl& access,
+                                 Duration ipc_latency)
+    : simulator_(simulator), access_(access), ipc_latency_(ipc_latency) {
+    SA_REQUIRE(ipc_latency_.count_ns() >= 0, "IPC latency must be non-negative");
+}
+
+void ServiceRegistry::provide(const std::string& provider, const std::string& service,
+                              ServiceHandler handler) {
+    SA_REQUIRE(static_cast<bool>(handler), "service needs a handler: " + service);
+    SA_REQUIRE(services_.count(service) == 0 || !services_.at(service).active,
+               "service already provided: " + service);
+    services_[service] = ServiceEntry{provider, std::move(handler), true};
+}
+
+void ServiceRegistry::withdraw_all(const std::string& provider) {
+    for (auto& [name, entry] : services_) {
+        if (entry.provider == provider) {
+            entry.active = false;
+        }
+    }
+}
+
+void ServiceRegistry::withdraw(const std::string& provider, const std::string& service) {
+    auto it = services_.find(service);
+    if (it != services_.end() && it->second.provider == provider) {
+        it->second.active = false;
+    }
+}
+
+std::optional<SessionId> ServiceRegistry::open(const std::string& client,
+                                               const std::string& service) {
+    auto it = services_.find(service);
+    if (it == services_.end() || !it->second.active) {
+        return std::nullopt;
+    }
+    if (!access_.allowed(client, service)) {
+        ++denied_opens_;
+        session_denied_.emit(client, service);
+        return std::nullopt;
+    }
+    const SessionId id = next_session_++;
+    sessions_[id] = SessionEntry{client, service, true};
+    return id;
+}
+
+void ServiceRegistry::close(SessionId session) { sessions_.erase(session); }
+
+bool ServiceRegistry::call(SessionId session, std::vector<double> values, std::string text) {
+    auto it = sessions_.find(session);
+    if (it == sessions_.end() || !it->second.open) {
+        return false;
+    }
+    auto svc = services_.find(it->second.service);
+    if (svc == services_.end() || !svc->second.active) {
+        return false;
+    }
+    Message msg;
+    msg.sender = it->second.client;
+    msg.service = it->second.service;
+    msg.values = std::move(values);
+    msg.text = std::move(text);
+    msg.sent = simulator_.now();
+    ++calls_;
+    message_sent_.emit(msg);
+    // Deliver asynchronously; the handler may have been withdrawn meanwhile,
+    // so re-check at delivery time (containment takes effect immediately).
+    const std::string service_name = it->second.service;
+    simulator_.schedule(ipc_latency_, [this, msg = std::move(msg), service_name] {
+        auto entry = services_.find(service_name);
+        if (entry != services_.end() && entry->second.active) {
+            entry->second.handler(msg);
+        }
+    });
+    return true;
+}
+
+bool ServiceRegistry::has_service(const std::string& service) const {
+    auto it = services_.find(service);
+    return it != services_.end() && it->second.active;
+}
+
+std::string ServiceRegistry::provider_of(const std::string& service) const {
+    auto it = services_.find(service);
+    return it == services_.end() ? std::string{} : it->second.provider;
+}
+
+} // namespace sa::rte

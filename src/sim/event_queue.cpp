@@ -1,0 +1,73 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace sa::sim {
+
+EventHandle EventQueue::push(Time at, Action action) {
+    SA_REQUIRE(static_cast<bool>(action), "cannot schedule an empty action");
+    auto* entry = new Entry{at, next_seq_++, std::move(action), false};
+    pool_.push_back(entry);
+    heap_.push(entry);
+    ++live_;
+    return EventHandle(entry->seq);
+}
+
+bool EventQueue::cancel(EventHandle handle) {
+    if (!handle.valid()) {
+        return false;
+    }
+    // Linear scan over the retained pool; the pool is pruned on pop so it
+    // stays proportional to pending events. Cancellation is rare (timeouts).
+    for (Entry* e : pool_) {
+        if (e->seq == handle.id_ && !e->cancelled) {
+            e->cancelled = true;
+            --live_;
+            return true;
+        }
+    }
+    return false;
+}
+
+void EventQueue::drop_dead() {
+    while (!heap_.empty() && heap_.top()->cancelled) {
+        Entry* dead = heap_.top();
+        heap_.pop();
+        pool_.erase(std::remove(pool_.begin(), pool_.end(), dead), pool_.end());
+        delete dead;
+    }
+}
+
+Time EventQueue::next_time() const {
+    auto* self = const_cast<EventQueue*>(this);
+    self->drop_dead();
+    SA_REQUIRE(!heap_.empty(), "next_time on empty queue");
+    return heap_.top()->at;
+}
+
+EventQueue::Popped EventQueue::pop() {
+    drop_dead();
+    SA_REQUIRE(!heap_.empty(), "pop on empty queue");
+    Entry* top = heap_.top();
+    heap_.pop();
+    pool_.erase(std::remove(pool_.begin(), pool_.end(), top), pool_.end());
+    Popped out{top->at, std::move(top->action)};
+    delete top;
+    --live_;
+    return out;
+}
+
+void EventQueue::clear() noexcept {
+    while (!heap_.empty()) {
+        heap_.pop();
+    }
+    for (Entry* e : pool_) {
+        delete e;
+    }
+    pool_.clear();
+    live_ = 0;
+}
+
+} // namespace sa::sim

@@ -1,0 +1,85 @@
+#pragma once
+// Priority event queue for the discrete-event kernel. Events with equal
+// timestamps fire in insertion order (stable), which keeps simulations
+// deterministic regardless of heap internals. Cancellation is O(1) via
+// tombstoning; dead entries are skipped on pop.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace sa::sim {
+
+/// Opaque handle for cancelling a scheduled event.
+class EventHandle {
+public:
+    EventHandle() = default;
+
+    [[nodiscard]] bool valid() const noexcept { return id_ != 0; }
+
+private:
+    friend class EventQueue;
+    explicit EventHandle(std::uint64_t id) : id_(id) {}
+    std::uint64_t id_ = 0;
+};
+
+class EventQueue {
+public:
+    using Action = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue&) = delete;
+    EventQueue& operator=(const EventQueue&) = delete;
+    ~EventQueue() { clear(); }
+
+    /// Schedule an action at absolute time `at`. Returns a cancellation handle.
+    EventHandle push(Time at, Action action);
+
+    /// Cancel a previously scheduled event. Returns false if it already fired
+    /// or was already cancelled.
+    bool cancel(EventHandle handle);
+
+    [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+    [[nodiscard]] std::size_t size() const noexcept { return live_; }
+
+    /// Earliest pending event time. Requires !empty().
+    [[nodiscard]] Time next_time() const;
+
+    /// Pop the earliest event. Requires !empty().
+    struct Popped {
+        Time at;
+        Action action;
+    };
+    Popped pop();
+
+    void clear() noexcept;
+
+private:
+    struct Entry {
+        Time at;
+        std::uint64_t seq; // insertion order; also the cancellation id
+        Action action;
+        bool cancelled = false;
+    };
+    struct Cmp {
+        // std::priority_queue is a max-heap; invert for earliest-first.
+        bool operator()(const Entry* a, const Entry* b) const noexcept {
+            if (a->at != b->at) {
+                return a->at > b->at;
+            }
+            return a->seq > b->seq;
+        }
+    };
+
+    void drop_dead();
+
+    std::priority_queue<Entry*, std::vector<Entry*>, Cmp> heap_;
+    std::vector<Entry*> pool_;
+    std::uint64_t next_seq_ = 1;
+    std::size_t live_ = 0;
+};
+
+} // namespace sa::sim

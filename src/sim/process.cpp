@@ -1,0 +1,47 @@
+#include "sim/process.hpp"
+
+#include "util/assert.hpp"
+
+namespace sa::sim {
+
+Process::Process(Simulator& simulator, std::string name, Duration period, Body body)
+    : simulator_(simulator), name_(std::move(name)), period_(period), body_(std::move(body)) {
+    SA_REQUIRE(period_.count_ns() > 0, "process period must be positive");
+    SA_REQUIRE(static_cast<bool>(body_), "process body must be callable");
+}
+
+void Process::start(Duration phase) {
+    SA_REQUIRE(phase.count_ns() >= 0, "phase must be non-negative");
+    if (running_) {
+        return;
+    }
+    running_ = true;
+    ++epoch_;
+    arm(phase);
+}
+
+void Process::stop() {
+    running_ = false;
+    ++epoch_;
+}
+
+void Process::set_period(Duration period) {
+    SA_REQUIRE(period.count_ns() > 0, "process period must be positive");
+    period_ = period;
+}
+
+void Process::arm(Duration delay) {
+    const std::uint64_t epoch = epoch_;
+    simulator_.schedule(delay, [this, epoch] {
+        if (!running_ || epoch != epoch_) {
+            return;
+        }
+        ++activations_;
+        body_(*this);
+        if (running_ && epoch == epoch_) {
+            arm(period_);
+        }
+    });
+}
+
+} // namespace sa::sim

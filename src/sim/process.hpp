@@ -1,0 +1,96 @@
+#pragma once
+// Cooperative "process" helper on top of the event kernel: a named activity
+// that re-arms itself, plus a tiny signal/slot utility used for decoupled
+// publish/subscribe between substrates (e.g. monitors observing the RTE).
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace sa::sim {
+
+/// A minimal typed signal. Subscribers are invoked synchronously in
+/// subscription order; subscription order is deterministic.
+template <typename... Args>
+class Signal {
+public:
+    using Slot = std::function<void(Args...)>;
+
+    /// Returns a subscription id usable with unsubscribe().
+    std::uint64_t subscribe(Slot slot) {
+        slots_.push_back({next_id_, std::move(slot)});
+        return next_id_++;
+    }
+
+    void unsubscribe(std::uint64_t id) {
+        for (auto& s : slots_) {
+            if (s.first == id) {
+                s.second = nullptr;
+            }
+        }
+    }
+
+    void emit(Args... args) const {
+        // Iterate by index: slots may subscribe re-entrantly during emit.
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+            if (slots_[i].second) {
+                slots_[i].second(args...);
+            }
+        }
+    }
+
+    [[nodiscard]] std::size_t subscriber_count() const noexcept {
+        std::size_t n = 0;
+        for (const auto& s : slots_) {
+            if (s.second) {
+                ++n;
+            }
+        }
+        return n;
+    }
+
+private:
+    std::vector<std::pair<std::uint64_t, Slot>> slots_;
+    std::uint64_t next_id_ = 1;
+};
+
+/// A repeating activity with start/stop semantics and a readable name.
+/// Unlike Simulator::schedule_periodic, a Process can adjust its own period
+/// (used by adaptive monitors) and exposes run statistics.
+class Process {
+public:
+    using Body = std::function<void(Process&)>;
+
+    Process(Simulator& simulator, std::string name, Duration period, Body body);
+    ~Process() { stop(); }
+
+    Process(const Process&) = delete;
+    Process& operator=(const Process&) = delete;
+
+    void start(Duration phase = Duration::zero());
+    void stop();
+
+    [[nodiscard]] bool running() const noexcept { return running_; }
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] Duration period() const noexcept { return period_; }
+    void set_period(Duration period);
+
+    [[nodiscard]] std::uint64_t activations() const noexcept { return activations_; }
+    Simulator& simulator() noexcept { return simulator_; }
+
+private:
+    void arm(Duration delay);
+
+    Simulator& simulator_;
+    std::string name_;
+    Duration period_;
+    Body body_;
+    bool running_ = false;
+    std::uint64_t epoch_ = 0; // invalidates in-flight events on stop/restart
+    std::uint64_t activations_ = 0;
+};
+
+} // namespace sa::sim

@@ -1,0 +1,92 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/assert.hpp"
+
+namespace sa::sim {
+
+EventHandle Simulator::schedule(Duration delay, EventQueue::Action action) {
+    SA_REQUIRE(delay.count_ns() >= 0, "cannot schedule into the past");
+    return queue_.push(now_ + delay, std::move(action));
+}
+
+EventHandle Simulator::schedule_at(Time at, EventQueue::Action action) {
+    SA_REQUIRE(at >= now_, "cannot schedule into the past");
+    return queue_.push(at, std::move(action));
+}
+
+std::uint64_t Simulator::schedule_periodic(Duration period, EventQueue::Action action,
+                                           Duration phase) {
+    SA_REQUIRE(period.count_ns() > 0, "periodic activity needs a positive period");
+    SA_REQUIRE(phase.count_ns() >= 0, "phase must be non-negative");
+    auto task = std::make_shared<PeriodicTask>();
+    task->id = next_periodic_id_++;
+    task->period = period;
+    task->action = std::move(action);
+    periodics_.push_back(task);
+    schedule(phase, [this, task] { fire_periodic(task); });
+    return task->id;
+}
+
+void Simulator::fire_periodic(std::shared_ptr<PeriodicTask> task) {
+    if (task->cancelled) {
+        return;
+    }
+    task->action();
+    if (!task->cancelled) {
+        schedule(task->period, [this, task] { fire_periodic(task); });
+    }
+}
+
+void Simulator::cancel_periodic(std::uint64_t id) {
+    for (auto& task : periodics_) {
+        if (task->id == id) {
+            task->cancelled = true;
+        }
+    }
+    periodics_.erase(std::remove_if(periodics_.begin(), periodics_.end(),
+                                    [](const auto& t) { return t->cancelled; }),
+                     periodics_.end());
+}
+
+std::size_t Simulator::run_until(Time until) {
+    std::size_t executed = 0;
+    stop_requested_ = false;
+    while (!queue_.empty() && !stop_requested_) {
+        const Time next = queue_.next_time();
+        if (next > until) {
+            break;
+        }
+        auto popped = queue_.pop();
+        SA_ASSERT(popped.at >= now_, "event queue time went backwards");
+        now_ = popped.at;
+        popped.action();
+        ++executed;
+        ++executed_;
+    }
+    // Even if nothing fired, time advances to the horizon so subsequent
+    // scheduling is relative to the end of the observed window.
+    if (now_ < until && until != Time::max()) {
+        now_ = until;
+    }
+    return executed;
+}
+
+bool Simulator::step(Time until) {
+    if (queue_.empty()) {
+        return false;
+    }
+    const Time next = queue_.next_time();
+    if (next > until) {
+        return false;
+    }
+    auto popped = queue_.pop();
+    now_ = popped.at;
+    popped.action();
+    ++executed_;
+    return true;
+}
+
+} // namespace sa::sim

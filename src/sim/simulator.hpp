@@ -1,0 +1,81 @@
+#pragma once
+// Discrete-event simulation kernel. Single-threaded and deterministic:
+// the same seed and setup always produce the same trace. All substrates
+// (CAN bus, ECU schedulers, vehicle dynamics, platoon messaging) run on one
+// Simulator instance so their interleavings are globally ordered.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+#include "util/random.hpp"
+
+namespace sa::sim {
+
+class Simulator {
+public:
+    explicit Simulator(std::uint64_t seed = 0x5AA5F00DULL) : rng_(seed) {}
+
+    Simulator(const Simulator&) = delete;
+    Simulator& operator=(const Simulator&) = delete;
+
+    [[nodiscard]] Time now() const noexcept { return now_; }
+
+    /// Schedule `action` to run after `delay` (>= 0) from now.
+    EventHandle schedule(Duration delay, EventQueue::Action action);
+
+    /// Schedule `action` at absolute time `at` (>= now).
+    EventHandle schedule_at(Time at, EventQueue::Action action);
+
+    /// Schedule a periodic activity; the first firing happens after `phase`.
+    /// The returned id can be passed to cancel_periodic().
+    std::uint64_t schedule_periodic(Duration period, EventQueue::Action action,
+                                    Duration phase = Duration::zero());
+
+    void cancel_periodic(std::uint64_t id);
+
+    bool cancel(EventHandle handle) { return queue_.cancel(handle); }
+
+    /// Run until the event queue is empty or `until` is reached (whichever is
+    /// first). Returns the number of events executed.
+    std::size_t run_until(Time until);
+
+    /// Run for `span` from now.
+    std::size_t run_for(Duration span) { return run_until(now_ + span); }
+
+    /// Execute exactly one event if one is pending before `until`.
+    bool step(Time until = Time::max());
+
+    /// Request that run_until return after the current event completes.
+    void stop() noexcept { stop_requested_ = true; }
+
+    [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+    [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
+    [[nodiscard]] std::uint64_t executed_events() const noexcept { return executed_; }
+
+    RandomEngine& rng() noexcept { return rng_; }
+
+private:
+    struct PeriodicTask {
+        std::uint64_t id;
+        Duration period;
+        EventQueue::Action action;
+        bool cancelled = false;
+    };
+
+    void fire_periodic(std::shared_ptr<PeriodicTask> task);
+
+    EventQueue queue_;
+    Time now_ = Time::zero();
+    RandomEngine rng_;
+    bool stop_requested_ = false;
+    std::uint64_t executed_ = 0;
+    std::uint64_t next_periodic_id_ = 1;
+    std::vector<std::shared_ptr<PeriodicTask>> periodics_;
+};
+
+} // namespace sa::sim

@@ -1,0 +1,11 @@
+#include "sim/time.hpp"
+
+#include "util/string_util.hpp"
+
+namespace sa::sim {
+
+std::string Time::str() const { return human_duration_ns(ns_); }
+
+std::string Duration::str() const { return human_duration_ns(ns_); }
+
+} // namespace sa::sim

@@ -1,0 +1,33 @@
+#include "sim/trace.hpp"
+
+namespace sa::sim {
+
+void Trace::record(Time at, std::string tag, std::string detail) {
+    if (records_.size() == capacity_) {
+        records_.pop_front();
+    }
+    records_.push_back(TraceRecord{at, std::move(tag), std::move(detail)});
+    ++total_;
+}
+
+std::vector<TraceRecord> Trace::with_tag(const std::string& tag) const {
+    std::vector<TraceRecord> out;
+    for (const auto& r : records_) {
+        if (r.tag == tag) {
+            out.push_back(r);
+        }
+    }
+    return out;
+}
+
+std::size_t Trace::count_tag(const std::string& tag) const {
+    std::size_t n = 0;
+    for (const auto& r : records_) {
+        if (r.tag == tag) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+} // namespace sa::sim

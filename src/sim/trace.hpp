@@ -1,0 +1,51 @@
+#pragma once
+// Event tracing: a bounded in-memory record of named simulation events with
+// timestamps. Tests and experiment harnesses query it; example programs can
+// dump it. Kept deliberately simple (no categories/levels beyond a tag).
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace sa::sim {
+
+struct TraceRecord {
+    Time at;
+    std::string tag;    ///< machine-matchable event kind, e.g. "can.tx"
+    std::string detail; ///< free-form human detail
+};
+
+class Trace {
+public:
+    explicit Trace(std::size_t capacity = 65536) : capacity_(capacity) {}
+
+    void record(Time at, std::string tag, std::string detail = {});
+
+    [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+    [[nodiscard]] std::uint64_t total_recorded() const noexcept { return total_; }
+
+    /// All retained records, oldest first.
+    [[nodiscard]] const std::deque<TraceRecord>& records() const noexcept { return records_; }
+
+    /// Records whose tag matches exactly.
+    [[nodiscard]] std::vector<TraceRecord> with_tag(const std::string& tag) const;
+
+    /// Count of retained records with the given tag.
+    [[nodiscard]] std::size_t count_tag(const std::string& tag) const;
+
+    void clear() noexcept {
+        records_.clear();
+        total_ = 0;
+    }
+
+private:
+    std::size_t capacity_;
+    std::deque<TraceRecord> records_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace sa::sim

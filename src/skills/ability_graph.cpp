@@ -1,0 +1,125 @@
+#include "skills/ability_graph.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace sa::skills {
+
+const char* to_string(AbilityLevel level) noexcept {
+    switch (level) {
+    case AbilityLevel::Unavailable: return "unavailable";
+    case AbilityLevel::Marginal: return "marginal";
+    case AbilityLevel::Reduced: return "reduced";
+    case AbilityLevel::Nominal: return "nominal";
+    }
+    return "?";
+}
+
+AbilityLevel classify(double level, const AbilityThresholds& thresholds) {
+    if (level >= thresholds.nominal) {
+        return AbilityLevel::Nominal;
+    }
+    if (level >= thresholds.reduced) {
+        return AbilityLevel::Reduced;
+    }
+    if (level >= thresholds.marginal) {
+        return AbilityLevel::Marginal;
+    }
+    return AbilityLevel::Unavailable;
+}
+
+AbilityGraph::AbilityGraph(SkillGraph structure, AbilityThresholds thresholds)
+    : structure_(std::move(structure)), thresholds_(thresholds) {
+    structure_.validate();
+    topo_ = structure_.topological_order();
+    for (const auto& name : topo_) {
+        level_[name] = 1.0;
+        if (structure_.node(name).kind == SkillNodeKind::Skill) {
+            intrinsic_[name] = 1.0;
+            aggregation_[name] = Aggregation::Min;
+        }
+    }
+}
+
+void AbilityGraph::set_source_level(const std::string& name, double level) {
+    SA_REQUIRE(structure_.has_node(name), "unknown node: " + name);
+    SA_REQUIRE(structure_.node(name).kind != SkillNodeKind::Skill,
+               "set_source_level is for sources/sinks; use set_intrinsic_level for " + name);
+    SA_REQUIRE(level >= 0.0 && level <= 1.0, "levels must be within [0,1]");
+    level_[name] = level;
+}
+
+void AbilityGraph::set_intrinsic_level(const std::string& skill, double level) {
+    SA_REQUIRE(structure_.has_node(skill), "unknown node: " + skill);
+    SA_REQUIRE(structure_.node(skill).kind == SkillNodeKind::Skill,
+               "set_intrinsic_level is for skills: " + skill);
+    SA_REQUIRE(level >= 0.0 && level <= 1.0, "levels must be within [0,1]");
+    intrinsic_[skill] = level;
+}
+
+void AbilityGraph::set_aggregation(const std::string& skill, Aggregation aggregation) {
+    SA_REQUIRE(structure_.has_node(skill) &&
+                   structure_.node(skill).kind == SkillNodeKind::Skill,
+               "aggregation applies to skills: " + skill);
+    aggregation_[skill] = aggregation;
+}
+
+void AbilityGraph::set_dependency_weight(const std::string& skill, const std::string& child,
+                                         double weight) {
+    SA_REQUIRE(weight > 0.0, "weights must be positive");
+    const auto kids = structure_.children(skill);
+    SA_REQUIRE(std::find(kids.begin(), kids.end(), child) != kids.end(),
+               "no dependency " + skill + " -> " + child);
+    weights_[{skill, child}] = weight;
+}
+
+std::size_t AbilityGraph::propagate() {
+    std::size_t qualitative_changes = 0;
+    for (const auto& name : topo_) {
+        if (structure_.node(name).kind != SkillNodeKind::Skill) {
+            continue; // sources/sinks are inputs
+        }
+        std::vector<WeightedLevel> inputs;
+        for (const auto& child : structure_.children(name)) {
+            double w = 1.0;
+            if (auto it = weights_.find({name, child}); it != weights_.end()) {
+                w = it->second;
+            }
+            inputs.push_back(WeightedLevel{level_.at(child), w});
+        }
+        const double combined = aggregate(aggregation_.at(name), inputs);
+        const double next = std::min(intrinsic_.at(name), combined);
+        const double prev = level_.at(name);
+        if (classify(prev, thresholds_) != classify(next, thresholds_)) {
+            ++qualitative_changes;
+            level_changed_.emit(name, classify(prev, thresholds_),
+                                classify(next, thresholds_));
+        }
+        level_[name] = next;
+    }
+    return qualitative_changes;
+}
+
+double AbilityGraph::level(const std::string& name) const {
+    auto it = level_.find(name);
+    SA_REQUIRE(it != level_.end(), "unknown node: " + name);
+    return it->second;
+}
+
+AbilityLevel AbilityGraph::ability(const std::string& name) const {
+    return classify(level(name), thresholds_);
+}
+
+std::map<std::string, double> AbilityGraph::snapshot() const { return level_; }
+
+void AbilityGraph::bind_source(const std::string& source,
+                               monitor::SensorQualityMonitor& monitor) {
+    SA_REQUIRE(structure_.has_node(source), "unknown node: " + source);
+    monitor.quality_updated().subscribe([this, source](double quality) {
+        set_source_level(source, std::clamp(quality, 0.0, 1.0));
+        propagate();
+    });
+}
+
+} // namespace sa::skills

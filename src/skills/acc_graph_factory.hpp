@@ -1,0 +1,48 @@
+#pragma once
+// Builder for the paper's worked example (§IV): the skill graph of Adaptive
+// Cruise Control. The structure follows the text of the paper literally:
+//
+//   - ACC driving (main skill) requires: control distance, control speed,
+//     keep the vehicle controllable for the driver
+//   - keep vehicle controllable requires: estimate driver intent, decelerate
+//   - control distance / control speed require: select target object,
+//     estimate driver intent, accelerate & decelerate
+//   - select target object requires: perceive and track dynamic objects
+//   - perceive/track requires the environment sensors as data sources
+//   - estimate driver intent requires the HMI as data source
+//   - accelerate requires the powertrain data sink; decelerate requires both
+//     powertrain and braking system sinks
+
+#include "skills/skill_graph.hpp"
+
+namespace sa::skills {
+
+/// Canonical node names used by the factory (and by examples/benches).
+namespace acc {
+inline constexpr const char* kAccDriving = "acc_driving";
+inline constexpr const char* kControlDistance = "control_distance";
+inline constexpr const char* kControlSpeed = "control_speed";
+inline constexpr const char* kKeepControllable = "keep_vehicle_controllable";
+inline constexpr const char* kEstimateDriverIntent = "estimate_driver_intent";
+inline constexpr const char* kSelectTarget = "select_target_object";
+inline constexpr const char* kPerceiveTrack = "perceive_track_dynamic_objects";
+inline constexpr const char* kAccelerate = "accelerate";
+inline constexpr const char* kDecelerate = "decelerate";
+inline constexpr const char* kRadar = "radar";
+inline constexpr const char* kCamera = "camera";
+inline constexpr const char* kLidar = "lidar";
+inline constexpr const char* kHmi = "hmi";
+inline constexpr const char* kPowertrain = "powertrain";
+inline constexpr const char* kBrakeSystem = "brake_system";
+} // namespace acc
+
+struct AccGraphOptions {
+    /// true: individual radar/camera/lidar sources (enables per-sensor
+    /// degradation stories); false: one aggregate "environment_sensors"
+    /// source exactly as the paper's minimal narration.
+    bool split_environment_sensors = true;
+};
+
+[[nodiscard]] SkillGraph make_acc_skill_graph(const AccGraphOptions& options = {});
+
+} // namespace sa::skills

@@ -1,0 +1,53 @@
+#include "skills/aggregation.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace sa::skills {
+
+const char* to_string(Aggregation aggregation) noexcept {
+    switch (aggregation) {
+    case Aggregation::Min: return "min";
+    case Aggregation::Product: return "product";
+    case Aggregation::WeightedMean: return "weighted_mean";
+    }
+    return "?";
+}
+
+double aggregate(Aggregation aggregation, const std::vector<WeightedLevel>& levels) {
+    if (levels.empty()) {
+        return 1.0;
+    }
+    double out = 1.0;
+    switch (aggregation) {
+    case Aggregation::Min: {
+        out = levels.front().level;
+        for (const auto& l : levels) {
+            out = std::min(out, l.level);
+        }
+        break;
+    }
+    case Aggregation::Product: {
+        out = 1.0;
+        for (const auto& l : levels) {
+            out *= l.level;
+        }
+        break;
+    }
+    case Aggregation::WeightedMean: {
+        double sum = 0.0;
+        double weight = 0.0;
+        for (const auto& l : levels) {
+            SA_REQUIRE(l.weight > 0.0, "weights must be positive");
+            sum += l.level * l.weight;
+            weight += l.weight;
+        }
+        out = sum / weight;
+        break;
+    }
+    }
+    return std::clamp(out, 0.0, 1.0);
+}
+
+} // namespace sa::skills

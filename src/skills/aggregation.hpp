@@ -1,0 +1,29 @@
+#pragma once
+// Aggregation functions for propagating ability levels up the graph ("The
+// development of appropriate metrics, aggregated measures and models for
+// performance propagation is subject to ongoing research", §IV — we provide
+// the three canonical choices and make them selectable per node so the
+// ablation bench can compare them).
+
+#include <vector>
+
+namespace sa::skills {
+
+enum class Aggregation {
+    Min,          ///< weakest-link: a skill is only as good as its worst dependency
+    Product,      ///< independent-failure assumption: levels multiply
+    WeightedMean, ///< graded importance of dependencies
+};
+
+const char* to_string(Aggregation aggregation) noexcept;
+
+struct WeightedLevel {
+    double level = 1.0;  ///< in [0, 1]
+    double weight = 1.0; ///< > 0; only used by WeightedMean
+};
+
+/// Aggregate child levels; empty input aggregates to 1.0 (no dependencies
+/// cannot degrade a skill). Result is clamped into [0, 1].
+double aggregate(Aggregation aggregation, const std::vector<WeightedLevel>& levels);
+
+} // namespace sa::skills

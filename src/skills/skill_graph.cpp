@@ -1,0 +1,166 @@
+#include "skills/skill_graph.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+namespace sa::skills {
+
+const char* to_string(SkillNodeKind kind) noexcept {
+    switch (kind) {
+    case SkillNodeKind::Skill: return "skill";
+    case SkillNodeKind::DataSource: return "source";
+    case SkillNodeKind::DataSink: return "sink";
+    }
+    return "?";
+}
+
+void SkillGraph::add_node(SkillNode node) {
+    SA_REQUIRE(!node.name.empty(), "skill-graph node needs a name");
+    SA_REQUIRE(nodes_.count(node.name) == 0, "duplicate node: " + node.name);
+    nodes_[node.name] = std::move(node);
+}
+
+void SkillGraph::add_skill(const std::string& name, const std::string& description) {
+    add_node(SkillNode{name, SkillNodeKind::Skill, description});
+}
+
+void SkillGraph::add_source(const std::string& name, const std::string& description) {
+    add_node(SkillNode{name, SkillNodeKind::DataSource, description});
+}
+
+void SkillGraph::add_sink(const std::string& name, const std::string& description) {
+    add_node(SkillNode{name, SkillNodeKind::DataSink, description});
+}
+
+void SkillGraph::add_dependency(const std::string& parent, const std::string& child) {
+    SA_REQUIRE(nodes_.count(parent) > 0, "unknown parent node: " + parent);
+    SA_REQUIRE(nodes_.count(child) > 0, "unknown child node: " + child);
+    SA_REQUIRE(nodes_.at(parent).kind == SkillNodeKind::Skill,
+               "only skills can have dependencies: " + parent);
+    auto& kids = children_[parent];
+    SA_REQUIRE(std::find(kids.begin(), kids.end(), child) == kids.end(),
+               "duplicate dependency: " + parent + " -> " + child);
+    kids.push_back(child);
+    parents_[child].push_back(parent);
+}
+
+bool SkillGraph::has_node(const std::string& name) const { return nodes_.count(name) > 0; }
+
+const SkillNode& SkillGraph::node(const std::string& name) const {
+    auto it = nodes_.find(name);
+    SA_REQUIRE(it != nodes_.end(), "unknown node: " + name);
+    return it->second;
+}
+
+std::vector<std::string> SkillGraph::children(const std::string& name) const {
+    auto it = children_.find(name);
+    return it == children_.end() ? std::vector<std::string>{} : it->second;
+}
+
+std::vector<std::string> SkillGraph::parents(const std::string& name) const {
+    auto it = parents_.find(name);
+    return it == parents_.end() ? std::vector<std::string>{} : it->second;
+}
+
+std::vector<std::string> SkillGraph::node_names() const {
+    std::vector<std::string> out;
+    out.reserve(nodes_.size());
+    for (const auto& [name, _] : nodes_) {
+        out.push_back(name);
+    }
+    return out;
+}
+
+std::size_t SkillGraph::edge_count() const {
+    std::size_t n = 0;
+    for (const auto& [_, kids] : children_) {
+        n += kids.size();
+    }
+    return n;
+}
+
+std::vector<std::string> SkillGraph::roots() const {
+    std::vector<std::string> out;
+    for (const auto& [name, node] : nodes_) {
+        if (node.kind == SkillNodeKind::Skill &&
+            (parents_.count(name) == 0 || parents_.at(name).empty())) {
+            out.push_back(name);
+        }
+    }
+    return out;
+}
+
+void SkillGraph::validate() const {
+    // Sources/sinks have no children (enforced structurally by
+    // add_dependency) and every skill has at least one child.
+    for (const auto& [name, node] : nodes_) {
+        if (node.kind == SkillNodeKind::Skill) {
+            if (children_.count(name) == 0 || children_.at(name).empty()) {
+                throw SkillGraphError("skill has no dependencies (dangling path): " + name);
+            }
+        }
+    }
+    if (roots().empty()) {
+        throw SkillGraphError("graph has no root (main) skill");
+    }
+    // Acyclicity via colored DFS.
+    enum class Color { White, Gray, Black };
+    std::map<std::string, Color> color;
+    std::function<void(const std::string&)> visit = [&](const std::string& name) {
+        color[name] = Color::Gray;
+        for (const auto& child : children(name)) {
+            auto c = color.count(child) ? color[child] : Color::White;
+            if (c == Color::Gray) {
+                throw SkillGraphError("cycle through: " + child);
+            }
+            if (c == Color::White) {
+                visit(child);
+            }
+        }
+        color[name] = Color::Black;
+    };
+    for (const auto& [name, _] : nodes_) {
+        auto c = color.count(name) ? color[name] : Color::White;
+        if (c == Color::White) {
+            visit(name);
+        }
+    }
+}
+
+std::vector<std::string> SkillGraph::topological_order() const {
+    // Kahn's algorithm over the child -> parent direction: children first.
+    std::map<std::string, std::size_t> pending_children;
+    for (const auto& [name, _] : nodes_) {
+        pending_children[name] = children(name).size();
+    }
+    std::vector<std::string> ready;
+    for (const auto& [name, n] : pending_children) {
+        if (n == 0) {
+            ready.push_back(name);
+        }
+    }
+    std::vector<std::string> order;
+    std::set<std::string> done;
+    while (!ready.empty()) {
+        // Deterministic: pop the lexicographically smallest.
+        std::sort(ready.begin(), ready.end(), std::greater<>());
+        const std::string name = ready.back();
+        ready.pop_back();
+        order.push_back(name);
+        done.insert(name);
+        for (const auto& parent : parents(name)) {
+            auto& n = pending_children[parent];
+            SA_ASSERT(n > 0, "topological sort: negative pending count");
+            if (--n == 0) {
+                ready.push_back(parent);
+            }
+        }
+    }
+    if (order.size() != nodes_.size()) {
+        throw SkillGraphError("graph contains a cycle; topological order undefined");
+    }
+    return order;
+}
+
+} // namespace sa::skills

@@ -1,0 +1,76 @@
+#pragma once
+// Skill graphs after Reschka et al. [22] (§IV): "a directed acyclic graph
+// that consists of skill nodes, data sink nodes, data source nodes, and
+// dependency relations between the nodes. A path in this DAG, starting with
+// a main skill and ending at a data source or data sink, represents a chain
+// of dependencies between abilities."
+//
+// A SkillGraph is the *development-time* model; instantiating it with
+// performance metrics yields the runtime AbilityGraph (ability_graph.hpp).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace sa::skills {
+
+enum class SkillNodeKind { Skill, DataSource, DataSink };
+
+const char* to_string(SkillNodeKind kind) noexcept;
+
+struct SkillNode {
+    std::string name;
+    SkillNodeKind kind = SkillNodeKind::Skill;
+    std::string description;
+};
+
+/// Thrown by validate() on structural rule violations.
+class SkillGraphError : public std::logic_error {
+public:
+    explicit SkillGraphError(const std::string& what) : std::logic_error(what) {}
+};
+
+class SkillGraph {
+public:
+    void add_skill(const std::string& name, const std::string& description = {});
+    void add_source(const std::string& name, const std::string& description = {});
+    void add_sink(const std::string& name, const std::string& description = {});
+
+    /// `parent` (a skill) depends on `child` (skill, source or sink).
+    void add_dependency(const std::string& parent, const std::string& child);
+
+    [[nodiscard]] bool has_node(const std::string& name) const;
+    [[nodiscard]] const SkillNode& node(const std::string& name) const;
+    [[nodiscard]] std::vector<std::string> children(const std::string& name) const;
+    [[nodiscard]] std::vector<std::string> parents(const std::string& name) const;
+    [[nodiscard]] std::vector<std::string> node_names() const;
+    [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+    [[nodiscard]] std::size_t edge_count() const;
+
+    /// Skills with no parents — the "main skills" (roots).
+    [[nodiscard]] std::vector<std::string> roots() const;
+
+    /// Validate the structural rules of [22]:
+    ///  - the graph is acyclic
+    ///  - sources and sinks have no outgoing dependencies
+    ///  - every skill has at least one dependency (paths must end at data
+    ///    sources/sinks, not dangle at skills)
+    ///  - at least one root skill exists
+    /// Throws SkillGraphError on the first violation.
+    void validate() const;
+
+    /// Children in dependency-respecting order: every node appears after all
+    /// of its children. Requires a valid (acyclic) graph.
+    [[nodiscard]] std::vector<std::string> topological_order() const;
+
+private:
+    void add_node(SkillNode node);
+
+    std::map<std::string, SkillNode> nodes_;
+    std::map<std::string, std::vector<std::string>> children_;
+    std::map<std::string, std::vector<std::string>> parents_;
+};
+
+} // namespace sa::skills

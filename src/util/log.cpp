@@ -1,0 +1,45 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace sa {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+Log::Sink g_sink; // empty -> stderr
+
+void default_sink(LogLevel level, const std::string& message) {
+    std::fprintf(stderr, "[%s] %s\n", Log::level_name(level), message.c_str());
+}
+} // namespace
+
+void Log::set_level(LogLevel level) noexcept { g_level = level; }
+
+LogLevel Log::level() noexcept { return g_level; }
+
+void Log::set_sink(Sink sink) { g_sink = std::move(sink); }
+
+void Log::write(LogLevel level, const std::string& message) {
+    if (static_cast<int>(level) < static_cast<int>(g_level)) {
+        return;
+    }
+    if (g_sink) {
+        g_sink(level, message);
+    } else {
+        default_sink(level, message);
+    }
+}
+
+const char* Log::level_name(LogLevel level) noexcept {
+    switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+    }
+    return "?";
+}
+
+} // namespace sa

@@ -1,0 +1,141 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace sa {
+
+void RunningStats::add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+    if (other.n_ == 0) {
+        return;
+    }
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() noexcept { *this = RunningStats{}; }
+
+double RunningStats::mean() const noexcept { return n_ ? mean_ : 0.0; }
+
+double RunningStats::variance() const noexcept {
+    return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::min() const noexcept { return n_ ? min_ : 0.0; }
+
+double RunningStats::max() const noexcept { return n_ ? max_ : 0.0; }
+
+void SampleSet::add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+}
+
+double SampleSet::mean() const {
+    SA_REQUIRE(!samples_.empty(), "mean of empty sample set");
+    double sum = 0.0;
+    for (double s : samples_) {
+        sum += s;
+    }
+    return sum / static_cast<double>(samples_.size());
+}
+
+double SampleSet::min() const {
+    SA_REQUIRE(!samples_.empty(), "min of empty sample set");
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleSet::max() const {
+    SA_REQUIRE(!samples_.empty(), "max of empty sample set");
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double SampleSet::percentile(double p) const {
+    SA_REQUIRE(!samples_.empty(), "percentile of empty sample set");
+    SA_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must be within [0,100]");
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    if (p <= 0.0) {
+        return samples_.front();
+    }
+    const auto n = samples_.size();
+    const auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * static_cast<double>(n)));
+    return samples_[std::min(rank, n) - 1];
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)), counts_(buckets, 0) {
+    SA_REQUIRE(hi > lo, "histogram range must be non-empty");
+    SA_REQUIRE(buckets > 0, "histogram needs at least one bucket");
+}
+
+void Histogram::add(double x) noexcept {
+    std::size_t i;
+    if (x <= lo_) {
+        i = 0;
+    } else if (x >= hi_) {
+        i = counts_.size() - 1;
+    } else {
+        i = static_cast<std::size_t>((x - lo_) / width_);
+        i = std::min(i, counts_.size() - 1);
+    }
+    ++counts_[i];
+    ++total_;
+}
+
+std::uint64_t Histogram::bucket(std::size_t i) const {
+    SA_REQUIRE(i < counts_.size(), "bucket index out of range");
+    return counts_[i];
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+    SA_REQUIRE(i < counts_.size(), "bucket index out of range");
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bucket_hi(std::size_t i) const { return bucket_lo(i) + width_; }
+
+double Histogram::quantile(double q) const {
+    SA_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be within [0,1]");
+    SA_REQUIRE(total_ > 0, "quantile of empty histogram");
+    const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const std::uint64_t next = cum + counts_[i];
+        if (next >= target && counts_[i] > 0) {
+            const double frac =
+                counts_[i] ? static_cast<double>(target - cum) / static_cast<double>(counts_[i])
+                           : 0.0;
+            return bucket_lo(i) + frac * width_;
+        }
+        cum = next;
+    }
+    return hi_;
+}
+
+} // namespace sa

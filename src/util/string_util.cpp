@@ -1,0 +1,83 @@
+#include "util/string_util.hpp"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cmath>
+
+namespace sa {
+
+std::vector<std::string> split(std::string_view text, char delim) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = text.find(delim, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(text.substr(start));
+            break;
+        }
+        out.emplace_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+    return out;
+}
+
+std::string_view trim(std::string_view text) {
+    std::size_t b = 0;
+    std::size_t e = text.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(text[b]))) {
+        ++b;
+    }
+    while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1]))) {
+        --e;
+    }
+    return text.substr(b, e - b);
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+    return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+    return text.size() >= suffix.size() && text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string to_lower(std::string_view text) {
+    std::string out(text);
+    for (char& c : out) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    return out;
+}
+
+std::string format(const char* fmt, ...) {
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    std::string out;
+    if (needed > 0) {
+        out.resize(static_cast<std::size_t>(needed));
+        std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+    }
+    va_end(args);
+    return out;
+}
+
+std::string human_duration_ns(long long ns) {
+    const double v = static_cast<double>(ns);
+    if (std::llabs(ns) >= 1'000'000'000LL) {
+        return format("%.3fs", v / 1e9);
+    }
+    if (std::llabs(ns) >= 1'000'000LL) {
+        return format("%.3fms", v / 1e6);
+    }
+    if (std::llabs(ns) >= 1'000LL) {
+        return format("%.3fus", v / 1e3);
+    }
+    return format("%lldns", ns);
+}
+
+} // namespace sa

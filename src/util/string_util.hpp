@@ -1,0 +1,27 @@
+#pragma once
+// Small string helpers shared by the contract parser and report printers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sa {
+
+/// Split on a delimiter; empty fields are kept ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+std::string to_lower(std::string_view text);
+
+/// printf-style helper returning std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Render a duration in nanoseconds with an adaptive unit ("12.3us", "4.5ms").
+std::string human_duration_ns(long long ns);
+
+} // namespace sa

@@ -1,0 +1,43 @@
+#include "vehicle/acc_controller.hpp"
+
+#include <algorithm>
+
+namespace sa::vehicle {
+
+double AccController::effective_set_speed() const noexcept {
+    if (speed_limit_.has_value()) {
+        return std::min(config_.set_speed_mps, *speed_limit_);
+    }
+    return config_.set_speed_mps;
+}
+
+AccCommand AccController::step(double ego_speed_mps, std::optional<double> measured_gap_m,
+                               std::optional<double> closing_speed_mps) {
+    AccCommand cmd;
+
+    // Speed-control demand towards the (possibly clamped) set speed.
+    const double speed_error = effective_set_speed() - ego_speed_mps;
+    double accel_demand = config_.kp_speed * speed_error;
+
+    // Gap-control demand if a target is measured; take the more conservative
+    // (smaller) of the two demands.
+    if (measured_gap_m.has_value()) {
+        const double desired_gap =
+            config_.min_gap_m + config_.time_gap_s * ego_speed_mps;
+        const double gap_error = *measured_gap_m - desired_gap;
+        const double closing = closing_speed_mps.value_or(0.0);
+        const double gap_demand = config_.kp_gap * gap_error - config_.kd_gap * closing;
+        accel_demand = std::min(accel_demand, gap_demand);
+        cmd.following = true;
+    }
+
+    accel_demand = std::clamp(accel_demand, -config_.max_decel, config_.max_accel);
+    if (accel_demand >= 0.0) {
+        cmd.throttle = accel_demand / config_.max_accel;
+    } else {
+        cmd.brake = -accel_demand / config_.max_decel;
+    }
+    return cmd;
+}
+
+} // namespace sa::vehicle

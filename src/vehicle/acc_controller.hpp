@@ -1,0 +1,56 @@
+#pragma once
+// Adaptive Cruise Control: constant-time-gap spacing policy with a speed
+// controller fallback. The controller exposes the hooks the ability layer
+// pulls during graceful degradation: a max-speed clamp ("reducing the
+// maximum speed ... to stay in safe margins", §V) and a time-gap widening.
+
+#include <optional>
+
+namespace sa::vehicle {
+
+struct AccConfig {
+    double set_speed_mps = 30.0;
+    double time_gap_s = 1.8;
+    double min_gap_m = 5.0;
+    double kp_gap = 0.12;    ///< gap error -> accel demand
+    double kd_gap = 0.35;    ///< closing-speed damping
+    double kp_speed = 0.35;  ///< speed error -> accel demand
+    double max_accel = 2.0;  ///< m/s^2 demand clamp
+    double max_decel = 6.0;  ///< m/s^2 demand clamp
+};
+
+struct AccCommand {
+    double throttle = 0.0; ///< [0, 1]
+    double brake = 0.0;    ///< [0, 1]
+    bool following = false;///< true if regulating on a lead vehicle
+};
+
+class AccController {
+public:
+    explicit AccController(AccConfig config = {}) : config_(config) {}
+
+    /// One control step. `measured_gap_m`/`closing_speed_mps` come from the
+    /// perception chain (nullopt when no valid target): without a target the
+    /// controller regulates speed only.
+    [[nodiscard]] AccCommand step(double ego_speed_mps,
+                                  std::optional<double> measured_gap_m,
+                                  std::optional<double> closing_speed_mps);
+
+    // --- degradation hooks --------------------------------------------------
+    /// Clamp the effective set speed (ability-layer tactic). nullopt = clear.
+    void set_speed_limit(std::optional<double> limit_mps) { speed_limit_ = limit_mps; }
+    [[nodiscard]] std::optional<double> speed_limit() const noexcept {
+        return speed_limit_;
+    }
+    /// Widen the time gap (degraded sensing => more margin).
+    void set_time_gap(double seconds) { config_.time_gap_s = seconds; }
+
+    [[nodiscard]] const AccConfig& config() const noexcept { return config_; }
+    [[nodiscard]] double effective_set_speed() const noexcept;
+
+private:
+    AccConfig config_;
+    std::optional<double> speed_limit_;
+};
+
+} // namespace sa::vehicle

@@ -1,0 +1,26 @@
+#include "vehicle/brake_by_wire.hpp"
+
+#include <algorithm>
+
+namespace sa::vehicle {
+
+double BrakeByWire::effectiveness() const noexcept {
+    double e = 0.0;
+    if (front_) {
+        e += split_.front_fraction;
+    }
+    if (rear_) {
+        e += 1.0 - split_.front_fraction;
+    }
+    if (drivetrain_) {
+        e += split_.drivetrain_fraction;
+    }
+    return std::min(e, 1.0);
+}
+
+double BrakeByWire::ability_level() const noexcept {
+    // The sink's ability is its effectiveness relative to nominal.
+    return std::clamp(effectiveness(), 0.0, 1.0);
+}
+
+} // namespace sa::vehicle

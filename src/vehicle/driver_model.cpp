@@ -1,0 +1,27 @@
+#include "vehicle/driver_model.hpp"
+
+#include "util/assert.hpp"
+
+namespace sa::vehicle {
+
+void DriverModel::start(std::function<void(const DriverIntent&)> on_sample) {
+    SA_REQUIRE(static_cast<bool>(on_sample), "driver model needs a sample callback");
+    if (periodic_id_ != 0) {
+        return;
+    }
+    periodic_id_ = simulator_.schedule_periodic(
+        period_, [this, cb = std::move(on_sample)] {
+            if (!hmi_failed_) {
+                cb(intent_);
+            }
+        });
+}
+
+void DriverModel::stop() {
+    if (periodic_id_ != 0) {
+        simulator_.cancel_periodic(periodic_id_);
+        periodic_id_ = 0;
+    }
+}
+
+} // namespace sa::vehicle

@@ -1,0 +1,33 @@
+#include "vehicle/longitudinal.hpp"
+
+#include "util/assert.hpp"
+
+namespace sa::vehicle {
+
+void LongitudinalModel::step(double dt_s, double throttle, double brake,
+                             double brake_effectiveness) {
+    SA_REQUIRE(dt_s > 0.0, "time step must be positive");
+    throttle = std::clamp(throttle, 0.0, 1.0);
+    brake = std::clamp(brake, 0.0, 1.0);
+    brake_effectiveness = std::clamp(brake_effectiveness, 0.0, 1.0);
+
+    const double f_engine = throttle * params_.max_engine_force_n;
+    const double f_brake = brake * params_.max_brake_force_n * brake_effectiveness;
+    const double f_drag = params_.drag * speed_ * speed_;
+    const double f_roll =
+        speed_ > 0.0 ? params_.rolling_coeff * params_.mass_kg * params_.gravity : 0.0;
+
+    const double accel = (f_engine - f_brake - f_drag - f_roll) / params_.mass_kg;
+    speed_ = std::max(0.0, speed_ + accel * dt_s);
+    position_ += speed_ * dt_s;
+}
+
+double LongitudinalModel::stopping_distance(double speed,
+                                            double brake_effectiveness) const {
+    brake_effectiveness = std::clamp(brake_effectiveness, 0.01, 1.0);
+    const double decel =
+        params_.max_brake_force_n * brake_effectiveness / params_.mass_kg;
+    return speed * speed / (2.0 * decel);
+}
+
+} // namespace sa::vehicle

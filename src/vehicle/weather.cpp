@@ -1,0 +1,15 @@
+#include "vehicle/weather.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sa::vehicle {
+
+double visibility_m(const WeatherCondition& weather) {
+    // Exponential decay with fog density; rain has a milder effect.
+    const double fog_vis = 2000.0 * std::exp(-4.0 * weather.fog);
+    const double rain_factor = 1.0 - 0.5 * weather.rain;
+    return std::max(15.0, fog_vis * rain_factor);
+}
+
+} // namespace sa::vehicle

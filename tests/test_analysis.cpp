@@ -1,0 +1,366 @@
+// Tests for the real-time analysis library: PJD event models, CPU busy-window
+// WCRT, CAN WCRT, end-to-end chains. Includes parameterized property sweeps
+// (monotonicity, bounds) that gate the MCC's acceptance-test soundness.
+
+#include <gtest/gtest.h>
+
+#include "analysis/can_wcrt.hpp"
+#include "analysis/chain_latency.hpp"
+#include "analysis/cpu_wcrt.hpp"
+#include "analysis/event_model.hpp"
+#include "util/assert.hpp"
+
+namespace {
+
+using namespace sa;
+using namespace sa::analysis;
+using sim::Duration;
+
+// --- EventModel ------------------------------------------------------------------
+
+TEST(EventModel, PeriodicEtaPlus) {
+    const auto em = EventModel::periodic(Duration::ms(10));
+    EXPECT_EQ(em.eta_plus(Duration::ms(0)), 0);
+    EXPECT_EQ(em.eta_plus(Duration::ns(1)), 1);
+    EXPECT_EQ(em.eta_plus(Duration::ms(10)), 1);
+    EXPECT_EQ(em.eta_plus(Duration::ns(Duration::ms(10).count_ns() + 1)), 2);
+    EXPECT_EQ(em.eta_plus(Duration::ms(100)), 10);
+}
+
+TEST(EventModel, PeriodicEtaMinus) {
+    const auto em = EventModel::periodic(Duration::ms(10));
+    EXPECT_EQ(em.eta_minus(Duration::ms(9)), 0);
+    EXPECT_EQ(em.eta_minus(Duration::ms(10)), 1);
+    EXPECT_EQ(em.eta_minus(Duration::ms(25)), 2);
+}
+
+TEST(EventModel, JitterIncreasesEtaPlus) {
+    const auto base = EventModel::periodic(Duration::ms(10));
+    const auto jittery = EventModel::periodic_jitter(Duration::ms(10), Duration::ms(5));
+    EXPECT_EQ(jittery.eta_plus(Duration::ms(10)), 2);
+    EXPECT_GE(jittery.eta_plus(Duration::ms(50)), base.eta_plus(Duration::ms(50)));
+}
+
+TEST(EventModel, DminLimitsBursts) {
+    // Period 10ms with 30ms jitter would allow 4 events in a tiny window;
+    // d_min = 1ms caps a 2ms window at 2.
+    const auto em = EventModel::periodic_jitter(Duration::ms(10), Duration::ms(30),
+                                                Duration::ms(1));
+    EXPECT_EQ(em.eta_plus(Duration::ms(2)), 2);
+}
+
+TEST(EventModel, DeltaMinusInverseOfEtaPlus) {
+    const auto em = EventModel::periodic_jitter(Duration::ms(10), Duration::ms(3));
+    EXPECT_EQ(em.delta_minus(1), Duration::zero());
+    EXPECT_EQ(em.delta_minus(2), Duration::ms(7));
+    EXPECT_EQ(em.delta_minus(3), Duration::ms(17));
+}
+
+TEST(EventModel, DeltaPlus) {
+    const auto em = EventModel::periodic_jitter(Duration::ms(10), Duration::ms(3));
+    EXPECT_EQ(em.delta_plus(2), Duration::ms(13));
+}
+
+TEST(EventModel, RateHz) {
+    EXPECT_DOUBLE_EQ(EventModel::periodic(Duration::ms(10)).rate_hz(), 100.0);
+}
+
+TEST(EventModel, OutputJitterPropagation) {
+    const auto em = EventModel::periodic_jitter(Duration::ms(10), Duration::ms(1));
+    const auto out = em.with_added_jitter(Duration::ms(4));
+    EXPECT_EQ(out.jitter(), Duration::ms(5));
+    EXPECT_EQ(out.period(), Duration::ms(10));
+}
+
+TEST(EventModel, InvalidParametersRejected) {
+    EXPECT_THROW(EventModel::periodic(Duration::zero()), ContractViolation);
+    EXPECT_THROW(
+        EventModel::periodic_jitter(Duration::ms(10), Duration::ns(-1)),
+        ContractViolation);
+}
+
+/// Property sweep: eta_plus is monotone in the window and consistent with
+/// delta_minus (eta_plus(delta_minus(n)) <= n for all n).
+class EventModelProperty : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(EventModelProperty, EtaDeltaConsistency) {
+    const auto [period_ms, jitter_ms] = GetParam();
+    const auto em = EventModel::periodic_jitter(Duration::ms(period_ms),
+                                                Duration::ms(jitter_ms));
+    std::int64_t last = 0;
+    for (int w = 0; w <= 200; w += 7) {
+        const auto eta = em.eta_plus(Duration::ms(w));
+        EXPECT_GE(eta, last) << "eta_plus must be monotone";
+        last = eta;
+    }
+    for (int n = 2; n <= 20; ++n) {
+        const auto d = em.delta_minus(n);
+        // In any window strictly shorter than delta_minus(n), fewer than n
+        // events fit.
+        if (d.count_ns() > 1) {
+            EXPECT_LE(em.eta_plus(Duration(d.count_ns() - 1)), n - 1);
+        }
+        EXPECT_LE(em.delta_minus(n), em.delta_plus(n));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EventModelProperty,
+                         ::testing::Combine(::testing::Values(1, 5, 10, 50),
+                                            ::testing::Values(0, 2, 10, 30)));
+
+// --- CPU WCRT ----------------------------------------------------------------------
+
+CpuResourceModel three_task_cpu() {
+    CpuResourceModel cpu;
+    cpu.name = "ecu0";
+    cpu.tasks = {
+        TaskModel{"t1", Duration::ms(1), Duration::ms(1), 1,
+                  EventModel::periodic(Duration::ms(4)), Duration::zero()},
+        TaskModel{"t2", Duration::ms(2), Duration::ms(2), 2,
+                  EventModel::periodic(Duration::ms(8)), Duration::zero()},
+        TaskModel{"t3", Duration::ms(3), Duration::ms(3), 3,
+                  EventModel::periodic(Duration::ms(20)), Duration::zero()},
+    };
+    return cpu;
+}
+
+TEST(CpuWcrt, ClassicExample) {
+    // Utilization = 1/4 + 2/8 + 3/20 = 0.65; all schedulable under RM.
+    CpuWcrtAnalysis analysis;
+    const auto result = analysis.analyze(three_task_cpu());
+    ASSERT_EQ(result.entities.size(), 3u);
+    EXPECT_TRUE(result.all_schedulable);
+    // Highest priority: WCRT == WCET.
+    EXPECT_EQ(result.find("t1")->wcrt, Duration::ms(1));
+    // t2: 2 + 1 (t1 once) = 3ms.
+    EXPECT_EQ(result.find("t2")->wcrt, Duration::ms(3));
+    // t3: busy window: 3 + interference. Fixed point: w=3: t1x1,t2x1 -> 6;
+    // w=6: t1x2,t2x1 -> 7; w=7: t1x2,t2x1 -> 7. WCRT = 7ms.
+    EXPECT_EQ(result.find("t3")->wcrt, Duration::ms(7));
+    EXPECT_NEAR(result.utilization, 0.65, 1e-9);
+}
+
+TEST(CpuWcrt, OverloadDetected) {
+    CpuResourceModel cpu;
+    cpu.name = "hot";
+    cpu.tasks = {
+        TaskModel{"a", Duration::ms(6), Duration::ms(6), 1,
+                  EventModel::periodic(Duration::ms(10)), Duration::zero()},
+        TaskModel{"b", Duration::ms(6), Duration::ms(6), 2,
+                  EventModel::periodic(Duration::ms(10)), Duration::zero()},
+    };
+    CpuWcrtAnalysis analysis;
+    const auto result = analysis.analyze(cpu);
+    EXPECT_FALSE(result.all_schedulable);
+    EXPECT_GT(result.utilization, 1.0);
+}
+
+TEST(CpuWcrt, SpeedFactorScalesResponse) {
+    auto cpu = three_task_cpu();
+    CpuWcrtAnalysis analysis;
+    const auto full = analysis.analyze(cpu);
+    cpu.speed_factor = 0.5;
+    const auto half = analysis.analyze(cpu);
+    EXPECT_EQ(half.find("t1")->wcrt, Duration::ms(2));
+    EXPECT_GT(half.find("t3")->wcrt, full.find("t3")->wcrt);
+}
+
+TEST(CpuWcrt, DeadlineChecked) {
+    CpuResourceModel cpu;
+    cpu.name = "dl";
+    cpu.tasks = {
+        TaskModel{"hp", Duration::ms(4), Duration::ms(4), 1,
+                  EventModel::periodic(Duration::ms(10)), Duration::zero()},
+        TaskModel{"lp", Duration::ms(2), Duration::ms(2), 2,
+                  EventModel::periodic(Duration::ms(10)), Duration::ms(5)},
+    };
+    CpuWcrtAnalysis analysis;
+    const auto result = analysis.analyze(cpu);
+    // lp WCRT = 6ms > 5ms deadline.
+    EXPECT_EQ(result.find("lp")->wcrt, Duration::ms(6));
+    EXPECT_FALSE(result.find("lp")->schedulable);
+    EXPECT_TRUE(result.find("hp")->schedulable);
+}
+
+TEST(CpuWcrt, DuplicatePrioritiesRejected) {
+    CpuResourceModel cpu;
+    cpu.name = "dup";
+    cpu.tasks = {
+        TaskModel{"a", Duration::ms(1), Duration::ms(1), 1,
+                  EventModel::periodic(Duration::ms(10)), Duration::zero()},
+        TaskModel{"b", Duration::ms(1), Duration::ms(1), 1,
+                  EventModel::periodic(Duration::ms(10)), Duration::zero()},
+    };
+    CpuWcrtAnalysis analysis;
+    EXPECT_THROW((void)analysis.analyze(cpu), ContractViolation);
+}
+
+/// Property: WCRT is monotone in any task's WCET, and never below the task's
+/// own (scaled) WCET.
+class CpuWcrtProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CpuWcrtProperty, MonotoneInWcet) {
+    const int extra_us = GetParam();
+    auto cpu = three_task_cpu();
+    CpuWcrtAnalysis analysis;
+    const auto base = analysis.analyze(cpu);
+    cpu.tasks[0].wcet = cpu.tasks[0].wcet + Duration::us(extra_us);
+    cpu.tasks[0].bcet = cpu.tasks[0].wcet;
+    const auto grown = analysis.analyze(cpu);
+    for (const auto& t : grown.entities) {
+        const auto* b = base.find(t.name);
+        ASSERT_NE(b, nullptr);
+        EXPECT_GE(t.wcrt, b->wcrt) << t.name;
+    }
+    for (std::size_t i = 0; i < cpu.tasks.size(); ++i) {
+        EXPECT_GE(grown.entities[i].wcrt, cpu.scaled_wcet(cpu.tasks[i]));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CpuWcrtProperty,
+                         ::testing::Values(0, 100, 250, 500, 900));
+
+// --- CAN frame timing -----------------------------------------------------------
+
+TEST(CanTiming, WorstCaseBitsStandard) {
+    // Davis et al.: 8-byte standard frame worst case = 135 bits.
+    EXPECT_EQ(can_frame_bits_worst_case(8, false), 135);
+    // 0-byte standard frame: 34 + 13 + floor(33/4) = 55.
+    EXPECT_EQ(can_frame_bits_worst_case(0, false), 55);
+}
+
+TEST(CanTiming, WorstCaseBitsExtended) {
+    // 8-byte extended frame worst case = 160 bits.
+    EXPECT_EQ(can_frame_bits_worst_case(8, true), 160);
+}
+
+TEST(CanTiming, FrameTimeAt500k) {
+    // 135 bits at 500 kbit/s = 270 us.
+    EXPECT_EQ(can_frame_time(8, false, 500'000), Duration::us(270));
+}
+
+TEST(CanTiming, InvalidPayloadRejected) {
+    EXPECT_THROW((void)can_frame_bits_worst_case(9, false), ContractViolation);
+    EXPECT_THROW((void)can_frame_bits_worst_case(-1, false), ContractViolation);
+}
+
+// --- CAN WCRT ---------------------------------------------------------------------
+
+CanBusModel three_msg_bus() {
+    CanBusModel bus;
+    bus.name = "body";
+    bus.bitrate_bps = 500'000;
+    bus.messages = {
+        CanMessageModel{"m1", 0x100, 8, false, EventModel::periodic(Duration::ms(5)),
+                        Duration::zero()},
+        CanMessageModel{"m2", 0x200, 8, false, EventModel::periodic(Duration::ms(10)),
+                        Duration::zero()},
+        CanMessageModel{"m3", 0x300, 8, false, EventModel::periodic(Duration::ms(20)),
+                        Duration::zero()},
+    };
+    return bus;
+}
+
+TEST(CanWcrt, HighestPriorityOnlyBlocked) {
+    CanWcrtAnalysis analysis;
+    const auto result = analysis.analyze(three_msg_bus());
+    ASSERT_EQ(result.entities.size(), 3u);
+    EXPECT_TRUE(result.all_schedulable);
+    // m1: blocking (270us by lower-prio frame) + own 270us = 540us.
+    EXPECT_EQ(result.find("m1")->wcrt, Duration::us(540));
+}
+
+TEST(CanWcrt, LowerPriorityAccumulatesInterference) {
+    CanWcrtAnalysis analysis;
+    const auto result = analysis.analyze(three_msg_bus());
+    EXPECT_GT(result.find("m2")->wcrt, result.find("m1")->wcrt);
+    // m3 trades m2's blocking term for m2's interference term — with equal
+    // frame sizes the two cancel exactly, so the WCRTs tie.
+    EXPECT_GE(result.find("m3")->wcrt, result.find("m2")->wcrt);
+}
+
+TEST(CanWcrt, LowestPriorityHasNoBlocking) {
+    CanWcrtAnalysis analysis;
+    const auto result = analysis.analyze(three_msg_bus());
+    // m3 has no lower-priority messages: wcrt = interference + own time.
+    // w = 270 (m1) + 270 (m2) = 540; next: eta(540+2)us: m1 x1, m2 x1 -> same.
+    // response = 540 + 270 = 810us.
+    EXPECT_EQ(result.find("m3")->wcrt, Duration::us(810));
+}
+
+TEST(CanWcrt, UtilizationComputed) {
+    const auto bus = three_msg_bus();
+    // 270us/5ms + 270us/10ms + 270us/20ms = 0.054+0.027+0.0135 = 0.0945
+    EXPECT_NEAR(CanWcrtAnalysis::utilization(bus), 0.0945, 1e-6);
+}
+
+TEST(CanWcrt, DuplicateIdsRejected) {
+    auto bus = three_msg_bus();
+    bus.messages[1].can_id = 0x100;
+    CanWcrtAnalysis analysis;
+    EXPECT_THROW((void)analysis.analyze(bus), ContractViolation);
+}
+
+/// Property: message WCRT is monotone when higher-priority load increases.
+class CanWcrtProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CanWcrtProperty, MonotoneInHpRate) {
+    const int period_ms = GetParam();
+    auto bus = three_msg_bus();
+    CanWcrtAnalysis analysis;
+    const auto base = analysis.analyze(bus);
+    bus.messages[0].activation = EventModel::periodic(Duration::ms(period_ms));
+    const auto faster = analysis.analyze(bus);
+    EXPECT_GE(faster.find("m3")->wcrt, base.find("m3")->wcrt)
+        << "shortening the period of m1 must not reduce m3's WCRT";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CanWcrtProperty, ::testing::Values(1, 2, 3, 4));
+
+// --- Chain latency ---------------------------------------------------------------
+
+TEST(ChainLatency, ComposesStagesAndSampling) {
+    CpuWcrtAnalysis cpu_analysis;
+    CanWcrtAnalysis can_analysis;
+    const auto cpu = cpu_analysis.analyze(three_task_cpu());
+    const auto bus = can_analysis.analyze(three_msg_bus());
+
+    ChainLatencyAnalysis chain;
+    chain.add_resource_result(cpu);
+    chain.add_resource_result(bus);
+
+    const std::vector<ChainStage> stages = {
+        {ChainStage::Kind::CpuTask, "ecu0", "t1"},
+        {ChainStage::Kind::CanMessage, "body", "m1"},
+        {ChainStage::Kind::CpuTask, "ecu0", "t2"},
+    };
+    const auto result =
+        chain.analyze("sensor_to_actuator", stages, Duration::ms(20),
+                      {Duration::zero(), Duration::zero(), Duration::ms(8)});
+    EXPECT_TRUE(result.complete);
+    // 1ms + 540us + (3ms + 8ms sampling) = 12.54ms <= 20ms.
+    EXPECT_EQ(result.worst_case, Duration::us(12'540));
+    EXPECT_TRUE(result.satisfied);
+}
+
+TEST(ChainLatency, MissingStageMarksIncomplete) {
+    ChainLatencyAnalysis chain;
+    const std::vector<ChainStage> stages = {
+        {ChainStage::Kind::CpuTask, "nowhere", "ghost"}};
+    const auto result = chain.analyze("ghost", stages, Duration::ms(1));
+    EXPECT_FALSE(result.complete);
+    EXPECT_FALSE(result.satisfied);
+}
+
+TEST(ChainLatency, RequirementViolationDetected) {
+    CpuWcrtAnalysis cpu_analysis;
+    ChainLatencyAnalysis chain;
+    chain.add_resource_result(cpu_analysis.analyze(three_task_cpu()));
+    const std::vector<ChainStage> stages = {
+        {ChainStage::Kind::CpuTask, "ecu0", "t3"}};
+    const auto result = chain.analyze("tight", stages, Duration::ms(5));
+    EXPECT_TRUE(result.complete);
+    EXPECT_FALSE(result.satisfied); // 7ms > 5ms
+}
+
+} // namespace

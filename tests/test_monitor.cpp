@@ -1,0 +1,406 @@
+// Tests for the monitoring framework: each monitor type, the manager's
+// aggregation/metric store, and the monitoring-overhead accounting.
+
+#include <gtest/gtest.h>
+
+#include "monitor/budget_monitor.hpp"
+#include "monitor/deadline_monitor.hpp"
+#include "monitor/heartbeat_monitor.hpp"
+#include "monitor/manager.hpp"
+#include "monitor/range_monitor.hpp"
+#include "monitor/rate_monitor.hpp"
+#include "monitor/sensor_quality_monitor.hpp"
+#include "rte/rte.hpp"
+
+namespace {
+
+using namespace sa;
+using namespace sa::monitor;
+using sim::Duration;
+using sim::Time;
+
+rte::RtTaskConfig fixed_task(const std::string& name, int prio, Duration period,
+                             Duration wcet) {
+    rte::RtTaskConfig t;
+    t.name = name;
+    t.priority = prio;
+    t.period = period;
+    t.wcet = wcet;
+    t.bcet = wcet;
+    t.randomize_exec = false;
+    return t;
+}
+
+// --- HeartbeatMonitor -----------------------------------------------------------
+
+TEST(Heartbeat, DetectsSilenceAndRecovery) {
+    sim::Simulator sim;
+    HeartbeatMonitor hb(sim, "pulse", Duration::ms(50), Duration::ms(10));
+    std::vector<std::string> kinds;
+    hb.anomaly().subscribe([&](const Anomaly& a) { kinds.push_back(a.kind); });
+    hb.start();
+
+    // Beat for 100ms, go silent for 200ms, then beat again.
+    auto beats = sim.schedule_periodic(Duration::ms(20), [&] { hb.beat(); });
+    sim.run_until(Time(Duration::ms(100).count_ns()));
+    EXPECT_TRUE(hb.alive());
+    sim.cancel_periodic(beats);
+    sim.run_until(Time(Duration::ms(300).count_ns()));
+    EXPECT_FALSE(hb.alive());
+    hb.beat();
+    EXPECT_TRUE(hb.alive());
+
+    ASSERT_EQ(kinds.size(), 2u);
+    EXPECT_EQ(kinds[0], "heartbeat_loss");
+    EXPECT_EQ(kinds[1], "heartbeat_recovered");
+}
+
+TEST(Heartbeat, AttachToComponentTasks) {
+    sim::Simulator sim;
+    rte::Rte rte(sim);
+    rte.add_ecu(rte::EcuConfig{"ecu0", {1.0}, {}});
+    rte::RteConfig cfg;
+    rte::ComponentSpec spec;
+    spec.name = "beater";
+    spec.ecu = "ecu0";
+    spec.tasks.push_back(fixed_task("beater.main", 1, Duration::ms(10), Duration::us(100)));
+    cfg.components.push_back(spec);
+    rte.apply(cfg);
+    rte.start();
+
+    HeartbeatMonitor hb(sim, "beater", Duration::ms(50));
+    hb.attach(rte.component("beater"));
+    hb.start();
+    sim.run_until(Time(Duration::ms(200).count_ns()));
+    EXPECT_TRUE(hb.alive());
+
+    rte.component("beater").fail();
+    sim.run_until(Time(Duration::ms(400).count_ns()));
+    EXPECT_FALSE(hb.alive());
+}
+
+// --- DeadlineMonitor ---------------------------------------------------------------
+
+TEST(Deadline, RaisesPerMissAndRatioAlarm) {
+    sim::Simulator sim;
+    rte::FixedPriorityScheduler sched(sim, "ecu");
+    auto t = fixed_task("t", 1, Duration::ms(10), Duration::ms(6));
+    t.deadline = Duration::ms(5); // always missed
+    sched.add_task(t);
+    DeadlineMonitor mon(sim, sched, 20);
+    std::vector<std::string> kinds;
+    mon.anomaly().subscribe([&](const Anomaly& a) { kinds.push_back(a.kind); });
+    sched.start();
+    sim.run_until(Time(Duration::ms(300).count_ns()));
+    EXPECT_GT(mon.misses(), 10u);
+    EXPECT_GT(mon.miss_ratio(), 0.9);
+    EXPECT_NE(std::find(kinds.begin(), kinds.end(), "miss_ratio_high"), kinds.end());
+}
+
+TEST(Deadline, QuietOnHealthySystem) {
+    sim::Simulator sim;
+    rte::FixedPriorityScheduler sched(sim, "ecu");
+    sched.add_task(fixed_task("t", 1, Duration::ms(10), Duration::ms(1)));
+    DeadlineMonitor mon(sim, sched);
+    sched.start();
+    sim.run_until(Time(Duration::ms(300).count_ns()));
+    EXPECT_EQ(mon.misses(), 0u);
+    EXPECT_EQ(mon.anomalies_raised(), 0u);
+}
+
+// --- BudgetMonitor ------------------------------------------------------------------
+
+TEST(Budget, ObserveModeOnlyRecords) {
+    sim::Simulator sim;
+    rte::FixedPriorityScheduler sched(sim, "ecu");
+    const auto id = sched.add_task(fixed_task("t", 1, Duration::ms(10), Duration::ms(1)));
+    BudgetMonitor mon(sim, sched);
+    mon.set_mode(BudgetMode::Observe);
+    mon.set_budget(id, Duration::us(500)); // everything violates
+    sched.start();
+    sim.run_until(Time(Duration::ms(100).count_ns()));
+    EXPECT_GT(mon.violations(), 5u);
+    EXPECT_EQ(mon.anomalies_raised(), 0u);
+    EXPECT_EQ(mon.observed_max(id), Duration::ms(1));
+}
+
+TEST(Budget, WarnModeRaises) {
+    sim::Simulator sim;
+    rte::FixedPriorityScheduler sched(sim, "ecu");
+    const auto id = sched.add_task(fixed_task("t", 1, Duration::ms(10), Duration::ms(1)));
+    BudgetMonitor mon(sim, sched);
+    mon.set_mode(BudgetMode::Warn);
+    mon.set_budget(id, Duration::us(500));
+    sched.start();
+    sim.run_until(Time(Duration::ms(50).count_ns()));
+    EXPECT_GT(mon.anomalies_raised(), 0u);
+}
+
+TEST(Budget, EnforceModeInvokesAction) {
+    sim::Simulator sim;
+    rte::FixedPriorityScheduler sched(sim, "ecu");
+    const auto id = sched.add_task(fixed_task("t", 1, Duration::ms(10), Duration::ms(2)));
+    BudgetMonitor mon(sim, sched);
+    mon.set_mode(BudgetMode::Enforce);
+    mon.set_budget(id, Duration::ms(1));
+    int enforcements = 0;
+    mon.set_enforcement_action(
+        [&](rte::TaskId task, const rte::JobRecord&) {
+            ++enforcements;
+            sched.remove_task(task); // kill the offender
+        });
+    sched.start();
+    sim.run_until(Time(Duration::ms(100).count_ns()));
+    EXPECT_EQ(enforcements, 1);
+    EXPECT_FALSE(sched.has_task(id));
+}
+
+TEST(Budget, WithinBudgetStaysQuiet) {
+    sim::Simulator sim;
+    rte::FixedPriorityScheduler sched(sim, "ecu");
+    const auto id = sched.add_task(fixed_task("t", 1, Duration::ms(10), Duration::ms(1)));
+    BudgetMonitor mon(sim, sched);
+    mon.set_budget(id, Duration::ms(2));
+    sched.start();
+    sim.run_until(Time(Duration::ms(100).count_ns()));
+    EXPECT_EQ(mon.violations(), 0u);
+}
+
+// --- RangeMonitor -------------------------------------------------------------------
+
+TEST(Range, ViolationAndRecoveryOnce) {
+    sim::Simulator sim;
+    RangeMonitor mon(sim, "vitals");
+    mon.set_bounds("tire_pressure", 1.8, 3.2);
+    std::vector<std::string> kinds;
+    mon.anomaly().subscribe([&](const Anomaly& a) { kinds.push_back(a.kind); });
+
+    EXPECT_TRUE(mon.sample("tire_pressure", 2.5));
+    EXPECT_FALSE(mon.sample("tire_pressure", 1.2));
+    EXPECT_FALSE(mon.sample("tire_pressure", 1.1)); // still violating: no re-raise
+    EXPECT_TRUE(mon.sample("tire_pressure", 2.2));  // recovery
+    ASSERT_EQ(kinds.size(), 2u);
+    EXPECT_EQ(kinds[0], "range_violation");
+    EXPECT_EQ(kinds[1], "range_recovered");
+    EXPECT_EQ(mon.violations(), 1u);
+}
+
+TEST(Range, UnconfiguredSignalAccepted) {
+    sim::Simulator sim;
+    RangeMonitor mon(sim, "vitals");
+    EXPECT_TRUE(mon.sample("unknown", 1e9));
+    EXPECT_DOUBLE_EQ(mon.last("unknown"), 1e9);
+}
+
+// --- RateMonitor (IDS) ---------------------------------------------------------------
+
+struct IdsRig {
+    sim::Simulator sim;
+    rte::AccessControl access;
+    rte::ServiceRegistry services{sim, access, Duration::us(5)};
+};
+
+TEST(RateIds, FlagsRateExcess) {
+    IdsRig rig;
+    rig.services.provide("victim", "brake_cmd", [](const rte::Message&) {});
+    rig.access.grant("attacker", "brake_cmd");
+    RateMonitor ids(rig.sim, rig.services, Duration::ms(100));
+    ids.set_rate_bound("attacker", "brake_cmd", 100.0);
+    std::vector<Anomaly> anomalies;
+    ids.anomaly().subscribe([&](const Anomaly& a) { anomalies.push_back(a); });
+    ids.start();
+
+    const auto session = rig.services.open("attacker", "brake_cmd");
+    ASSERT_TRUE(session.has_value());
+    rig.sim.schedule_periodic(Duration::ms(1),
+                              [&] { rig.services.call(*session, {0.0}); });
+    rig.sim.run_until(Time(Duration::ms(500).count_ns()));
+
+    ASSERT_FALSE(anomalies.empty());
+    EXPECT_EQ(anomalies.front().kind, "rate_excess");
+    EXPECT_EQ(anomalies.front().source, "attacker");
+    EXPECT_EQ(anomalies.front().domain, Domain::Security);
+    EXPECT_NEAR(ids.observed_rate("attacker", "brake_cmd"), 1000.0, 50.0);
+}
+
+TEST(RateIds, WithinBoundStaysQuiet) {
+    IdsRig rig;
+    rig.services.provide("victim", "s", [](const rte::Message&) {});
+    rig.access.grant("client", "s");
+    RateMonitor ids(rig.sim, rig.services, Duration::ms(100));
+    ids.set_rate_bound("client", "s", 100.0);
+    ids.start();
+    const auto session = rig.services.open("client", "s");
+    rig.sim.schedule_periodic(Duration::ms(50),
+                              [&] { rig.services.call(*session, {}); });
+    rig.sim.run_until(Time(Duration::ms(500).count_ns()));
+    EXPECT_EQ(ids.anomalies_raised(), 0u);
+}
+
+TEST(RateIds, AccessProbeDetected) {
+    IdsRig rig;
+    rig.services.provide("victim", "secret", [](const rte::Message&) {});
+    RateMonitor ids(rig.sim, rig.services, Duration::ms(100));
+    ids.set_denied_open_threshold(3);
+    std::vector<std::string> kinds;
+    ids.anomaly().subscribe([&](const Anomaly& a) { kinds.push_back(a.kind); });
+    for (int i = 0; i < 5; ++i) {
+        (void)rig.services.open("prober", "secret");
+    }
+    ASSERT_EQ(kinds.size(), 1u); // raised exactly once at the threshold
+    EXPECT_EQ(kinds[0], "access_probe");
+}
+
+TEST(RateIds, RecoveryAfterStormEnds) {
+    IdsRig rig;
+    rig.services.provide("victim", "s", [](const rte::Message&) {});
+    rig.access.grant("c", "s");
+    RateMonitor ids(rig.sim, rig.services, Duration::ms(100));
+    ids.set_rate_bound("c", "s", 50.0);
+    std::vector<std::string> kinds;
+    ids.anomaly().subscribe([&](const Anomaly& a) { kinds.push_back(a.kind); });
+    ids.start();
+    const auto session = rig.services.open("c", "s");
+    const auto storm = rig.sim.schedule_periodic(
+        Duration::ms(2), [&] { rig.services.call(*session, {}); });
+    rig.sim.run_until(Time(Duration::ms(300).count_ns()));
+    rig.sim.cancel_periodic(storm);
+    rig.sim.run_until(Time(Duration::ms(700).count_ns()));
+    ASSERT_GE(kinds.size(), 2u);
+    EXPECT_EQ(kinds.front(), "rate_excess");
+    EXPECT_EQ(kinds.back(), "rate_recovered");
+}
+
+// --- SensorQualityMonitor --------------------------------------------------------------
+
+TEST(SensorQuality, NominalStreamScoresHigh) {
+    sim::Simulator sim;
+    SensorQualityConfig cfg;
+    cfg.expected_period = Duration::ms(50);
+    cfg.nominal_noise_sigma = 0.3;
+    SensorQualityMonitor mon(sim, "radar", cfg);
+    mon.start();
+    RandomEngine rng(5);
+    sim.schedule_periodic(Duration::ms(50),
+                          [&] { mon.sample(rng.normal(50.0, 0.3), true); });
+    sim.run_until(Time(Duration::sec(3).count_ns()));
+    EXPECT_GT(mon.quality(), 0.85);
+    EXPECT_EQ(mon.anomalies_raised(), 0u);
+}
+
+TEST(SensorQuality, DropoutsDegradeAvailability) {
+    sim::Simulator sim;
+    SensorQualityConfig cfg;
+    cfg.expected_period = Duration::ms(50);
+    SensorQualityMonitor mon(sim, "camera", cfg);
+    std::vector<std::string> kinds;
+    mon.anomaly().subscribe([&](const Anomaly& a) { kinds.push_back(a.kind); });
+    mon.start();
+    RandomEngine rng(5);
+    // Only every 4th expected sample arrives.
+    sim.schedule_periodic(Duration::ms(200),
+                          [&] { mon.sample(rng.normal(50.0, 0.1), true); });
+    sim.run_until(Time(Duration::sec(3).count_ns()));
+    // One sample per two evaluation windows against two expected per window:
+    // availability alternates between 0 and 0.5.
+    EXPECT_LE(mon.availability(), 0.5);
+    EXPECT_LT(mon.quality(), 0.7);
+    EXPECT_FALSE(kinds.empty());
+}
+
+TEST(SensorQuality, NoiseExplosionDegradesStability) {
+    sim::Simulator sim;
+    SensorQualityConfig cfg;
+    cfg.expected_period = Duration::ms(50);
+    cfg.nominal_noise_sigma = 0.1;
+    SensorQualityMonitor mon(sim, "lidar", cfg);
+    mon.start();
+    RandomEngine rng(5);
+    sim.schedule_periodic(Duration::ms(50),
+                          [&] { mon.sample(rng.normal(50.0, 3.0), true); });
+    sim.run_until(Time(Duration::sec(3).count_ns()));
+    EXPECT_LT(mon.stability(), 0.2);
+    EXPECT_LT(mon.quality(), 0.7);
+}
+
+TEST(SensorQuality, InvalidFlagsDegradeValidity) {
+    sim::Simulator sim;
+    SensorQualityConfig cfg;
+    cfg.expected_period = Duration::ms(50);
+    SensorQualityMonitor mon(sim, "radar", cfg);
+    mon.start();
+    RandomEngine rng(5);
+    int i = 0;
+    sim.schedule_periodic(Duration::ms(50), [&] {
+        mon.sample(rng.normal(50.0, 0.1), (i++ % 2) == 0);
+    });
+    sim.run_until(Time(Duration::sec(3).count_ns()));
+    EXPECT_NEAR(mon.validity(), 0.5, 0.1);
+}
+
+TEST(SensorQuality, RecoverySignalled) {
+    sim::Simulator sim;
+    SensorQualityConfig cfg;
+    cfg.expected_period = Duration::ms(50);
+    SensorQualityMonitor mon(sim, "radar", cfg);
+    std::vector<std::string> kinds;
+    mon.anomaly().subscribe([&](const Anomaly& a) { kinds.push_back(a.kind); });
+    mon.start();
+    RandomEngine rng(5);
+    // Healthy stream, but interrupted in the middle third.
+    std::uint64_t healthy = sim.schedule_periodic(
+        Duration::ms(50), [&] { mon.sample(rng.normal(50.0, 0.1), true); });
+    sim.run_until(Time(Duration::sec(2).count_ns()));
+    sim.cancel_periodic(healthy);
+    sim.run_until(Time(Duration::sec(4).count_ns()));
+    sim.schedule_periodic(Duration::ms(50),
+                          [&] { mon.sample(rng.normal(50.0, 0.1), true); });
+    sim.run_until(Time(Duration::sec(7).count_ns()));
+    EXPECT_GT(mon.quality(), 0.8);
+    EXPECT_NE(std::find(kinds.begin(), kinds.end(), "sensor_recovered"), kinds.end());
+}
+
+// --- MonitorManager -----------------------------------------------------------------
+
+TEST(Manager, AggregatesAnomalies) {
+    sim::Simulator sim;
+    MonitorManager mgr(sim);
+    auto& range = mgr.add<RangeMonitor>("vitals");
+    range.set_bounds("x", 0.0, 1.0);
+    int seen = 0;
+    mgr.anomalies().subscribe([&](const Anomaly&) { ++seen; });
+    range.sample("x", 5.0);
+    EXPECT_EQ(seen, 1);
+    EXPECT_EQ(mgr.total_anomalies(), 1u);
+    EXPECT_EQ(mgr.count_kind("range_violation"), 1u);
+    EXPECT_EQ(mgr.monitor_count(), 1u);
+}
+
+TEST(Manager, MetricStore) {
+    sim::Simulator sim;
+    MonitorManager mgr(sim);
+    mgr.ingest(Metric{"ecu0.util", 0.5, Time::zero()});
+    mgr.ingest(Metric{"ecu0.util", 0.7, Time::zero()});
+    EXPECT_DOUBLE_EQ(mgr.last_value("ecu0.util"), 0.7);
+    ASSERT_NE(mgr.stats("ecu0.util"), nullptr);
+    EXPECT_DOUBLE_EQ(mgr.stats("ecu0.util")->mean(), 0.6);
+    EXPECT_EQ(mgr.stats("ghost"), nullptr);
+    EXPECT_EQ(mgr.metric_names().size(), 1u);
+}
+
+TEST(Manager, OverheadTaskInterferesMinimally) {
+    sim::Simulator sim;
+    rte::Rte rte(sim);
+    rte::Ecu& ecu = rte.add_ecu(rte::EcuConfig{"ecu0", {1.0}, {}});
+    ecu.scheduler().add_task(fixed_task("app", 5, Duration::ms(10), Duration::ms(2)));
+
+    MonitorManager mgr(sim);
+    mgr.attach_overhead_task(ecu, Duration::ms(10), Duration::us(50), 1);
+    ecu.scheduler().start();
+    sim.run_until(Time(Duration::sec(1).count_ns()));
+    // The monitor costs 50us per 10ms = 0.5% utilization.
+    EXPECT_NEAR(ecu.scheduler().utilization(sim.now()), 0.205, 0.01);
+    EXPECT_EQ(ecu.scheduler().missed_deadlines(), 0u);
+}
+
+} // namespace

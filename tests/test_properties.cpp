@@ -1,0 +1,437 @@
+// Cross-cutting property suite: randomized invariants that tie the
+// *simulated* substrates to their *analytical* models (the foundation of the
+// paper's acceptance-test argument: if the analysis were not conservative
+// w.r.t. the execution domain, MCC admission would be unsound), plus
+// robustness fuzzing of the coordinator and determinism checks.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "analysis/can_wcrt.hpp"
+#include "can/bus.hpp"
+#include "can/controller.hpp"
+#include "core/coordinator.hpp"
+#include "model/fmea.hpp"
+#include "model/mcc.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace sa;
+using sim::Duration;
+using sim::Time;
+
+// --- CAN: simulation never exceeds the analytical WCRT ------------------------------
+
+struct MessageSetup {
+    std::uint32_t id;
+    Duration period;
+    int payload;
+};
+
+/// Parameterized over seeds: random periodic message sets are simulated on
+/// the bit-accurate bus; every observed frame latency must stay within the
+/// analytical worst case (Davis et al. bound).
+class CanSimVsAnalysis : public ::testing::TestWithParam<int> {};
+
+TEST_P(CanSimVsAnalysis, ObservedLatencyWithinBound) {
+    RandomEngine setup_rng(static_cast<std::uint64_t>(GetParam()));
+    const int n = static_cast<int>(setup_rng.uniform_int(3, 10));
+    std::vector<MessageSetup> setups;
+    std::set<std::uint32_t> used;
+    for (int i = 0; i < n; ++i) {
+        std::uint32_t id;
+        do {
+            id = static_cast<std::uint32_t>(setup_rng.uniform_int(0x100, 0x4FF));
+        } while (!used.insert(id).second);
+        setups.push_back(MessageSetup{
+            id, Duration::ms(setup_rng.uniform_int(10, 50)),
+            static_cast<int>(setup_rng.uniform_int(1, 8))});
+    }
+
+    // Analytical model.
+    analysis::CanBusModel model;
+    model.name = "prop";
+    model.bitrate_bps = 500'000;
+    for (const auto& s : setups) {
+        analysis::CanMessageModel m;
+        m.name = "m" + std::to_string(s.id);
+        m.can_id = s.id;
+        m.payload_bytes = s.payload;
+        m.activation = analysis::EventModel::periodic(s.period);
+        // Deadline = period (implicit); we only use the WCRT.
+        model.messages.push_back(m);
+    }
+    analysis::CanWcrtAnalysis analysis;
+    const auto result = analysis.analyze(model);
+    ASSERT_TRUE(result.all_schedulable);
+
+    // Simulation: one controller per message (worst case: all compete).
+    sim::Simulator simulator(static_cast<std::uint64_t>(GetParam()) * 7 + 1);
+    can::CanBus bus(simulator, "prop", can::CanBusConfig{500'000, 0.0, 4096});
+    std::vector<std::unique_ptr<can::CanController>> controllers;
+    std::map<std::uint32_t, Time> enqueue_time;
+    std::map<std::uint32_t, Duration> worst_seen;
+
+    can::CanController sink(bus, "sink");
+    sink.add_rx_filter(0, 0, [&](const can::CanFrame& f, Time at) {
+        auto it = enqueue_time.find(f.id);
+        if (it != enqueue_time.end()) {
+            auto& w = worst_seen[f.id];
+            w = std::max(w, at - it->second);
+        }
+    });
+
+    for (const auto& s : setups) {
+        auto ctrl = std::make_unique<can::CanController>(
+            bus, "node" + std::to_string(s.id), 64);
+        can::CanController* raw = ctrl.get();
+        std::vector<std::uint8_t> payload(static_cast<std::size_t>(s.payload), 0xA5);
+        simulator.schedule_periodic(
+            s.period,
+            [raw, s, payload, &enqueue_time, &simulator] {
+                enqueue_time[s.id] = simulator.now();
+                raw->send(can::CanFrame::make(s.id, payload));
+            },
+            // Synchronized start: the critical instant is likeliest at t=0.
+            Duration::zero());
+        controllers.push_back(std::move(ctrl));
+    }
+    simulator.run_until(Time(Duration::sec(3).count_ns()));
+
+    for (const auto& s : setups) {
+        const auto* wcrt = result.find("m" + std::to_string(s.id));
+        ASSERT_NE(wcrt, nullptr);
+        ASSERT_TRUE(worst_seen.count(s.id) > 0) << "message never observed";
+        // The sim adds 3 bits of interframe space per frame which the
+        // analysis does not model; allow that plus one bit time of slack.
+        const Duration slack = Duration::us(2 * 4);
+        EXPECT_LE(worst_seen[s.id].count_ns(),
+                  (wcrt->wcrt + slack).count_ns())
+            << "id " << std::hex << s.id;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CanSimVsAnalysis, ::testing::Range(1, 9));
+
+// --- Mapper determinism ----------------------------------------------------------------
+
+model::Contract random_contract(RandomEngine& rng, int index) {
+    model::Contract c;
+    c.component = "c" + std::to_string(index);
+    c.asil = static_cast<model::Asil>(rng.uniform_int(0, 4));
+    model::TaskSpec t;
+    t.name = "main";
+    t.period = Duration::ms(rng.uniform_int(5, 50));
+    t.wcet = Duration::us(rng.uniform_int(100, 2'000));
+    t.bcet = t.wcet;
+    c.tasks.push_back(t);
+    return c;
+}
+
+TEST(MapperProperty, DeterministicAcrossRuns) {
+    for (int seed = 1; seed <= 5; ++seed) {
+        RandomEngine rng(static_cast<std::uint64_t>(seed));
+        model::FunctionModel fm;
+        for (int i = 0; i < 12; ++i) {
+            fm.upsert(random_contract(rng, i));
+        }
+        model::PlatformModel platform;
+        for (int e = 0; e < 3; ++e) {
+            platform.ecus.push_back(model::EcuDescriptor{
+                "ecu" + std::to_string(e), 1.0, 0.75, model::Asil::D, "z", "p"});
+        }
+        model::Mapper mapper;
+        const auto a = mapper.map(fm, platform);
+        const auto b = mapper.map(fm, platform);
+        EXPECT_EQ(a.feasible, b.feasible);
+        EXPECT_EQ(a.mapping.component_to_ecu, b.mapping.component_to_ecu);
+        EXPECT_EQ(a.mapping.task_priority, b.mapping.task_priority);
+    }
+}
+
+TEST(MapperProperty, PlacementsRespectCaps) {
+    for (int seed = 10; seed <= 14; ++seed) {
+        RandomEngine rng(static_cast<std::uint64_t>(seed));
+        model::FunctionModel fm;
+        for (int i = 0; i < 10; ++i) {
+            fm.upsert(random_contract(rng, i));
+        }
+        model::PlatformModel platform;
+        platform.ecus.push_back(
+            model::EcuDescriptor{"small", 1.0, 0.3, model::Asil::B, "z", "p"});
+        platform.ecus.push_back(
+            model::EcuDescriptor{"big", 1.0, 0.9, model::Asil::D, "z", "p"});
+        model::Mapper mapper;
+        const auto result = mapper.map(fm, platform);
+        if (!result.feasible) {
+            continue;
+        }
+        // Re-derive per-ECU load and ASIL caps from the result.
+        std::map<std::string, double> load;
+        for (const auto& [comp, ecu] : result.mapping.component_to_ecu) {
+            const model::Contract* c = fm.find(comp);
+            ASSERT_NE(c, nullptr);
+            load[ecu] += c->cpu_utilization();
+            const auto* descriptor = platform.find_ecu(ecu);
+            ASSERT_NE(descriptor, nullptr);
+            EXPECT_LE(static_cast<int>(c->asil), static_cast<int>(descriptor->max_asil));
+        }
+        for (const auto& [ecu, u] : load) {
+            EXPECT_LE(u, platform.find_ecu(ecu)->max_utilization + 1e-9);
+        }
+    }
+}
+
+// --- FMEA monotonicity -------------------------------------------------------------------
+
+TEST(FmeaProperty, AddingRedundancyNeverHurts) {
+    // For any single-component loss: adding a redundant partner can only
+    // improve (or keep) the fail-operational verdict.
+    for (int seed = 20; seed <= 24; ++seed) {
+        RandomEngine rng(static_cast<std::uint64_t>(seed));
+        model::FunctionModel fm;
+        for (int i = 0; i < 6; ++i) {
+            auto c = random_contract(rng, i);
+            c.asil = model::Asil::D; // all critical: verdicts are meaningful
+            fm.upsert(c);
+        }
+        model::PlatformModel platform;
+        for (int e = 0; e < 3; ++e) {
+            platform.ecus.push_back(model::EcuDescriptor{
+                "ecu" + std::to_string(e), 1.0, 0.75, model::Asil::D, "z", "p"});
+        }
+        model::Mapper mapper;
+        const auto base_map = mapper.map(fm, platform);
+        ASSERT_TRUE(base_map.feasible);
+        const auto base_graph = build_dependency_graph(fm, platform, base_map.mapping);
+        model::FmeaEngine base_engine(base_graph, fm);
+
+        // Add a redundancy partner for c0.
+        model::FunctionModel upgraded = fm;
+        auto backup = random_contract(rng, 100);
+        backup.asil = model::Asil::D;
+        backup.redundant_with = "c0";
+        upgraded.upsert(backup);
+        const auto up_map = mapper.map(upgraded, platform, base_map.mapping);
+        ASSERT_TRUE(up_map.feasible);
+        const auto up_graph = build_dependency_graph(upgraded, platform, up_map.mapping);
+        model::FmeaEngine up_engine(up_graph, upgraded);
+
+        const auto before =
+            base_engine.analyze({model::DepNodeKind::Component, "c0"});
+        const auto after = up_engine.analyze({model::DepNodeKind::Component, "c0"});
+        // Monotone improvement.
+        EXPECT_GE(static_cast<int>(after.fail_operational),
+                  static_cast<int>(before.fail_operational));
+    }
+}
+
+// --- Coordinator fuzzing -------------------------------------------------------------------
+
+class ChaoticLayer : public core::Layer {
+public:
+    ChaoticLayer(core::LayerId id, RandomEngine& rng)
+        : Layer(id, "chaotic"), rng_(rng) {}
+
+    std::vector<core::Proposal> propose(const core::Problem&) override {
+        std::vector<core::Proposal> out;
+        const int n = static_cast<int>(rng_.uniform_int(0, 3));
+        for (int i = 0; i < n; ++i) {
+            core::Proposal p;
+            p.layer = id();
+            p.action = "a" + std::to_string(rng_.uniform_int(0, 5));
+            p.target = "t" + std::to_string(rng_.uniform_int(0, 3));
+            p.scope = rng_.uniform(0.0, 1.0);
+            p.cost = rng_.uniform(0.0, 1.0);
+            p.adequacy = rng_.uniform(0.0, 1.0);
+            p.execute = [this] { ++executions_; };
+            if (rng_.chance(0.2)) {
+                monitor::Anomaly follow;
+                follow.domain =
+                    static_cast<monitor::Domain>(rng_.uniform_int(0, 4));
+                follow.kind = "fuzz_followup";
+                follow.source = p.target;
+                follow.severity = monitor::Severity::Warning;
+                p.follow_up = follow;
+            }
+            out.push_back(std::move(p));
+        }
+        return out;
+    }
+    double health() const override { return 1.0; }
+
+    std::uint64_t executions_ = 0;
+
+private:
+    RandomEngine& rng_;
+};
+
+/// Fuzz: random anomalies against random layers. Invariants: no exceptions,
+/// every handled problem produces a decision record, handled ==
+/// resolved + unresolved, follow-ups are bounded.
+class CoordinatorFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoordinatorFuzz, InvariantsHoldUnderRandomLoad) {
+    sim::Simulator sim(static_cast<std::uint64_t>(GetParam()));
+    RandomEngine rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+    core::CoordinatorConfig cfg;
+    cfg.conflict_cooldown = Duration::ms(10);
+    core::CrossLayerCoordinator coord(sim, cfg);
+    for (int li = 0; li < core::kLayerCount; ++li) {
+        if (rng.chance(0.8)) {
+            coord.register_layer(
+                std::make_unique<ChaoticLayer>(static_cast<core::LayerId>(li), rng));
+        }
+    }
+    std::uint64_t sent = 0;
+    for (int i = 0; i < 300; ++i) {
+        monitor::Anomaly a;
+        a.domain = static_cast<monitor::Domain>(rng.uniform_int(0, 4));
+        a.kind = "fuzz" + std::to_string(rng.uniform_int(0, 10));
+        a.source = "s" + std::to_string(rng.uniform_int(0, 5));
+        a.severity = rng.chance(0.5) ? monitor::Severity::Warning
+                                     : monitor::Severity::Critical;
+        EXPECT_NO_THROW((void)coord.handle(a));
+        ++sent;
+        // Advance time a little so cooldowns expire occasionally.
+        sim.run_until(Time(sim.now().ns() + Duration::ms(3).count_ns()));
+    }
+    EXPECT_GE(coord.problems_handled(), sent); // follow-ups may add more
+    EXPECT_EQ(coord.problems_handled(),
+              coord.problems_resolved() + coord.problems_unresolved());
+    EXPECT_LE(coord.problems_handled(),
+              sent * static_cast<std::uint64_t>(1 + cfg.max_follow_ups));
+    EXPECT_FALSE(coord.decisions().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoordinatorFuzz, ::testing::Range(1, 6));
+
+} // namespace
+
+// --- Distributed chain: runtime vs. analysis -----------------------------------------
+
+#include "analysis/chain_latency.hpp"
+#include "analysis/cpu_wcrt.hpp"
+#include "rte/can_gateway.hpp"
+
+namespace {
+
+/// A two-ECU cause-effect chain (producer task -> CAN -> consumer task ->
+/// CAN response): observed end-to-end latency must stay within the composed
+/// analytical bound for every seed.
+class ChainSimVsAnalysis : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChainSimVsAnalysis, ObservedChainWithinBound) {
+    const auto seed = static_cast<std::uint64_t>(GetParam());
+    sim::Simulator simulator(seed);
+    can::CanBus bus(simulator, "chain", can::CanBusConfig{500'000, 0.0, 1024});
+    rte::FixedPriorityScheduler producer_ecu(simulator, "producer");
+    rte::FixedPriorityScheduler consumer_ecu(simulator, "consumer");
+
+    // Producer: periodic 20 ms task, WCET 2 ms.
+    rte::RtTaskConfig prod;
+    prod.name = "produce";
+    prod.priority = 1;
+    prod.period = Duration::ms(20);
+    prod.wcet = Duration::ms(2);
+    prod.bcet = Duration::ms(1);
+    const auto prod_id = producer_ecu.add_task(prod);
+    // Interfering higher-priority task on the consumer ECU.
+    rte::RtTaskConfig noise;
+    noise.name = "noise";
+    noise.priority = 1;
+    noise.period = Duration::ms(5);
+    noise.wcet = Duration::us(800);
+    noise.bcet = Duration::us(400);
+    consumer_ecu.add_task(noise);
+    // Consumer: sporadic, released by the request frame.
+    rte::RtTaskConfig cons;
+    cons.name = "consume";
+    cons.priority = 2;
+    cons.period = Duration::zero();
+    cons.wcet = Duration::ms(1);
+    cons.bcet = Duration::us(500);
+    cons.deadline = Duration::ms(20);
+    const auto cons_id = consumer_ecu.add_task(cons);
+
+    rte::CanGateway producer_gw(bus, "producer_gw");
+    rte::CanGateway consumer_gw(bus, "consumer_gw");
+    producer_gw.transmit_on_completion(producer_ecu, prod_id,
+                                       can::CanFrame::make(0x100, {1, 2, 3, 4}));
+    consumer_gw.activate_on_rx(consumer_ecu, cons_id, 0x100, 0x7FF);
+    consumer_gw.transmit_on_completion(consumer_ecu, cons_id,
+                                       can::CanFrame::make(0x200, {9}));
+
+    // Observe: producer job release -> response frame on the wire.
+    std::vector<Time> releases;
+    producer_ecu.job_released().subscribe([&](rte::TaskId id, Time at) {
+        if (id == prod_id) {
+            releases.push_back(at);
+        }
+    });
+    Duration worst_observed = Duration::zero();
+    std::size_t responses = 0;
+    can::CanController observer(bus, "observer");
+    observer.add_rx_filter(0x200, 0x7FF, [&](const can::CanFrame&, Time at) {
+        if (responses < releases.size()) {
+            worst_observed =
+                std::max(worst_observed, at - releases[responses]);
+        }
+        ++responses;
+    });
+
+    producer_ecu.start();
+    consumer_ecu.start();
+    simulator.run_until(Time(Duration::sec(2).count_ns()));
+    ASSERT_GT(responses, 50u);
+
+    // Analytical bound: event-driven chain, no sampling delays.
+    analysis::CpuResourceModel prod_model;
+    prod_model.name = "producer";
+    prod_model.tasks.push_back(analysis::TaskModel{
+        "produce", Duration::ms(2), Duration::ms(1), 1,
+        analysis::EventModel::periodic(Duration::ms(20)), Duration::zero()});
+    analysis::CpuResourceModel cons_model;
+    cons_model.name = "consumer";
+    cons_model.tasks.push_back(analysis::TaskModel{
+        "noise", Duration::us(800), Duration::us(400), 1,
+        analysis::EventModel::periodic(Duration::ms(5)), Duration::zero()});
+    cons_model.tasks.push_back(analysis::TaskModel{
+        "consume", Duration::ms(1), Duration::us(500), 2,
+        analysis::EventModel::sporadic(Duration::ms(20)), Duration::ms(20)});
+    analysis::CanBusModel bus_model;
+    bus_model.name = "chain";
+    bus_model.bitrate_bps = 500'000;
+    bus_model.messages.push_back(analysis::CanMessageModel{
+        "request", 0x100, 4, false, analysis::EventModel::periodic(Duration::ms(20)),
+        Duration::zero()});
+    bus_model.messages.push_back(analysis::CanMessageModel{
+        "response", 0x200, 1, false, analysis::EventModel::periodic(Duration::ms(20)),
+        Duration::zero()});
+
+    analysis::CpuWcrtAnalysis cpu;
+    analysis::CanWcrtAnalysis can_a;
+    analysis::ChainLatencyAnalysis chain;
+    chain.add_resource_result(cpu.analyze(prod_model));
+    chain.add_resource_result(cpu.analyze(cons_model));
+    chain.add_resource_result(can_a.analyze(bus_model));
+    const std::vector<analysis::ChainStage> stages = {
+        {analysis::ChainStage::Kind::CpuTask, "producer", "produce"},
+        {analysis::ChainStage::Kind::CanMessage, "chain", "request"},
+        {analysis::ChainStage::Kind::CpuTask, "consumer", "consume"},
+        {analysis::ChainStage::Kind::CanMessage, "chain", "response"},
+    };
+    const auto bound = chain.analyze("req_resp", stages, Duration::ms(50));
+    ASSERT_TRUE(bound.complete);
+    // Interframe-space slack per hop (the analysis does not model IFS).
+    const Duration slack = Duration::us(2 * 3 * 2);
+    EXPECT_LE(worst_observed.count_ns(), (bound.worst_case + slack).count_ns())
+        << "observed " << worst_observed.str() << " vs bound "
+        << bound.worst_case.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChainSimVsAnalysis, ::testing::Range(1, 7));
+
+} // namespace

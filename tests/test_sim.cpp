@@ -1,0 +1,295 @@
+// Unit tests for the discrete-event kernel: time, queue, simulator,
+// processes, signals, trace.
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hpp"
+#include "sim/process.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "util/assert.hpp"
+
+namespace {
+
+using namespace sa;
+using namespace sa::sim;
+using namespace sa::sim::literals;
+
+// --- Time / Duration -----------------------------------------------------------
+
+TEST(Time, ArithmeticAndComparisons) {
+    const Time t0(1'000);
+    const Time t1 = t0 + Duration::us(2);
+    EXPECT_EQ(t1.ns(), 3'000);
+    EXPECT_EQ((t1 - t0).count_ns(), 2'000);
+    EXPECT_LT(t0, t1);
+    EXPECT_EQ(t1 - Duration::ns(2'000), t0);
+}
+
+TEST(Time, UnitConversions) {
+    const Duration d = Duration::ms(3);
+    EXPECT_DOUBLE_EQ(d.to_us(), 3'000.0);
+    EXPECT_DOUBLE_EQ(d.to_seconds(), 0.003);
+    EXPECT_EQ((5_us).count_ns(), 5'000);
+    EXPECT_EQ((2_ms).count_ns(), 2'000'000);
+    EXPECT_EQ((1_s).count_ns(), 1'000'000'000);
+}
+
+TEST(Time, HumanReadable) {
+    EXPECT_EQ(Duration::us(12).str(), "12.000us");
+    EXPECT_EQ(Time(1'500'000).str(), "1.500ms");
+}
+
+// --- EventQueue -----------------------------------------------------------------
+
+TEST(EventQueue, OrdersByTime) {
+    EventQueue q;
+    std::vector<int> fired;
+    q.push(Time(30), [&] { fired.push_back(3); });
+    q.push(Time(10), [&] { fired.push_back(1); });
+    q.push(Time(20), [&] { fired.push_back(2); });
+    while (!q.empty()) {
+        q.pop().action();
+    }
+    EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, StableForEqualTimes) {
+    EventQueue q;
+    std::vector<int> fired;
+    for (int i = 0; i < 10; ++i) {
+        q.push(Time(5), [&fired, i] { fired.push_back(i); });
+    }
+    while (!q.empty()) {
+        q.pop().action();
+    }
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+    }
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+    EventQueue q;
+    bool ran = false;
+    auto h = q.push(Time(10), [&] { ran = true; });
+    EXPECT_TRUE(q.cancel(h));
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(q.cancel(h)); // double cancel
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelMiddleKeepsOthers) {
+    EventQueue q;
+    std::vector<int> fired;
+    q.push(Time(1), [&] { fired.push_back(1); });
+    auto h = q.push(Time(2), [&] { fired.push_back(2); });
+    q.push(Time(3), [&] { fired.push_back(3); });
+    q.cancel(h);
+    while (!q.empty()) {
+        q.pop().action();
+    }
+    EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, PopEmptyThrows) {
+    EventQueue q;
+    EXPECT_THROW((void)q.pop(), ContractViolation);
+    EXPECT_THROW((void)q.next_time(), ContractViolation);
+}
+
+// --- Simulator -------------------------------------------------------------------
+
+TEST(Simulator, RunsEventsInOrder) {
+    Simulator sim;
+    std::vector<std::int64_t> at;
+    sim.schedule(Duration::us(5), [&] { at.push_back(sim.now().ns()); });
+    sim.schedule(Duration::us(1), [&] { at.push_back(sim.now().ns()); });
+    sim.run_until(Time(1'000'000));
+    ASSERT_EQ(at.size(), 2u);
+    EXPECT_EQ(at[0], 1'000);
+    EXPECT_EQ(at[1], 5'000);
+}
+
+TEST(Simulator, TimeAdvancesToHorizon) {
+    Simulator sim;
+    sim.run_until(Time(500));
+    EXPECT_EQ(sim.now().ns(), 500);
+}
+
+TEST(Simulator, NestedScheduling) {
+    Simulator sim;
+    int depth = 0;
+    std::function<void()> recurse = [&] {
+        if (++depth < 5) {
+            sim.schedule(Duration::us(1), recurse);
+        }
+    };
+    sim.schedule(Duration::us(1), recurse);
+    sim.run_until(Time::max());
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(sim.now().ns(), 5'000);
+}
+
+TEST(Simulator, CannotScheduleIntoThePast) {
+    Simulator sim;
+    sim.run_until(Time(100));
+    EXPECT_THROW(sim.schedule_at(Time(50), [] {}), ContractViolation);
+    EXPECT_THROW(sim.schedule(Duration::ns(-1), [] {}), ContractViolation);
+}
+
+TEST(Simulator, PeriodicFiresAtPeriod) {
+    Simulator sim;
+    int count = 0;
+    sim.schedule_periodic(Duration::ms(10), [&] { ++count; });
+    sim.run_until(Time(Duration::ms(95).count_ns()));
+    // Firings at 0, 10, ..., 90 (phase 0 fires immediately).
+    EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, PeriodicWithPhase) {
+    Simulator sim;
+    std::vector<std::int64_t> at;
+    sim.schedule_periodic(Duration::ms(10), [&] { at.push_back(sim.now().ns()); },
+                          Duration::ms(3));
+    sim.run_until(Time(Duration::ms(25).count_ns()));
+    ASSERT_EQ(at.size(), 3u);
+    EXPECT_EQ(at[0], Duration::ms(3).count_ns());
+    EXPECT_EQ(at[1], Duration::ms(13).count_ns());
+    EXPECT_EQ(at[2], Duration::ms(23).count_ns());
+}
+
+TEST(Simulator, CancelPeriodicStopsFiring) {
+    Simulator sim;
+    int count = 0;
+    const auto id = sim.schedule_periodic(Duration::ms(1), [&] { ++count; });
+    sim.run_until(Time(Duration::ms(5).count_ns()));
+    const int seen = count;
+    sim.cancel_periodic(id);
+    sim.run_until(Time(Duration::ms(20).count_ns()));
+    EXPECT_EQ(count, seen);
+}
+
+TEST(Simulator, StopBreaksRun) {
+    Simulator sim;
+    int count = 0;
+    sim.schedule_periodic(Duration::ms(1), [&] {
+        if (++count == 3) {
+            sim.stop();
+        }
+    });
+    sim.run_until(Time(Duration::ms(100).count_ns()));
+    EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, StepExecutesOneEvent) {
+    Simulator sim;
+    int count = 0;
+    sim.schedule(Duration::us(1), [&] { ++count; });
+    sim.schedule(Duration::us(2), [&] { ++count; });
+    EXPECT_TRUE(sim.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(sim.step());
+    EXPECT_EQ(count, 2);
+    EXPECT_FALSE(sim.step());
+}
+
+// --- Signal ----------------------------------------------------------------------
+
+TEST(Signal, DeliversToAllSubscribers) {
+    Signal<int> sig;
+    int sum = 0;
+    sig.subscribe([&](int v) { sum += v; });
+    sig.subscribe([&](int v) { sum += 10 * v; });
+    sig.emit(3);
+    EXPECT_EQ(sum, 33);
+}
+
+TEST(Signal, UnsubscribeStopsDelivery) {
+    Signal<int> sig;
+    int count = 0;
+    const auto id = sig.subscribe([&](int) { ++count; });
+    sig.emit(1);
+    sig.unsubscribe(id);
+    sig.emit(1);
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(sig.subscriber_count(), 0u);
+}
+
+TEST(Signal, ReentrantSubscribeDuringEmitIsSafe) {
+    Signal<> sig;
+    int count = 0;
+    sig.subscribe([&] {
+        ++count;
+        if (count == 1) {
+            sig.subscribe([&] { ++count; });
+        }
+    });
+    sig.emit();
+    EXPECT_GE(count, 1);
+    sig.emit();
+    EXPECT_GE(count, 3);
+}
+
+// --- Process ---------------------------------------------------------------------
+
+TEST(Process, RunsPeriodically) {
+    Simulator sim;
+    int runs = 0;
+    Process p(sim, "ticker", Duration::ms(10), [&](Process&) { ++runs; });
+    p.start();
+    sim.run_until(Time(Duration::ms(55).count_ns()));
+    EXPECT_EQ(runs, 6); // 0, 10, 20, 30, 40, 50
+    EXPECT_EQ(p.activations(), 6u);
+}
+
+TEST(Process, StopHaltsExecution) {
+    Simulator sim;
+    int runs = 0;
+    Process p(sim, "ticker", Duration::ms(10), [&](Process&) { ++runs; });
+    p.start();
+    sim.run_until(Time(Duration::ms(25).count_ns()));
+    p.stop();
+    sim.run_until(Time(Duration::ms(100).count_ns()));
+    EXPECT_EQ(runs, 3);
+}
+
+TEST(Process, SelfAdjustingPeriod) {
+    Simulator sim;
+    std::vector<std::int64_t> at;
+    Process p(sim, "adaptive", Duration::ms(10), [&](Process& self) {
+        at.push_back(sim.now().ns());
+        self.set_period(Duration::ms(20));
+    });
+    p.start();
+    sim.run_until(Time(Duration::ms(55).count_ns()));
+    ASSERT_GE(at.size(), 3u);
+    EXPECT_EQ(at[0], 0);
+    EXPECT_EQ(at[1], Duration::ms(20).count_ns());
+    EXPECT_EQ(at[2], Duration::ms(40).count_ns());
+}
+
+// --- Trace -----------------------------------------------------------------------
+
+TEST(Trace, RecordsAndFilters) {
+    Trace trace(100);
+    trace.record(Time(1), "can.tx", "frame a");
+    trace.record(Time(2), "can.err", "frame b");
+    trace.record(Time(3), "can.tx", "frame c");
+    EXPECT_EQ(trace.size(), 3u);
+    EXPECT_EQ(trace.count_tag("can.tx"), 2u);
+    const auto tx = trace.with_tag("can.tx");
+    ASSERT_EQ(tx.size(), 2u);
+    EXPECT_EQ(tx[1].detail, "frame c");
+}
+
+TEST(Trace, BoundedCapacityDropsOldest) {
+    Trace trace(2);
+    trace.record(Time(1), "a");
+    trace.record(Time(2), "b");
+    trace.record(Time(3), "c");
+    EXPECT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace.total_recorded(), 3u);
+    EXPECT_EQ(trace.records().front().tag, "b");
+}
+
+} // namespace

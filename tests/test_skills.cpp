@@ -1,0 +1,369 @@
+// Tests for skill graphs, ability graphs, aggregation, degradation tactics
+// and the ACC example of §IV.
+
+#include <gtest/gtest.h>
+
+#include "skills/ability_graph.hpp"
+#include "skills/acc_graph_factory.hpp"
+#include "skills/degradation.hpp"
+#include "util/assert.hpp"
+
+namespace {
+
+using namespace sa;
+using namespace sa::skills;
+
+SkillGraph tiny_graph() {
+    SkillGraph g;
+    g.add_skill("drive");
+    g.add_skill("perceive");
+    g.add_skill("brake");
+    g.add_source("radar");
+    g.add_sink("brake_hw");
+    g.add_dependency("drive", "perceive");
+    g.add_dependency("drive", "brake");
+    g.add_dependency("perceive", "radar");
+    g.add_dependency("brake", "brake_hw");
+    return g;
+}
+
+// --- SkillGraph --------------------------------------------------------------------
+
+TEST(SkillGraph, BuildAndQuery) {
+    const auto g = tiny_graph();
+    EXPECT_EQ(g.node_count(), 5u);
+    EXPECT_EQ(g.edge_count(), 4u);
+    EXPECT_EQ(g.children("drive"), (std::vector<std::string>{"perceive", "brake"}));
+    EXPECT_EQ(g.parents("radar"), (std::vector<std::string>{"perceive"}));
+    EXPECT_EQ(g.roots(), (std::vector<std::string>{"drive"}));
+    EXPECT_NO_THROW(g.validate());
+}
+
+TEST(SkillGraph, SourcesCannotHaveDependencies) {
+    SkillGraph g;
+    g.add_source("radar");
+    g.add_skill("s");
+    g.add_sink("out");
+    g.add_dependency("s", "out");
+    EXPECT_THROW(g.add_dependency("radar", "s"), ContractViolation);
+}
+
+TEST(SkillGraph, DanglingSkillFailsValidation) {
+    SkillGraph g;
+    g.add_skill("lonely");
+    EXPECT_THROW(g.validate(), SkillGraphError);
+}
+
+TEST(SkillGraph, CycleDetected) {
+    SkillGraph g;
+    g.add_skill("a");
+    g.add_skill("b");
+    g.add_dependency("a", "b");
+    g.add_dependency("b", "a");
+    EXPECT_THROW(g.validate(), SkillGraphError);
+    EXPECT_THROW((void)g.topological_order(), SkillGraphError);
+}
+
+TEST(SkillGraph, DuplicatesRejected) {
+    SkillGraph g;
+    g.add_skill("a");
+    EXPECT_THROW(g.add_skill("a"), ContractViolation);
+    g.add_skill("b");
+    g.add_dependency("a", "b");
+    EXPECT_THROW(g.add_dependency("a", "b"), ContractViolation);
+}
+
+TEST(SkillGraph, TopologicalOrderChildrenFirst) {
+    const auto g = tiny_graph();
+    const auto order = g.topological_order();
+    auto pos = [&](const std::string& n) {
+        return std::find(order.begin(), order.end(), n) - order.begin();
+    };
+    EXPECT_LT(pos("radar"), pos("perceive"));
+    EXPECT_LT(pos("perceive"), pos("drive"));
+    EXPECT_LT(pos("brake_hw"), pos("brake"));
+    EXPECT_LT(pos("brake"), pos("drive"));
+}
+
+// --- Aggregation -----------------------------------------------------------------------
+
+TEST(Aggregation, MinIsWeakestLink) {
+    EXPECT_DOUBLE_EQ(aggregate(Aggregation::Min, {{0.9, 1}, {0.4, 1}, {1.0, 1}}), 0.4);
+}
+
+TEST(Aggregation, ProductCompounds) {
+    EXPECT_DOUBLE_EQ(aggregate(Aggregation::Product, {{0.5, 1}, {0.5, 1}}), 0.25);
+}
+
+TEST(Aggregation, WeightedMeanRespectsWeights) {
+    EXPECT_DOUBLE_EQ(
+        aggregate(Aggregation::WeightedMean, {{1.0, 3.0}, {0.0, 1.0}}), 0.75);
+}
+
+TEST(Aggregation, EmptyAggregatesToOne) {
+    EXPECT_DOUBLE_EQ(aggregate(Aggregation::Min, {}), 1.0);
+}
+
+TEST(Aggregation, OrderingBetweenAggregators) {
+    // For any inputs: product <= min <= weighted mean (equal weights).
+    const std::vector<WeightedLevel> inputs{{0.9, 1}, {0.6, 1}, {0.8, 1}};
+    const double p = aggregate(Aggregation::Product, inputs);
+    const double m = aggregate(Aggregation::Min, inputs);
+    const double w = aggregate(Aggregation::WeightedMean, inputs);
+    EXPECT_LE(p, m);
+    EXPECT_LE(m, w);
+}
+
+// --- classify ---------------------------------------------------------------------------
+
+TEST(Classify, ThresholdBands) {
+    EXPECT_EQ(classify(1.0), AbilityLevel::Nominal);
+    EXPECT_EQ(classify(0.85), AbilityLevel::Nominal);
+    EXPECT_EQ(classify(0.84), AbilityLevel::Reduced);
+    EXPECT_EQ(classify(0.5), AbilityLevel::Reduced);
+    EXPECT_EQ(classify(0.49), AbilityLevel::Marginal);
+    EXPECT_EQ(classify(0.15), AbilityLevel::Marginal);
+    EXPECT_EQ(classify(0.14), AbilityLevel::Unavailable);
+}
+
+// --- AbilityGraph -----------------------------------------------------------------------
+
+TEST(AbilityGraph, AllNominalInitially) {
+    AbilityGraph ag(tiny_graph());
+    ag.propagate();
+    for (const auto& [name, level] : ag.snapshot()) {
+        EXPECT_DOUBLE_EQ(level, 1.0) << name;
+    }
+    EXPECT_EQ(ag.ability("drive"), AbilityLevel::Nominal);
+}
+
+TEST(AbilityGraph, SourceDegradationPropagatesToRoot) {
+    AbilityGraph ag(tiny_graph());
+    ag.set_source_level("radar", 0.3);
+    ag.propagate();
+    EXPECT_DOUBLE_EQ(ag.level("perceive"), 0.3);
+    EXPECT_DOUBLE_EQ(ag.level("drive"), 0.3); // min aggregation
+    EXPECT_EQ(ag.ability("drive"), AbilityLevel::Marginal);
+    EXPECT_DOUBLE_EQ(ag.level("brake"), 1.0); // untouched branch
+}
+
+TEST(AbilityGraph, IntrinsicLevelCapsSkill) {
+    AbilityGraph ag(tiny_graph());
+    ag.set_intrinsic_level("perceive", 0.6); // e.g. poor tracker performance
+    ag.propagate();
+    EXPECT_DOUBLE_EQ(ag.level("perceive"), 0.6);
+    EXPECT_DOUBLE_EQ(ag.level("drive"), 0.6);
+}
+
+TEST(AbilityGraph, PropagationIsIdempotent) {
+    AbilityGraph ag(tiny_graph());
+    ag.set_source_level("radar", 0.5);
+    ag.propagate();
+    const auto snap1 = ag.snapshot();
+    const auto changes = ag.propagate();
+    EXPECT_EQ(changes, 0u);
+    EXPECT_EQ(ag.snapshot(), snap1);
+}
+
+TEST(AbilityGraph, LevelChangedSignalFiresOnQualitativeChange) {
+    AbilityGraph ag(tiny_graph());
+    std::vector<std::string> changed;
+    ag.level_changed().subscribe(
+        [&](const std::string& node, AbilityLevel, AbilityLevel) {
+            changed.push_back(node);
+        });
+    ag.set_source_level("radar", 0.95); // still nominal everywhere
+    EXPECT_EQ(ag.propagate(), 0u);
+    EXPECT_TRUE(changed.empty());
+    ag.set_source_level("radar", 0.3);
+    EXPECT_GT(ag.propagate(), 0u);
+    EXPECT_FALSE(changed.empty());
+}
+
+TEST(AbilityGraph, WeightedAggregationSoftensImpact) {
+    auto g = tiny_graph();
+    AbilityGraph ag(std::move(g));
+    ag.set_aggregation("drive", Aggregation::WeightedMean);
+    ag.set_dependency_weight("drive", "perceive", 1.0);
+    ag.set_dependency_weight("drive", "brake", 3.0);
+    ag.set_source_level("radar", 0.0);
+    ag.propagate();
+    EXPECT_DOUBLE_EQ(ag.level("drive"), 0.75); // (0*1 + 1*3) / 4
+}
+
+TEST(AbilityGraph, RecoveryRestoresNominal) {
+    AbilityGraph ag(tiny_graph());
+    ag.set_source_level("radar", 0.2);
+    ag.propagate();
+    EXPECT_NE(ag.ability("drive"), AbilityLevel::Nominal);
+    ag.set_source_level("radar", 1.0);
+    ag.propagate();
+    EXPECT_EQ(ag.ability("drive"), AbilityLevel::Nominal);
+}
+
+TEST(AbilityGraph, MonotonicityProperty) {
+    // Lowering any single source can never raise any skill level.
+    for (double level : {0.9, 0.7, 0.5, 0.3, 0.1}) {
+        AbilityGraph base(tiny_graph());
+        base.propagate();
+        AbilityGraph degraded(tiny_graph());
+        degraded.set_source_level("radar", level);
+        degraded.propagate();
+        for (const auto& [name, value] : degraded.snapshot()) {
+            EXPECT_LE(value, base.level(name)) << name << " at " << level;
+        }
+    }
+}
+
+TEST(AbilityGraph, RejectsInvalidInputs) {
+    AbilityGraph ag(tiny_graph());
+    EXPECT_THROW(ag.set_source_level("ghost", 0.5), ContractViolation);
+    EXPECT_THROW(ag.set_source_level("drive", 0.5), ContractViolation);
+    EXPECT_THROW(ag.set_intrinsic_level("radar", 0.5), ContractViolation);
+    EXPECT_THROW(ag.set_source_level("radar", 1.5), ContractViolation);
+}
+
+// --- DegradationManager ------------------------------------------------------------------
+
+TEST(Degradation, PlansCheapestApplicableTactic) {
+    AbilityGraph ag(tiny_graph());
+    DegradationManager mgr;
+    int applied_cheap = 0;
+    int applied_costly = 0;
+    mgr.register_tactic(Tactic{"reduce_speed", "drive", 0.2, 0.85, 2,
+                               [&] { ++applied_cheap; }, nullptr});
+    mgr.register_tactic(Tactic{"safe_stop_now", "drive", 0.0, 0.85, 9,
+                               [&] { ++applied_costly; }, nullptr});
+    ag.set_source_level("radar", 0.5);
+    ag.propagate();
+    const auto plan = mgr.plan(ag);
+    ASSERT_EQ(plan.size(), 1u);
+    EXPECT_EQ(plan[0]->name, "reduce_speed");
+    const auto applied = mgr.execute(ag);
+    ASSERT_EQ(applied.size(), 1u);
+    EXPECT_EQ(applied_cheap, 1);
+    EXPECT_EQ(applied_costly, 0);
+    EXPECT_EQ(mgr.history().size(), 1u);
+}
+
+TEST(Degradation, NothingPlannedWhenNominal) {
+    AbilityGraph ag(tiny_graph());
+    DegradationManager mgr;
+    mgr.register_tactic(Tactic{"t", "drive", 0.0, 0.85, 1, [] {}, nullptr});
+    ag.propagate();
+    EXPECT_TRUE(mgr.plan(ag).empty());
+}
+
+TEST(Degradation, FiredTacticNotReplanned) {
+    AbilityGraph ag(tiny_graph());
+    DegradationManager mgr;
+    mgr.register_tactic(Tactic{"t", "drive", 0.0, 0.85, 1, [] {}, nullptr});
+    ag.set_source_level("radar", 0.4);
+    ag.propagate();
+    EXPECT_EQ(mgr.execute(ag).size(), 1u);
+    EXPECT_TRUE(mgr.plan(ag).empty()); // fired
+    mgr.rearm("t");
+    EXPECT_EQ(mgr.plan(ag).size(), 1u);
+}
+
+TEST(Degradation, ExtraConditionGuards) {
+    AbilityGraph ag(tiny_graph());
+    DegradationManager mgr;
+    bool allowed = false;
+    mgr.register_tactic(
+        Tactic{"guarded", "drive", 0.0, 0.85, 1, [] {}, [&] { return allowed; }});
+    ag.set_source_level("radar", 0.4);
+    ag.propagate();
+    EXPECT_TRUE(mgr.plan(ag).empty());
+    allowed = true;
+    EXPECT_EQ(mgr.plan(ag).size(), 1u);
+}
+
+TEST(Degradation, ApplicabilityBandRespected) {
+    AbilityGraph ag(tiny_graph());
+    DegradationManager mgr;
+    // Only applicable when drive is *severely* degraded.
+    mgr.register_tactic(Tactic{"last_resort", "drive", 0.0, 0.2, 1, [] {}, nullptr});
+    ag.set_source_level("radar", 0.5);
+    ag.propagate();
+    EXPECT_TRUE(mgr.plan(ag).empty()); // 0.5 outside [0, 0.2)
+    ag.set_source_level("radar", 0.1);
+    ag.propagate();
+    EXPECT_EQ(mgr.plan(ag).size(), 1u);
+}
+
+// --- ACC example (§IV) --------------------------------------------------------------------
+
+TEST(AccGraph, StructureMatchesPaper) {
+    const auto g = make_acc_skill_graph();
+    EXPECT_NO_THROW(g.validate());
+    EXPECT_EQ(g.roots(), (std::vector<std::string>{acc::kAccDriving}));
+
+    // Main skill refinement per the paper's narration.
+    const auto main_deps = g.children(acc::kAccDriving);
+    EXPECT_EQ(main_deps, (std::vector<std::string>{acc::kControlDistance,
+                                                   acc::kControlSpeed,
+                                                   acc::kKeepControllable}));
+    // "To keep the vehicle controllable ... estimate the driver's intent and
+    // to be able to decelerate".
+    EXPECT_EQ(g.children(acc::kKeepControllable),
+              (std::vector<std::string>{acc::kEstimateDriverIntent, acc::kDecelerate}));
+    // "For the selection of a target object ... perceive and track dynamic
+    // objects which itself depends on environment sensors as data sources".
+    EXPECT_EQ(g.children(acc::kSelectTarget),
+              (std::vector<std::string>{acc::kPerceiveTrack}));
+    // "To estimate the driver's intent, a form of HMI is required".
+    EXPECT_EQ(g.children(acc::kEstimateDriverIntent),
+              (std::vector<std::string>{acc::kHmi}));
+    // "Acceleration and deceleration both require the powertrain ... while
+    // deceleration also requires the braking system".
+    EXPECT_EQ(g.children(acc::kAccelerate), (std::vector<std::string>{acc::kPowertrain}));
+    EXPECT_EQ(g.children(acc::kDecelerate),
+              (std::vector<std::string>{acc::kPowertrain, acc::kBrakeSystem}));
+}
+
+TEST(AccGraph, AggregateSensorVariant) {
+    AccGraphOptions opt;
+    opt.split_environment_sensors = false;
+    const auto g = make_acc_skill_graph(opt);
+    EXPECT_TRUE(g.has_node("environment_sensors"));
+    EXPECT_FALSE(g.has_node(acc::kRadar));
+    EXPECT_NO_THROW(g.validate());
+}
+
+TEST(AccGraph, FogScenarioDegradesPerception) {
+    AbilityGraph ag(make_acc_skill_graph());
+    // Dense fog: camera nearly blind, lidar poor, radar fine.
+    ag.set_source_level(acc::kCamera, 0.1);
+    ag.set_source_level(acc::kLidar, 0.35);
+    ag.set_source_level(acc::kRadar, 0.9);
+    ag.propagate();
+    EXPECT_EQ(ag.ability(acc::kPerceiveTrack), AbilityLevel::Unavailable);
+    EXPECT_EQ(ag.ability(acc::kAccDriving), AbilityLevel::Unavailable);
+
+    // A fusion-aware perception stack (weighted mean) keeps partial ability.
+    AbilityGraph fused(make_acc_skill_graph());
+    fused.set_aggregation(acc::kPerceiveTrack, Aggregation::WeightedMean);
+    fused.set_dependency_weight(acc::kPerceiveTrack, acc::kRadar, 3.0);
+    fused.set_dependency_weight(acc::kPerceiveTrack, acc::kCamera, 1.0);
+    fused.set_dependency_weight(acc::kPerceiveTrack, acc::kLidar, 1.0);
+    fused.set_source_level(acc::kCamera, 0.1);
+    fused.set_source_level(acc::kLidar, 0.35);
+    fused.set_source_level(acc::kRadar, 0.9);
+    fused.propagate();
+    EXPECT_GT(fused.level(acc::kPerceiveTrack), 0.5);
+}
+
+TEST(AccGraph, RearBrakeLossScenario) {
+    // §V: rear braking compromised -> brake_system sink degraded -> decelerate
+    // and everything above it degrade, but accelerate stays nominal.
+    AbilityGraph ag(make_acc_skill_graph());
+    ag.set_source_level(acc::kBrakeSystem, 0.35);
+    ag.propagate();
+    EXPECT_EQ(ag.ability(acc::kDecelerate), AbilityLevel::Marginal);
+    EXPECT_EQ(ag.ability(acc::kAccelerate), AbilityLevel::Nominal);
+    EXPECT_EQ(ag.ability(acc::kKeepControllable), AbilityLevel::Marginal);
+    EXPECT_EQ(ag.ability(acc::kAccDriving), AbilityLevel::Marginal);
+}
+
+} // namespace

@@ -1,0 +1,258 @@
+// Unit tests for the util module: contracts, stats, random, strings.
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+#include "util/string_util.hpp"
+
+namespace {
+
+using namespace sa;
+
+// --- assert ----------------------------------------------------------------
+
+TEST(Assert, RequireThrowsContractViolation) {
+    EXPECT_THROW(
+        [] { SA_REQUIRE(false, "must fail"); }(), ContractViolation);
+}
+
+TEST(Assert, RequirePassesSilently) {
+    EXPECT_NO_THROW([] { SA_REQUIRE(true, "fine"); }());
+}
+
+TEST(Assert, ViolationCarriesLocation) {
+    try {
+        SA_ASSERT(1 == 2, "numbers disagree");
+        FAIL() << "expected throw";
+    } catch (const ContractViolation& e) {
+        EXPECT_NE(std::string(e.what()).find("numbers disagree"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("test_util.cpp"), std::string::npos);
+        EXPECT_GT(e.line(), 0);
+    }
+}
+
+// --- RunningStats ------------------------------------------------------------
+
+TEST(RunningStats, EmptyIsZero) {
+    RunningStats s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, MeanMinMax) {
+    RunningStats s;
+    for (double x : {4.0, 2.0, 6.0, 8.0}) {
+        s.add(x);
+    }
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 8.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 20.0);
+}
+
+TEST(RunningStats, VarianceMatchesDefinition) {
+    RunningStats s;
+    for (double x : {1.0, 2.0, 3.0, 4.0}) {
+        s.add(x);
+    }
+    // population variance of {1,2,3,4} = 1.25
+    EXPECT_NEAR(s.variance(), 1.25, 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsCombinedStream) {
+    RunningStats a;
+    RunningStats b;
+    RunningStats all;
+    for (int i = 0; i < 50; ++i) {
+        const double x = 0.37 * i - 3.0;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+    RunningStats a;
+    a.add(1.0);
+    a.add(3.0);
+    RunningStats empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+// --- SampleSet ---------------------------------------------------------------
+
+TEST(SampleSet, PercentilesNearestRank) {
+    SampleSet s;
+    for (int i = 1; i <= 100; ++i) {
+        s.add(static_cast<double>(i));
+    }
+    EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+    EXPECT_DOUBLE_EQ(s.percentile(99), 99.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(s.median(), 50.0);
+}
+
+TEST(SampleSet, EmptyPercentileThrows) {
+    SampleSet s;
+    EXPECT_THROW((void)s.percentile(50), ContractViolation);
+}
+
+TEST(SampleSet, MeanMinMax) {
+    SampleSet s;
+    s.add(2.0);
+    s.add(4.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+// --- Histogram ---------------------------------------------------------------
+
+TEST(Histogram, BucketsAndClamping) {
+    Histogram h(0.0, 10.0, 10);
+    h.add(-5.0);  // clamps to bucket 0
+    h.add(0.5);
+    h.add(9.99);
+    h.add(50.0);  // clamps to last bucket
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(9), 2u);
+}
+
+TEST(Histogram, QuantileApproximation) {
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i) {
+        h.add(static_cast<double>(i) + 0.5);
+    }
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+    EXPECT_NEAR(h.quantile(0.9), 90.0, 2.0);
+}
+
+TEST(Histogram, InvalidConstruction) {
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), ContractViolation);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractViolation);
+}
+
+// --- RandomEngine --------------------------------------------------------------
+
+TEST(RandomEngine, DeterministicWithSeed) {
+    RandomEngine a(42);
+    RandomEngine b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+    }
+}
+
+TEST(RandomEngine, UniformIntBounds) {
+    RandomEngine rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniform_int(-3, 5);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(RandomEngine, ChanceExtremes) {
+    RandomEngine rng(7);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(RandomEngine, ChanceInvalidProbability) {
+    RandomEngine rng(7);
+    EXPECT_THROW((void)rng.chance(1.5), ContractViolation);
+    EXPECT_THROW((void)rng.chance(-0.1), ContractViolation);
+}
+
+TEST(RandomEngine, NormalZeroSigmaIsMean) {
+    RandomEngine rng(7);
+    EXPECT_DOUBLE_EQ(rng.normal(3.5, 0.0), 3.5);
+}
+
+TEST(RandomEngine, NormalStatistics) {
+    RandomEngine rng(123);
+    RunningStats s;
+    for (int i = 0; i < 20000; ++i) {
+        s.add(rng.normal(10.0, 2.0));
+    }
+    EXPECT_NEAR(s.mean(), 10.0, 0.1);
+    EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(RandomEngine, ForkProducesIndependentStream) {
+    RandomEngine a(99);
+    RandomEngine child = a.fork();
+    // The fork should not replay the parent's stream.
+    bool all_equal = true;
+    RandomEngine b(99);
+    (void)b.uniform_int(0, 1000000); // consume the value fork() consumed
+    for (int i = 0; i < 20; ++i) {
+        if (child.uniform_int(0, 1000000) != b.uniform_int(0, 1000000)) {
+            all_equal = false;
+        }
+    }
+    EXPECT_FALSE(all_equal);
+}
+
+TEST(RandomEngine, IndexRequiresNonEmpty) {
+    RandomEngine rng(1);
+    EXPECT_THROW((void)rng.index(0), ContractViolation);
+}
+
+// --- string_util ----------------------------------------------------------------
+
+TEST(StringUtil, SplitKeepsEmptyFields) {
+    const auto parts = split("a,,b", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringUtil, SplitSingleField) {
+    const auto parts = split("abc", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtil, Trim) {
+    EXPECT_EQ(trim("  hi \t\n"), "hi");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StringUtil, StartsEndsWith) {
+    EXPECT_TRUE(starts_with("temp.ecu1", "temp."));
+    EXPECT_FALSE(starts_with("te", "temp."));
+    EXPECT_TRUE(ends_with("file.cpp", ".cpp"));
+    EXPECT_FALSE(ends_with("cpp", ".cpp"));
+}
+
+TEST(StringUtil, Format) {
+    EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+    EXPECT_EQ(format("%.2f", 1.5), "1.50");
+}
+
+TEST(StringUtil, HumanDuration) {
+    EXPECT_EQ(human_duration_ns(500), "500ns");
+    EXPECT_EQ(human_duration_ns(1'500), "1.500us");
+    EXPECT_EQ(human_duration_ns(2'000'000), "2.000ms");
+    EXPECT_EQ(human_duration_ns(3'000'000'000LL), "3.000s");
+}
+
+} // namespace
