@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Run every Google Benchmark binary in a directory and aggregate the results.
+
+Each binary is invoked with --benchmark_format=json; the per-binary reports
+are merged into a single JSON document (default: BENCH_baseline.json at the
+repo root) whose "benchmarks" entries carry a "binary" field naming their
+source binary. This file seeds the perf trajectory: later PRs optimising hot
+paths (event queue, CAN bus, ...) diff their numbers against it.
+
+Note: the pinned Google Benchmark (1.7.x) expects --benchmark_min_time as a
+plain double in seconds — suffixed forms like "0.01s" are a later addition
+and are rejected, so keep MIN_TIME a bare number.
+"""
+
+import argparse
+import json
+import os
+import stat
+import subprocess
+import sys
+
+MIN_TIME = "0.01"  # seconds, plain double — see module docstring
+
+
+def is_benchmark_binary(path):
+    if not os.path.isfile(path):
+        return False
+    mode = os.stat(path).st_mode
+    if not (mode & stat.S_IXUSR):
+        return False
+    # Skip build-system droppings like CMake scripts.
+    return not path.endswith((".py", ".sh", ".cmake", ".txt", ".json"))
+
+
+def run_one(path):
+    cmd = [path, "--benchmark_format=json", f"--benchmark_min_time={MIN_TIME}"]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True, timeout=1800)
+    except subprocess.TimeoutExpired:
+        print(f"TIMEOUT (1800s): {' '.join(cmd)}", file=sys.stderr)
+        return None
+    if proc.returncode != 0:
+        print(f"FAILED: {' '.join(cmd)}\n{proc.stderr}", file=sys.stderr)
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError as err:
+        print(f"BAD JSON from {' '.join(cmd)}: {err}", file=sys.stderr)
+        return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bin-dir", required=True,
+                        help="directory holding the benchmark binaries")
+    parser.add_argument("--out", required=True,
+                        help="path of the aggregated JSON report")
+    args = parser.parse_args()
+
+    if not os.path.isdir(args.bin_dir):
+        print(f"--bin-dir {args.bin_dir} is not a directory", file=sys.stderr)
+        return 1
+    binaries = sorted(
+        os.path.join(args.bin_dir, name)
+        for name in os.listdir(args.bin_dir)
+        if is_benchmark_binary(os.path.join(args.bin_dir, name))
+    )
+    if not binaries:
+        print(f"no benchmark binaries found in {args.bin_dir}", file=sys.stderr)
+        return 1
+
+    merged = {"context": None, "benchmarks": []}
+    failures = 0
+    for path in binaries:
+        name = os.path.basename(path)
+        print(f"running {name} ...", flush=True)
+        report = run_one(path)
+        if report is None:
+            failures += 1
+            continue
+        if merged["context"] is None:
+            merged["context"] = report.get("context")
+        for entry in report.get("benchmarks", []):
+            entry["binary"] = name
+            merged["benchmarks"].append(entry)
+
+    if failures:
+        # Never clobber a committed baseline with a partial run.
+        print(f"{failures}/{len(binaries)} binaries failed — "
+              f"not writing {args.out}", file=sys.stderr)
+        return 1
+
+    tmp_out = args.out + ".tmp"
+    with open(tmp_out, "w") as fh:
+        json.dump(merged, fh, indent=2)
+        fh.write("\n")
+    os.replace(tmp_out, args.out)
+    print(f"wrote {len(merged['benchmarks'])} benchmark entries from "
+          f"{len(binaries)}/{len(binaries)} binaries to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,13 @@
+#include "version.hpp"
+
+// SA_VERSION_STRING is injected by the build system from the CMake project
+// version; the fallback covers ad-hoc compilation outside CMake.
+#ifndef SA_VERSION_STRING
+#define SA_VERSION_STRING "0.1.0"
+#endif
+
+namespace sa {
+
+const char* version() noexcept { return SA_VERSION_STRING; }
+
+}  // namespace sa

@@ -1,0 +1,11 @@
+// Library version, exposed so that consumers (and the build-contract test)
+// can verify they linked against a live sa library rather than a stub.
+
+#pragma once
+
+namespace sa {
+
+// Semantic version of the sa library, e.g. "0.1.0". Never null, never empty.
+const char* version() noexcept;
+
+}  // namespace sa

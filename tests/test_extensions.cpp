@@ -301,12 +301,15 @@ TEST(Plausibility, EndToEndTrustFormationOverChannel) {
 
     sim.schedule_periodic(Duration::ms(100), [&] {
         channel.broadcast(
-            platoon::V2vBeacon{"truck", true_position("truck", sim.now()), 22.0});
+            platoon::V2vBeacon{"truck", true_position("truck", sim.now()), 22.0,
+                               Time::zero()});
         channel.broadcast(
-            platoon::V2vBeacon{"car", true_position("car", sim.now()), 25.0});
+            platoon::V2vBeacon{"car", true_position("car", sim.now()), 25.0,
+                               Time::zero()});
         // The spoofer claims to be 40m ahead of reality.
         channel.broadcast(platoon::V2vBeacon{
-            "spoofer", true_position("spoofer", sim.now()) + 40.0, 25.0});
+            "spoofer", true_position("spoofer", sim.now()) + 40.0, 25.0,
+            Time::zero()});
     });
     sim.run_until(Time(Duration::sec(10).count_ns()));
 

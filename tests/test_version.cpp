@@ -1,0 +1,39 @@
+// Build-contract test: the sa library must link standalone and expose a
+// sane version string. This binary deliberately touches nothing but
+// src/version.hpp, so a broken library target fails here first instead of
+// somewhere deep inside a subsystem suite.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "version.hpp"
+
+namespace {
+
+TEST(Version, IsNonEmpty) {
+  const char* v = sa::version();
+  ASSERT_NE(v, nullptr);
+  EXPECT_GT(std::strlen(v), 0u);
+}
+
+TEST(Version, LooksLikeSemver) {
+  const std::string v = sa::version();
+  // major.minor.patch — digits and exactly two dots.
+  int dots = 0;
+  for (char c : v) {
+    if (c == '.') {
+      ++dots;
+    } else {
+      EXPECT_TRUE(c >= '0' && c <= '9') << "unexpected character in " << v;
+    }
+  }
+  EXPECT_EQ(dots, 2) << "not major.minor.patch: " << v;
+}
+
+TEST(Version, StableAcrossCalls) {
+  // The pointer must stay valid and consistent — callers cache it.
+  EXPECT_STREQ(sa::version(), sa::version());
+}
+
+}  // namespace
