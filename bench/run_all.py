@@ -7,6 +7,12 @@ repo root) whose "benchmarks" entries carry a "binary" field naming their
 source binary. This file seeds the perf trajectory: later PRs optimising hot
 paths (event queue, CAN bus, ...) diff their numbers against it.
 
+Failure behaviour: if ANY binary fails (non-zero exit, timeout, bad JSON)
+the script exits non-zero and writes nothing — a committed baseline must
+never be clobbered by a partial run. The merged report records the git SHA
+(and a "-dirty" suffix when the worktree has uncommitted changes) under
+"git_sha" so every baseline is attributable to a revision.
+
 Note: the pinned Google Benchmark (1.7.x) expects --benchmark_min_time as a
 plain double in seconds — suffixed forms like "0.01s" are a later addition
 and are rejected, so keep MIN_TIME a bare number.
@@ -30,6 +36,22 @@ def is_benchmark_binary(path):
         return False
     # Skip build-system droppings like CMake scripts.
     return not path.endswith((".py", ".sh", ".cmake", ".txt", ".json"))
+
+
+def git_sha():
+    """Current revision ("<sha>[-dirty]"), or None outside a git checkout."""
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    try:
+        sha = subprocess.run(["git", "rev-parse", "HEAD"], cwd=repo_root,
+                             capture_output=True, text=True, timeout=30)
+        if sha.returncode != 0:
+            return None
+        dirty = subprocess.run(["git", "status", "--porcelain"], cwd=repo_root,
+                               capture_output=True, text=True, timeout=30)
+        suffix = "-dirty" if dirty.returncode == 0 and dirty.stdout.strip() else ""
+        return sha.stdout.strip() + suffix
+    except (OSError, subprocess.TimeoutExpired):
+        return None
 
 
 def run_one(path):
@@ -69,14 +91,14 @@ def main():
         print(f"no benchmark binaries found in {args.bin_dir}", file=sys.stderr)
         return 1
 
-    merged = {"context": None, "benchmarks": []}
-    failures = 0
+    merged = {"context": None, "git_sha": git_sha(), "benchmarks": []}
+    failed = []
     for path in binaries:
         name = os.path.basename(path)
         print(f"running {name} ...", flush=True)
         report = run_one(path)
         if report is None:
-            failures += 1
+            failed.append(name)
             continue
         if merged["context"] is None:
             merged["context"] = report.get("context")
@@ -84,10 +106,15 @@ def main():
             entry["binary"] = name
             merged["benchmarks"].append(entry)
 
-    if failures:
+    if failed:
         # Never clobber a committed baseline with a partial run.
-        print(f"{failures}/{len(binaries)} binaries failed — "
-              f"not writing {args.out}", file=sys.stderr)
+        print(f"{len(failed)}/{len(binaries)} binaries failed "
+              f"({', '.join(failed)}) — not writing {args.out}", file=sys.stderr)
+        return 1
+
+    if not merged["benchmarks"]:
+        print(f"no benchmark entries produced — not writing {args.out}",
+              file=sys.stderr)
         return 1
 
     tmp_out = args.out + ".tmp"

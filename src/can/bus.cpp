@@ -7,6 +7,24 @@
 
 namespace sa::can {
 
+namespace {
+/// CSMA/CR outcome between two candidate frames: true if `a` beats `b`.
+/// The lowest base identifier wins (dominant bits win on the wire); extended
+/// frames lose against a standard frame with the same base id (SRR/IDE are
+/// recessive).
+bool frame_wins(const CanFrame& a, const CanFrame& b) noexcept {
+    const std::uint32_t base_a = a.extended ? (a.id >> 18) : a.id;
+    const std::uint32_t base_b = b.extended ? (b.id >> 18) : b.id;
+    if (base_a != base_b) {
+        return base_a < base_b;
+    }
+    if (a.extended != b.extended) {
+        return !a.extended;
+    }
+    return a.id < b.id;
+}
+} // namespace
+
 CanBus::CanBus(sim::Simulator& simulator, std::string name, CanBusConfig config)
     : simulator_(simulator),
       name_(std::move(name)),
@@ -18,15 +36,27 @@ CanBus::CanBus(sim::Simulator& simulator, std::string name, CanBusConfig config)
 }
 
 void CanBus::attach(CanControllerBase& controller) {
-    SA_REQUIRE(std::find(controllers_.begin(), controllers_.end(), &controller) ==
-                   controllers_.end(),
+    SA_REQUIRE(std::find_if(arb_.begin(), arb_.end(),
+                            [&](const ArbEntry& e) { return e.controller == &controller; }) ==
+                   arb_.end(),
                "controller already attached");
-    controllers_.push_back(&controller);
+    arb_.push_back(ArbEntry{&controller, std::nullopt, true});
 }
 
 void CanBus::detach(CanControllerBase& controller) {
-    controllers_.erase(std::remove(controllers_.begin(), controllers_.end(), &controller),
-                       controllers_.end());
+    arb_.erase(std::remove_if(arb_.begin(), arb_.end(),
+                              [&](const ArbEntry& e) { return e.controller == &controller; }),
+               arb_.end());
+    ++detach_epoch_; // invalidates any in-flight delivery snapshot
+}
+
+bool CanBus::is_attached(const CanControllerBase* controller) const noexcept {
+    for (const auto& e : arb_) {
+        if (e.controller == controller) {
+            return true;
+        }
+    }
+    return false;
 }
 
 void CanBus::set_bitrate(std::int64_t bps) {
@@ -39,7 +69,17 @@ void CanBus::set_bit_error_rate(double p) {
     config_.bit_error_rate = p;
 }
 
-void CanBus::notify_tx_pending() {
+void CanBus::mark_stale(CanControllerBase* controller) noexcept {
+    for (auto& e : arb_) {
+        if (e.controller == controller) {
+            e.stale = true;
+            return;
+        }
+    }
+}
+
+void CanBus::notify_tx_pending(CanControllerBase& controller) {
+    mark_stale(&controller);
     if (!transmitting_) {
         try_start_transmission();
     }
@@ -48,31 +88,22 @@ void CanBus::notify_tx_pending() {
 void CanBus::try_start_transmission() {
     SA_ASSERT(!transmitting_, "arbitration while bus is busy");
 
-    // Arbitration: among all controllers' head frames, the lowest identifier
-    // wins (dominant bits win on the wire). Extended frames lose against a
-    // standard frame with the same base id (SRR/IDE are recessive).
-    CanControllerBase* winner = nullptr;
-    CanFrame best{};
-    for (auto* c : controllers_) {
-        const auto f = c->peek_tx();
-        if (!f.has_value()) {
+    // One arbitration pass over the cached controller heads. Only entries a
+    // controller invalidated (via notify_tx_pending, or by winning the
+    // previous round) are re-polled; everything else arbitrates from cache.
+    ArbEntry* winner = nullptr;
+    for (auto& e : arb_) {
+        if (e.stale) {
+            e.head = e.controller->peek_tx();
+            e.stale = false;
+            ++polls_;
+        }
+        if (!e.head.has_value()) {
             continue;
         }
-        SA_ASSERT(f->valid(), "controller offered an invalid frame");
-        if (winner == nullptr) {
-            winner = c;
-            best = *f;
-            continue;
-        }
-        const std::uint32_t base_new = f->extended ? (f->id >> 18) : f->id;
-        const std::uint32_t base_old = best.extended ? (best.id >> 18) : best.id;
-        const bool new_wins =
-            (base_new < base_old) ||
-            (base_new == base_old && !f->extended && best.extended) ||
-            (base_new == base_old && f->extended == best.extended && f->id < best.id);
-        if (new_wins) {
-            winner = c;
-            best = *f;
+        SA_ASSERT(e.head->valid(), "controller offered an invalid frame");
+        if (winner == nullptr || frame_wins(*e.head, *winner->head)) {
+            winner = &e;
         }
     }
     if (winner == nullptr) {
@@ -80,39 +111,72 @@ void CanBus::try_start_transmission() {
     }
     ++arb_rounds_;
     transmitting_ = true;
-    winner->tx_started(best);
+    tx_controller_ = winner->controller;
+    tx_frame_ = *winner->head;
+    tx_controller_->tx_started(tx_frame_);
 
-    const std::int64_t bits = frame_exact_bits(best) + kInterframeSpaceBits;
+    const std::int64_t bits = frame_exact_bits(tx_frame_) + kInterframeSpaceBits;
     const Duration tx_time = Duration(bits * 1'000'000'000LL / config_.bitrate_bps);
     busy_ns_ += tx_time.count_ns();
 
-    const bool corrupted =
+    tx_corrupted_ =
         config_.bit_error_rate > 0.0 && simulator_.rng().chance(config_.bit_error_rate);
 
-    trace_.record(simulator_.now(), "can.arb",
-                  winner->node_name() + " wins with " + best.str());
+    std::string detail;
+    const std::string frame_str = tx_frame_.str();
+    detail.reserve(tx_controller_->node_name().size() + 11 + frame_str.size());
+    detail.append(tx_controller_->node_name()).append(" wins with ").append(frame_str);
+    trace_.record(simulator_.now(), "can.arb", std::move(detail));
 
-    simulator_.schedule(tx_time, [this, winner, frame = best, corrupted] {
-        finish_transmission(winner, frame, corrupted);
-    });
+    simulator_.schedule(tx_time, [this] { finish_transmission(); });
 }
 
-void CanBus::finish_transmission(CanControllerBase* winner, CanFrame frame, bool corrupted) {
+void CanBus::finish_transmission() {
     transmitting_ = false;
+    CanControllerBase* winner = tx_controller_;
+    tx_controller_ = nullptr;
+    // Copy out of the in-flight members: an RX callback below may send
+    // synchronously, re-entering try_start_transmission and overwriting
+    // tx_frame_/tx_corrupted_ while this frame is still being delivered.
+    const CanFrame frame = tx_frame_;
+    const bool corrupted = tx_corrupted_;
+    // The transmitter may have been destroyed (detaching itself) while its
+    // frame was on the wire; only touch it if it is still attached.
+    const bool winner_attached = is_attached(winner);
+    if (winner_attached) {
+        // The winner's queue advances whether the frame completed or
+        // aborted; its cached head is stale either way.
+        mark_stale(winner);
+    }
     if (corrupted) {
         // Error frame: all nodes discard; the transmitter retries via the
         // next arbitration round.
         ++frames_err_;
         trace_.record(simulator_.now(), "can.err", frame.str());
-        winner->tx_aborted(frame);
+        if (winner_attached) {
+            winner->tx_aborted(frame);
+        }
     } else {
         ++frames_tx_;
         trace_.record(simulator_.now(), "can.tx", frame.str());
         // Completion order: the transmitter is told first (it frees its
-        // mailbox), then every attached controller sees the frame.
-        winner->tx_done(frame, simulator_.now());
-        for (auto* c : controllers_) {
-            c->rx_frame(frame, simulator_.now());
+        // mailbox), then every controller attached at completion time sees
+        // the frame. Deliver from a snapshot so an RX callback that
+        // attaches/detaches controllers cannot skip or double-deliver. The
+        // per-controller attachment re-check (pointers may be dead after a
+        // detach) is skipped in the common case via the detach epoch.
+        if (winner_attached) {
+            winner->tx_done(frame, simulator_.now());
+        }
+        rx_scratch_.clear();
+        for (const auto& e : arb_) {
+            rx_scratch_.push_back(e.controller);
+        }
+        const std::uint64_t epoch_at_snapshot = detach_epoch_;
+        for (CanControllerBase* c : rx_scratch_) {
+            if (detach_epoch_ == epoch_at_snapshot || is_attached(c)) {
+                c->rx_frame(frame, simulator_.now());
+            }
         }
     }
     // An RX callback may already have kicked off the next transmission

@@ -1,10 +1,14 @@
 #pragma once
 // Discrete-event CAN bus: CSMA/CR arbitration by identifier priority,
 // exact frame timing (can/frame.hpp), optional bit-error injection with
-// automatic retransmission. Controllers attach to the bus and are polled
-// for their highest-priority pending frame whenever the bus goes idle —
-// this models the fact that arbitration happens among the *current* heads
-// of all controllers' transmit queues.
+// automatic retransmission.
+//
+// Arbitration is *batched*: the bus keeps a per-controller cache of the
+// frame each controller would send next and only re-polls a controller
+// (CanControllerBase::peek_tx) when that controller signalled new TX state
+// via notify_tx_pending(). Draining a backlog of k frames queued in one
+// idle window therefore costs one full poll pass plus k cheap cache
+// refreshes of the winners — not k full re-scans of every controller.
 
 #include <cstdint>
 #include <functional>
@@ -31,6 +35,11 @@ public:
 
     /// The bus asks for the frame this controller would send now.
     /// Return nullopt if nothing is pending.
+    ///
+    /// The bus caches the answer until the controller calls
+    /// CanBus::notify_tx_pending() (or one of its frames completes/aborts),
+    /// so implementations must report every head-of-queue change through
+    /// notify_tx_pending().
     virtual std::optional<CanFrame> peek_tx() = 0;
 
     /// The bus tells the controller its peeked frame won arbitration and is
@@ -66,8 +75,11 @@ public:
     void attach(CanControllerBase& controller);
     void detach(CanControllerBase& controller);
 
-    /// A controller signals that it has (new) pending TX data. Idempotent.
-    void notify_tx_pending();
+    /// A controller signals that its pending-TX head may have changed (new
+    /// frame queued, queue flushed, VF enabled/disabled, bus-off recovery,
+    /// ...). Invalidates the bus's cached peek for that controller and
+    /// starts arbitration if the bus is idle. Idempotent.
+    void notify_tx_pending(CanControllerBase& controller);
 
     [[nodiscard]] const std::string& name() const noexcept { return name_; }
     [[nodiscard]] std::int64_t bitrate_bps() const noexcept { return config_.bitrate_bps; }
@@ -83,24 +95,48 @@ public:
     [[nodiscard]] std::uint64_t frames_transmitted() const noexcept { return frames_tx_; }
     [[nodiscard]] std::uint64_t frames_corrupted() const noexcept { return frames_err_; }
     [[nodiscard]] std::uint64_t arbitration_rounds() const noexcept { return arb_rounds_; }
+    /// Controller polls (peek_tx calls) actually issued; with the cached
+    /// arbitration this grows much slower than arbitration_rounds *
+    /// controller count under backlog.
+    [[nodiscard]] std::uint64_t controller_polls() const noexcept { return polls_; }
     [[nodiscard]] double busy_fraction(Time horizon) const;
 
     [[nodiscard]] sim::Trace& trace() noexcept { return trace_; }
     sim::Simulator& simulator() noexcept { return simulator_; }
 
 private:
+    /// Per-controller arbitration cache entry: the frame this controller
+    /// would transmit next (refreshed only when stale).
+    struct ArbEntry {
+        CanControllerBase* controller;
+        std::optional<CanFrame> head;
+        bool stale = true;
+    };
+
     void try_start_transmission();
-    void finish_transmission(CanControllerBase* winner, CanFrame frame, bool corrupted);
+    void finish_transmission();
+    void mark_stale(CanControllerBase* controller) noexcept;
+    [[nodiscard]] bool is_attached(const CanControllerBase* controller) const noexcept;
 
     sim::Simulator& simulator_;
     std::string name_;
     CanBusConfig config_;
-    std::vector<CanControllerBase*> controllers_;
+    std::vector<ArbEntry> arb_;
     bool transmitting_ = false;
+    // In-flight transmission state; kept in members (one frame is on the
+    // wire at a time) so the completion event captures only `this`.
+    CanControllerBase* tx_controller_ = nullptr;
+    CanFrame tx_frame_{};
+    bool tx_corrupted_ = false;
     std::uint64_t frames_tx_ = 0;
     std::uint64_t frames_err_ = 0;
     std::uint64_t arb_rounds_ = 0;
+    std::uint64_t polls_ = 0;
     std::int64_t busy_ns_ = 0;
+    // Reused snapshot buffer for RX delivery (finish_transmission): safe
+    // because transmissions never nest — the next finish is a future event.
+    std::vector<CanControllerBase*> rx_scratch_;
+    std::uint64_t detach_epoch_ = 0; ///< bumped on detach; guards snapshots
     sim::Trace trace_;
 };
 

@@ -74,7 +74,7 @@ bool CanController::send(const CanFrame& frame) {
         return higher_priority(frame, p.frame);
     });
     tx_queue_.insert(it, PendingTx{frame, bus_.simulator().now()});
-    bus_.notify_tx_pending();
+    bus_.notify_tx_pending(*this);
     return true;
 }
 
@@ -112,7 +112,7 @@ void CanController::tx_aborted(const CanFrame& frame) {
 
 void CanController::recover_from_bus_off() {
     errors_.reset();
-    bus_.notify_tx_pending();
+    bus_.notify_tx_pending(*this);
 }
 
 void CanController::tx_done(const CanFrame& frame, Time at) {
@@ -120,7 +120,7 @@ void CanController::tx_done(const CanFrame& frame, Time at) {
               "tx_done for a frame that is not at the queue head");
     in_flight_ = false;
     const PendingTx done = tx_queue_.front();
-    tx_queue_.pop_front();
+    tx_queue_.erase(tx_queue_.begin());
     ++tx_count_;
     errors_.on_tx_success();
     tx_latency_us_.add((at - done.enqueued).to_us());

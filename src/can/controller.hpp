@@ -5,7 +5,6 @@
 // controller (Fig. 2) is compared against in bench/fig2_can_latency.
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <optional>
 #include <string>
@@ -113,7 +112,7 @@ private:
     CanBus& bus_;
     std::string name_;
     std::size_t capacity_;
-    std::deque<PendingTx> tx_queue_; ///< kept sorted by priority on insert
+    std::vector<PendingTx> tx_queue_; ///< kept sorted by priority on insert
     std::vector<RxFilter> filters_;
     bool receive_own_ = false;
     bool in_flight_ = false; ///< queue head is on the wire; nothing may pass it

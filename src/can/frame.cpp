@@ -1,28 +1,35 @@
 #include "can/frame.hpp"
 
-#include <sstream>
+#include <cstdio>
 
 #include "util/assert.hpp"
 
 namespace sa::can {
 
-CanFrame CanFrame::make(std::uint32_t id, std::initializer_list<std::uint8_t> bytes,
-                        bool extended) {
-    return make(id, std::vector<std::uint8_t>(bytes), extended);
-}
-
-CanFrame CanFrame::make(std::uint32_t id, const std::vector<std::uint8_t>& bytes,
-                        bool extended) {
-    SA_REQUIRE(bytes.size() <= 8, "classic CAN payload is at most 8 bytes");
+namespace {
+CanFrame make_frame(std::uint32_t id, const std::uint8_t* bytes, std::size_t count,
+                    bool extended) {
+    SA_REQUIRE(count <= 8, "classic CAN payload is at most 8 bytes");
     SA_REQUIRE(id <= (extended ? kMaxExtendedId : kMaxStandardId), "CAN id out of range");
     CanFrame f;
     f.id = id;
     f.extended = extended;
-    f.dlc = static_cast<std::uint8_t>(bytes.size());
-    for (std::size_t i = 0; i < bytes.size(); ++i) {
+    f.dlc = static_cast<std::uint8_t>(count);
+    for (std::size_t i = 0; i < count; ++i) {
         f.data[i] = bytes[i];
     }
     return f;
+}
+} // namespace
+
+CanFrame CanFrame::make(std::uint32_t id, std::initializer_list<std::uint8_t> bytes,
+                        bool extended) {
+    return make_frame(id, bytes.begin(), bytes.size(), extended);
+}
+
+CanFrame CanFrame::make(std::uint32_t id, const std::vector<std::uint8_t>& bytes,
+                        bool extended) {
+    return make_frame(id, bytes.data(), bytes.size(), extended);
 }
 
 bool CanFrame::valid() const noexcept {
@@ -33,76 +40,94 @@ bool CanFrame::valid() const noexcept {
 }
 
 std::string CanFrame::str() const {
-    std::ostringstream os;
-    os << (extended ? "x" : "") << std::hex << id << std::dec << " [" << int(dlc) << "]";
-    for (int i = 0; i < dlc; ++i) {
-        os << (i ? " " : " : ") << std::hex << int(data[static_cast<std::size_t>(i)]) << std::dec;
+    // Hot path (bus tracing): manual formatting, no ostringstream. str() has
+    // no validity precondition (it is used to describe bad frames too), so
+    // clamp to the payload that actually exists. Worst case fits easily:
+    // "x" + 8 hex id + " [255]" + 8 * " : ff" = well under 64 bytes.
+    char buf[64];
+    int n = std::snprintf(buf, sizeof buf, "%s%x [%d]", extended ? "x" : "", id, int(dlc));
+    const int payload = dlc > 8 ? 8 : int(dlc);
+    for (int i = 0; i < payload; ++i) {
+        n += std::snprintf(buf + n, sizeof buf - static_cast<std::size_t>(n), "%s%x",
+                           i ? " " : " : ", int(data[static_cast<std::size_t>(i)]));
     }
-    return os.str();
+    return std::string(buf, static_cast<std::size_t>(n));
 }
 
-std::uint16_t can_crc15(const std::vector<bool>& bits) {
-    std::uint16_t crc = 0;
-    for (bool bit : bits) {
-        const bool crc_nxt = bit ^ ((crc >> 14) & 1u);
-        crc = static_cast<std::uint16_t>((crc << 1) & 0x7FFF);
-        if (crc_nxt) {
-            crc ^= 0x4599;
+namespace {
+
+/// Fixed-capacity bit buffer: the stuffable portion of any classic CAN frame
+/// is at most 118 bits (extended, 8 data bytes), so serialization never
+/// allocates.
+struct BitBuf {
+    std::uint8_t bits[128];
+    int n = 0;
+
+    void push(bool b) noexcept { bits[n++] = b ? 1 : 0; }
+    void push_bits(std::uint32_t value, int width) noexcept {
+        for (int i = width - 1; i >= 0; --i) {
+            bits[n++] = static_cast<std::uint8_t>((value >> i) & 1u);
         }
+    }
+};
+
+/// Serialize SOF, arbitration, control and data fields (everything stuffable
+/// up to — not including — the CRC sequence).
+void serialize_pre_crc(const CanFrame& frame, BitBuf& out) noexcept {
+    out.push(false); // SOF (dominant)
+    if (!frame.extended) {
+        out.push_bits(frame.id, 11);
+        out.push(false); // RTR = dominant (data frame)
+        out.push(false); // IDE = dominant (standard)
+        out.push(false); // r0
+    } else {
+        out.push_bits(frame.id >> 18, 11); // base id
+        out.push(true);                    // SRR = recessive
+        out.push(true);                    // IDE = recessive (extended)
+        out.push_bits(frame.id & 0x3FFFF, 18);
+        out.push(false); // RTR
+        out.push(false); // r1
+        out.push(false); // r0
+    }
+    out.push_bits(frame.dlc, 4);
+    for (int i = 0; i < frame.dlc; ++i) {
+        out.push_bits(frame.data[static_cast<std::size_t>(i)], 8);
+    }
+}
+
+/// CAN CRC-15 step for one bit; shared by both the contiguous-buffer and
+/// std::vector<bool> entry points.
+inline std::uint16_t crc15_step(std::uint16_t crc, bool bit) noexcept {
+    const bool crc_nxt = bit ^ ((crc >> 14) & 1u);
+    crc = static_cast<std::uint16_t>((crc << 1) & 0x7FFF);
+    if (crc_nxt) {
+        crc ^= 0x4599;
     }
     return crc;
 }
 
-namespace {
-void push_bits(std::vector<bool>& out, std::uint32_t value, int width) {
-    for (int i = width - 1; i >= 0; --i) {
-        out.push_back(((value >> i) & 1u) != 0);
+std::uint16_t crc15_buf(const BitBuf& buf) noexcept {
+    std::uint16_t crc = 0;
+    for (int i = 0; i < buf.n; ++i) {
+        crc = crc15_step(crc, buf.bits[i] != 0);
     }
-}
-} // namespace
-
-std::vector<bool> frame_stuffable_bits(const CanFrame& frame) {
-    SA_REQUIRE(frame.valid(), "invalid CAN frame");
-    std::vector<bool> bits;
-    bits.reserve(128);
-    bits.push_back(false); // SOF (dominant)
-    if (!frame.extended) {
-        push_bits(bits, frame.id, 11);
-        bits.push_back(false); // RTR = dominant (data frame)
-        bits.push_back(false); // IDE = dominant (standard)
-        bits.push_back(false); // r0
-    } else {
-        push_bits(bits, frame.id >> 18, 11); // base id
-        bits.push_back(true);                // SRR = recessive
-        bits.push_back(true);                // IDE = recessive (extended)
-        push_bits(bits, frame.id & 0x3FFFF, 18);
-        bits.push_back(false); // RTR
-        bits.push_back(false); // r1
-        bits.push_back(false); // r0
-    }
-    push_bits(bits, frame.dlc, 4);
-    for (int i = 0; i < frame.dlc; ++i) {
-        push_bits(bits, frame.data[static_cast<std::size_t>(i)], 8);
-    }
-    const std::uint16_t crc = can_crc15(bits);
-    push_bits(bits, crc, 15);
-    return bits;
+    return crc;
 }
 
-int count_stuff_bits(const std::vector<bool>& bits) {
-    // After 5 consecutive equal bits, a complementary bit is inserted; the
-    // inserted bit participates in subsequent stuffing decisions.
+/// Stuff-bit count over any indexable bit sequence (single implementation
+/// shared by the hot stack-buffer path and the std::vector<bool> API).
+/// After 5 consecutive equal bits, a complementary bit is inserted; the
+/// inserted bit participates in subsequent stuffing decisions.
+template <typename GetBit>
+int count_stuff_bits_impl(std::size_t n, GetBit bit_at) {
+    if (n == 0) {
+        return 0;
+    }
     int stuffed = 0;
-    int run = 0;
-    bool last = true; // bus idle is recessive; SOF (dominant) starts a run of 1
-    bool first = true;
-    for (bool b : bits) {
-        if (first) {
-            last = b;
-            run = 1;
-            first = false;
-            continue;
-        }
+    int run = 1;
+    bool last = bit_at(0);
+    for (std::size_t i = 1; i < n; ++i) {
+        const bool b = bit_at(i);
         if (b == last) {
             ++run;
             if (run == 5) {
@@ -120,10 +145,50 @@ int count_stuff_bits(const std::vector<bool>& bits) {
     return stuffed;
 }
 
+int count_stuff_bits_buf(const std::uint8_t* bits, int n) noexcept {
+    return count_stuff_bits_impl(static_cast<std::size_t>(n),
+                                 [bits](std::size_t i) { return bits[i] != 0; });
+}
+
+} // namespace
+
+std::uint16_t can_crc15(const std::vector<bool>& bits) {
+    std::uint16_t crc = 0;
+    for (bool bit : bits) {
+        crc = crc15_step(crc, bit);
+    }
+    return crc;
+}
+
+std::vector<bool> frame_stuffable_bits(const CanFrame& frame) {
+    SA_REQUIRE(frame.valid(), "invalid CAN frame");
+    BitBuf buf;
+    serialize_pre_crc(frame, buf);
+    const std::uint16_t crc = crc15_buf(buf);
+    buf.push_bits(crc, 15);
+    std::vector<bool> bits;
+    bits.reserve(static_cast<std::size_t>(buf.n));
+    for (int i = 0; i < buf.n; ++i) {
+        bits.push_back(buf.bits[i] != 0);
+    }
+    return bits;
+}
+
+int count_stuff_bits(const std::vector<bool>& bits) {
+    return count_stuff_bits_impl(bits.size(),
+                                 [&bits](std::size_t i) -> bool { return bits[i]; });
+}
+
 std::int64_t frame_exact_bits(const CanFrame& frame) {
-    const auto bits = frame_stuffable_bits(frame);
-    const int stuffed = count_stuff_bits(bits);
-    return static_cast<std::int64_t>(bits.size()) + stuffed + kFrameTrailerBits;
+    // Allocation-free: the bus calls this once per transmission, so it runs
+    // on a stack buffer instead of materialising std::vector<bool>s.
+    SA_REQUIRE(frame.valid(), "invalid CAN frame");
+    BitBuf buf;
+    serialize_pre_crc(frame, buf);
+    const std::uint16_t crc = crc15_buf(buf);
+    buf.push_bits(crc, 15);
+    const int stuffed = count_stuff_bits_buf(buf.bits, buf.n);
+    return static_cast<std::int64_t>(buf.n) + stuffed + kFrameTrailerBits;
 }
 
 } // namespace sa::can

@@ -47,7 +47,8 @@ struct CanFrame {
 
 /// Exact total number of bits on the wire for this frame, including stuff
 /// bits and the fixed trailer (CRC delimiter, ACK slot + delimiter, EOF) but
-/// excluding inter-frame space.
+/// excluding inter-frame space. Computed on a stack buffer (no allocation);
+/// the bus calls this once per transmission.
 [[nodiscard]] std::int64_t frame_exact_bits(const CanFrame& frame);
 
 /// Fixed trailer + interframe space constants.

@@ -6,6 +6,19 @@
 
 namespace sa::can {
 
+namespace {
+// Doorbell events pack {vf index, send sequence} into one 64-bit token so
+// the scheduled lambda captures {this, token} and stays within
+// std::function's inline storage (no per-doorbell heap allocation).
+constexpr int kTokenVfShift = 48;
+constexpr std::uint64_t kTokenSeqMask = (std::uint64_t{1} << kTokenVfShift) - 1;
+
+std::uint64_t make_doorbell_token(int vf_index, std::uint64_t seq) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(vf_index)) << kTokenVfShift) |
+           (seq & kTokenSeqMask);
+}
+} // namespace
+
 // ---------------------------------------------------------------------------
 // VirtualFunction
 // ---------------------------------------------------------------------------
@@ -59,9 +72,9 @@ VirtualFunction& VirtualCanController::pf_create_vf(const PfToken&, std::size_t 
 
 void VirtualCanController::pf_enable_vf(const PfToken&, int vf_index, bool enabled) {
     vf(vf_index).enabled_ = enabled;
-    if (enabled) {
-        bus_.notify_tx_pending();
-    }
+    // Enabling exposes latched frames to arbitration; disabling hides them.
+    // Either way the bus's cached head for this controller is stale.
+    bus_.notify_tx_pending(*this);
 }
 
 void VirtualCanController::pf_set_bus_bitrate(const PfToken&, std::int64_t bps) {
@@ -103,21 +116,28 @@ void VirtualCanController::vf_doorbell(VirtualFunction& vf, std::uint64_t seq) {
     // doorbell write propagates and the virtualization layer re-arbitrates
     // across VFs. Latch exactly the slot this doorbell announced.
     const Duration delay = latency_.tx_doorbell + arbitration_latency();
-    const int vf_index = vf.index_;
-    bus_.simulator().schedule(delay, [this, vf_index, seq] {
-        VirtualFunction& f = *vfs_[static_cast<std::size_t>(vf_index)];
-        for (auto& p : f.queue_) {
-            if (p.seq == seq) {
-                p.latched = true;
-                break;
-            }
+    const std::uint64_t token = make_doorbell_token(vf.index_, seq);
+    bus_.simulator().schedule(delay, [this, token] { latch_doorbell(token); });
+}
+
+void VirtualCanController::latch_doorbell(std::uint64_t token) {
+    const auto vf_index = static_cast<std::size_t>(token >> kTokenVfShift);
+    const std::uint64_t seq = token & kTokenSeqMask;
+    VirtualFunction& f = *vfs_[vf_index];
+    for (auto& p : f.queue_) {
+        if ((p.seq & kTokenSeqMask) == seq) {
+            p.latched = true;
+            break;
         }
-        bus_.notify_tx_pending();
-    });
+    }
+    bus_.notify_tx_pending(*this);
 }
 
 void VirtualCanController::pf_set_arbitration(const PfToken&, VfArbitration arbitration) {
     arbitration_ = arbitration;
+    // The policy decides which latched frame is the head; the bus's cached
+    // peek for this controller is stale under the new policy.
+    bus_.notify_tx_pending(*this);
 }
 
 VirtualFunction* VirtualCanController::best_pending(const CanFrame** frame_out) {
@@ -142,6 +162,8 @@ VirtualFunction* VirtualCanController::best_pending(const CanFrame** frame_out) 
         }
     } else {
         // Ablation baseline: serve VFs in turn regardless of frame priority.
+        // Selection is side-effect-free (the bus caches peek_tx answers);
+        // the cursor advances in tx_done, i.e. per transmission granted.
         const std::size_t n = vfs_.size();
         for (std::size_t k = 0; k < n && best == nullptr; ++k) {
             auto& vfp = vfs_[(rr_next_ + k) % n];
@@ -152,7 +174,6 @@ VirtualFunction* VirtualCanController::best_pending(const CanFrame** frame_out) 
                 if (p.latched) {
                     best = &p.frame;
                     best_vf = vfp.get();
-                    rr_next_ = (static_cast<std::size_t>(vfp->index_) + 1) % n;
                     break;
                 }
             }
@@ -184,6 +205,9 @@ void VirtualCanController::tx_done(const CanFrame& frame, Time at) {
             vfp->tx_latency_us_.add((at - it->enqueued).to_us());
             last_tx_vf_ = vfp->index_;
             q.erase(it);
+            // Round-robin rotates per transmission granted (not per peek:
+            // peeks are cached by the bus and must stay side-effect-free).
+            rr_next_ = (static_cast<std::size_t>(vfp->index_) + 1) % vfs_.size();
             return;
         }
     }
@@ -193,6 +217,7 @@ void VirtualCanController::tx_done(const CanFrame& frame, Time at) {
 void VirtualCanController::rx_frame(const CanFrame& frame, Time at) {
     // Filter towards the VMs; the transmitting VF does not see its own frame.
     const bool own = (last_tx_vf_ >= 0) && (at == bus_.simulator().now());
+    const Duration delay = latency_.rx_filter + latency_.rx_copy;
     for (auto& vfp : vfs_) {
         if (!vfp->enabled_) {
             continue;
@@ -200,19 +225,42 @@ void VirtualCanController::rx_frame(const CanFrame& frame, Time at) {
         if (own && vfp->index_ == last_tx_vf_) {
             continue;
         }
-        for (const auto& f : vfp->filters_) {
-            if (f.matches(frame)) {
-                const Duration delay = latency_.rx_filter + latency_.rx_copy;
-                VirtualFunction* target = vfp.get();
-                bus_.simulator().schedule(delay, [target, cb = f.callback, frame] {
-                    target->rx_count_++;
-                    cb(frame, target->owner_.bus_.simulator().now());
-                });
+        for (std::size_t fi = 0; fi < vfp->filters_.size(); ++fi) {
+            if (vfp->filters_[fi].matches(frame)) {
+                // Stage the delivery; the event captures only `this` and the
+                // FIFO hands it the right entry (fixed delay => FIFO order).
+                rx_fifo_.push_back(PendingRx{vfp->index_, fi, frame});
+                bus_.simulator().schedule(delay, [this] { deliver_pending_rx(); });
                 break; // first matching filter wins per VF
             }
         }
     }
     last_tx_vf_ = -1;
+}
+
+void VirtualCanController::deliver_pending_rx() {
+    SA_ASSERT(rx_head_ < rx_fifo_.size(), "RX delivery without a staged entry");
+    // Copy the entry out: the callback may receive further frames and grow
+    // (reallocate) the staging queue re-entrantly.
+    const PendingRx rx = rx_fifo_[rx_head_++];
+    if (rx_head_ == rx_fifo_.size()) {
+        rx_fifo_.clear();
+        rx_head_ = 0;
+    } else if (rx_head_ >= 64 && rx_head_ * 2 >= rx_fifo_.size()) {
+        // Under sustained traffic the FIFO may never run empty; compact the
+        // consumed prefix so storage stays bounded by the in-flight window.
+        rx_fifo_.erase(rx_fifo_.begin(),
+                       rx_fifo_.begin() + static_cast<std::ptrdiff_t>(rx_head_));
+        rx_head_ = 0;
+    }
+    VirtualFunction& f = *vfs_[static_cast<std::size_t>(rx.vf_index)];
+    f.rx_count_++;
+    // Filters are append-only, so the staged index stays valid even if the
+    // callback registered more filters meanwhile — but invoke a COPY: a
+    // callback that adds filters to its own VF reallocates filters_, which
+    // would destroy the std::function mid-invocation.
+    const auto callback = f.filters_[rx.filter_index].callback;
+    callback(rx.frame, bus_.simulator().now());
 }
 
 } // namespace sa::can

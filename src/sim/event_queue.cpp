@@ -6,67 +6,162 @@
 
 namespace sa::sim {
 
+EventQueue::Bucket* EventQueue::acquire_bucket(std::int64_t at) {
+    Bucket* bucket = nullptr;
+    if (!free_buckets_.empty()) {
+        bucket = free_buckets_.back();
+        free_buckets_.pop_back();
+    } else {
+        bucket_storage_.push_back(std::make_unique<Bucket>());
+        bucket = bucket_storage_.back().get();
+        // Keep the free list's capacity >= total buckets so recycling in
+        // the noexcept clear()/destructor path never needs to allocate.
+        free_buckets_.reserve(bucket_storage_.capacity());
+    }
+    bucket->at = at;
+    bucket->next = 0;
+    bucket->items.clear();
+    by_time_.emplace(at, bucket);
+    heap_.push_back(bucket);
+    std::push_heap(heap_.begin(), heap_.end(), &EventQueue::bucket_after);
+    return bucket;
+}
+
+void EventQueue::retire_front_bucket() {
+    Bucket* bucket = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), &EventQueue::bucket_after);
+    heap_.pop_back();
+    by_time_.erase(bucket->at);
+    bucket->items.clear();
+    bucket->next = 0;
+    free_buckets_.push_back(bucket);
+}
+
+std::uint32_t EventQueue::acquire_slot() {
+    if (!free_slots_.empty()) {
+        const std::uint32_t slot = free_slots_.back();
+        free_slots_.pop_back();
+        return slot;
+    }
+    slots_.push_back(Slot{});
+    // Keep the free list's capacity >= total slots so release_slot (called
+    // from the noexcept clear()/destructor path) never needs to allocate.
+    free_slots_.reserve(slots_.capacity());
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t slot) noexcept {
+    Slot& s = slots_[slot];
+    s.live = false;
+    ++s.generation; // stale handles can never match this slot again
+    free_slots_.push_back(slot);
+}
+
 EventHandle EventQueue::push(Time at, Action action) {
     SA_REQUIRE(static_cast<bool>(action), "cannot schedule an empty action");
-    auto* entry = new Entry{at, next_seq_++, std::move(action), false};
-    pool_.push_back(entry);
-    heap_.push(entry);
+    Bucket* bucket = nullptr;
+    if (const auto it = by_time_.find(at.ns()); it != by_time_.end()) {
+        bucket = it->second;
+    } else {
+        bucket = acquire_bucket(at.ns());
+    }
+    const std::uint32_t slot = acquire_slot();
+    slots_[slot].live = true;
+    bucket->items.push_back(Item{std::move(action), slot});
     ++live_;
-    return EventHandle(entry->seq);
+    return EventHandle(slot + 1, slots_[slot].generation);
 }
 
 bool EventQueue::cancel(EventHandle handle) {
     if (!handle.valid()) {
         return false;
     }
-    // Linear scan over the retained pool; the pool is pruned on pop so it
-    // stays proportional to pending events. Cancellation is rare (timeouts).
-    for (Entry* e : pool_) {
-        if (e->seq == handle.id_ && !e->cancelled) {
-            e->cancelled = true;
-            --live_;
-            return true;
-        }
+    const std::uint32_t slot = handle.slot_ - 1;
+    if (slot >= slots_.size()) {
+        return false;
     }
-    return false;
+    Slot& s = slots_[slot];
+    if (!s.live || s.generation != handle.generation_) {
+        return false; // already fired, already cancelled, or slot reused
+    }
+    s.live = false; // the action itself is reaped when its bucket drains
+    --live_;
+    return true;
 }
 
-void EventQueue::drop_dead() {
-    while (!heap_.empty() && heap_.top()->cancelled) {
-        Entry* dead = heap_.top();
-        heap_.pop();
-        pool_.erase(std::remove(pool_.begin(), pool_.end(), dead), pool_.end());
-        delete dead;
+void EventQueue::prune_front() {
+    while (!heap_.empty()) {
+        Bucket* bucket = heap_.front();
+        while (bucket->next < bucket->items.size()) {
+            Item& item = bucket->items[bucket->next];
+            if (slots_[item.slot].live) {
+                return; // front is a live event
+            }
+            item.action = nullptr; // reap the cancelled action eagerly
+            release_slot(item.slot);
+            ++bucket->next;
+        }
+        retire_front_bucket();
     }
 }
 
 Time EventQueue::next_time() const {
     auto* self = const_cast<EventQueue*>(this);
-    self->drop_dead();
+    self->prune_front();
     SA_REQUIRE(!heap_.empty(), "next_time on empty queue");
-    return heap_.top()->at;
+    return Time(heap_.front()->at);
 }
 
 EventQueue::Popped EventQueue::pop() {
-    drop_dead();
+    prune_front();
     SA_REQUIRE(!heap_.empty(), "pop on empty queue");
-    Entry* top = heap_.top();
-    heap_.pop();
-    pool_.erase(std::remove(pool_.begin(), pool_.end(), top), pool_.end());
-    Popped out{top->at, std::move(top->action)};
-    delete top;
+    Bucket* bucket = heap_.front();
+    Item& item = bucket->items[bucket->next];
+    Popped out{Time(bucket->at), std::move(item.action)};
+    item.action = nullptr;
+    release_slot(item.slot);
+    ++bucket->next;
     --live_;
+    if (bucket->next == bucket->items.size()) {
+        retire_front_bucket();
+    }
     return out;
 }
 
+Time EventQueue::pop_batch(std::vector<Action>& out) {
+    prune_front();
+    SA_REQUIRE(!heap_.empty(), "pop_batch on empty queue");
+    Bucket* bucket = heap_.front();
+    const Time at(bucket->at);
+    // The whole cohort leaves the queue in one pass: live actions move to
+    // `out`, every slot is released, and the bucket is recycled. Events
+    // pushed at this timestamp by the caller afterwards open a new bucket.
+    for (std::size_t i = bucket->next; i < bucket->items.size(); ++i) {
+        Item& item = bucket->items[i];
+        if (slots_[item.slot].live) {
+            out.push_back(std::move(item.action));
+            --live_;
+        }
+        item.action = nullptr;
+        release_slot(item.slot);
+    }
+    retire_front_bucket();
+    return at;
+}
+
 void EventQueue::clear() noexcept {
-    while (!heap_.empty()) {
-        heap_.pop();
+    // Release every pending slot (bumping its generation) so outstanding
+    // handles can never cancel events scheduled after the clear.
+    for (Bucket* bucket : heap_) {
+        for (std::size_t i = bucket->next; i < bucket->items.size(); ++i) {
+            release_slot(bucket->items[i].slot);
+        }
+        bucket->items.clear();
+        bucket->next = 0;
+        free_buckets_.push_back(bucket);
     }
-    for (Entry* e : pool_) {
-        delete e;
-    }
-    pool_.clear();
+    heap_.clear();
+    by_time_.clear();
     live_ = 0;
 }
 

@@ -1,12 +1,24 @@
 #pragma once
-// Priority event queue for the discrete-event kernel. Events with equal
-// timestamps fire in insertion order (stable), which keeps simulations
-// deterministic regardless of heap internals. Cancellation is O(1) via
-// tombstoning; dead entries are skipped on pop.
+// Bucketed event queue for the discrete-event kernel.
+//
+// Events are grouped into per-timestamp *buckets*: a binary min-heap orders
+// the distinct timestamps while each bucket holds its events in insertion
+// order. Pushing into an existing bucket and popping within a bucket are
+// amortised O(1); the O(log n) heap work is paid once per distinct timestamp
+// instead of once per event. This is what makes dense same-time cohorts
+// (periodic monitors, batched CAN windows) cheap, and it is the foundation
+// of Simulator::run_batch().
+//
+// Cancellation uses generation counters: every event owns a slot in a slot
+// table and its handle stores the slot's generation at push time. cancel()
+// is O(1) — it just kills the slot — and a handle can never revoke a later
+// event that happens to reuse the same slot, because reuse bumps the
+// generation. There is no tombstone scan and no retained heap entry.
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -14,18 +26,33 @@
 namespace sa::sim {
 
 /// Opaque handle for cancelling a scheduled event.
+///
+/// A handle stays valid-looking forever, but cancel() only succeeds while
+/// the event it names is still pending: once the event has fired, been
+/// cancelled, or the queue has been cleared, cancel() returns false. Slot
+/// reuse is made safe by the generation counter — a stale handle can never
+/// cancel a newer event.
 class EventHandle {
 public:
     EventHandle() = default;
 
-    [[nodiscard]] bool valid() const noexcept { return id_ != 0; }
+    /// True if this handle was ever bound to an event. Note this does NOT
+    /// mean the event is still pending — see cancel().
+    [[nodiscard]] bool valid() const noexcept { return slot_ != 0; }
 
 private:
     friend class EventQueue;
-    explicit EventHandle(std::uint64_t id) : id_(id) {}
-    std::uint64_t id_ = 0;
+    EventHandle(std::uint32_t slot_plus1, std::uint32_t generation)
+        : slot_(slot_plus1), generation_(generation) {}
+    std::uint32_t slot_ = 0; ///< slot index + 1; 0 = never bound
+    std::uint32_t generation_ = 0;
 };
 
+/// Priority event queue with stable FIFO order inside each timestamp.
+///
+/// Ordering contract: events fire in ascending timestamp order; events with
+/// equal timestamps fire in push order (stable), which keeps simulations
+/// deterministic regardless of heap internals.
 class EventQueue {
 public:
     using Action = std::function<void()>;
@@ -35,11 +62,14 @@ public:
     EventQueue& operator=(const EventQueue&) = delete;
     ~EventQueue() { clear(); }
 
-    /// Schedule an action at absolute time `at`. Returns a cancellation handle.
+    /// Schedule an action at absolute time `at`. Returns a cancellation
+    /// handle. Amortised O(1) when `at` already has pending events,
+    /// O(log n distinct timestamps) otherwise.
     EventHandle push(Time at, Action action);
 
-    /// Cancel a previously scheduled event. Returns false if it already fired
-    /// or was already cancelled.
+    /// Cancel a previously scheduled event in O(1). Returns false if it
+    /// already fired, was already cancelled, or the queue was cleared since.
+    /// The cancelled action is destroyed lazily when its bucket drains.
     bool cancel(EventHandle handle);
 
     [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
@@ -48,37 +78,68 @@ public:
     /// Earliest pending event time. Requires !empty().
     [[nodiscard]] Time next_time() const;
 
-    /// Pop the earliest event. Requires !empty().
+    /// Pop the earliest event. Requires !empty(). Amortised O(1) within a
+    /// timestamp cohort; heap maintenance happens only on cohort boundaries.
     struct Popped {
         Time at;
         Action action;
     };
     Popped pop();
 
+    /// Batched drain: move ALL live events at the earliest timestamp into
+    /// `out` (appended, in FIFO order) in one call and return that
+    /// timestamp. Requires !empty().
+    ///
+    /// Cancellation contract: the extracted events are no longer pending —
+    /// cancel() on their handles returns false from this point on, even if
+    /// the caller has not invoked them yet. Events pushed at the same
+    /// timestamp *after* this call form a new cohort and are not included.
+    Time pop_batch(std::vector<Action>& out);
+
     void clear() noexcept;
 
 private:
-    struct Entry {
-        Time at;
-        std::uint64_t seq; // insertion order; also the cancellation id
+    struct Item {
         Action action;
-        bool cancelled = false;
+        std::uint32_t slot;
     };
-    struct Cmp {
-        // std::priority_queue is a max-heap; invert for earliest-first.
-        bool operator()(const Entry* a, const Entry* b) const noexcept {
-            if (a->at != b->at) {
-                return a->at > b->at;
-            }
-            return a->seq > b->seq;
-        }
+    /// All events at one timestamp, in insertion order. `next` marks how far
+    /// the bucket has been consumed; buckets are recycled once drained.
+    struct Bucket {
+        std::int64_t at = 0;
+        std::size_t next = 0;
+        std::vector<Item> items;
+    };
+    /// Generation-counted cancellation slot. `live` flips false on cancel or
+    /// pop; `generation` bumps when the slot is physically released so a
+    /// stale handle can never match a reused slot.
+    struct Slot {
+        std::uint32_t generation = 1;
+        bool live = false;
     };
 
-    void drop_dead();
+    /// Heap ordering for std::push_heap/pop_heap (max-heap builders):
+    /// "greater-than" yields a min-heap on bucket timestamp.
+    static bool bucket_after(const Bucket* a, const Bucket* b) noexcept {
+        return a->at > b->at;
+    }
 
-    std::priority_queue<Entry*, std::vector<Entry*>, Cmp> heap_;
-    std::vector<Entry*> pool_;
-    std::uint64_t next_seq_ = 1;
+    Bucket* acquire_bucket(std::int64_t at);
+    void retire_front_bucket();
+    std::uint32_t acquire_slot();
+    void release_slot(std::uint32_t slot) noexcept;
+    /// Drop leading cancelled items (and exhausted buckets) so the heap
+    /// front is a live event.
+    void prune_front();
+
+    // Min-heap over bucket timestamps (std::push_heap/pop_heap with a
+    // greater-than comparator). Holds one entry per *distinct* timestamp.
+    std::vector<Bucket*> heap_;
+    std::unordered_map<std::int64_t, Bucket*> by_time_;
+    std::vector<std::unique_ptr<Bucket>> bucket_storage_;
+    std::vector<Bucket*> free_buckets_;
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> free_slots_;
     std::size_t live_ = 0;
 };
 

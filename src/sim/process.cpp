@@ -23,6 +23,11 @@ void Process::start(Duration phase) {
 void Process::stop() {
     running_ = false;
     ++epoch_;
+    // Eagerly cancel the in-flight activation (O(1) in the bucketed queue)
+    // so stopped processes leave nothing behind; the epoch guard still
+    // protects against stop/start races from within the body.
+    simulator_.cancel(pending_);
+    pending_ = EventHandle{};
 }
 
 void Process::set_period(Duration period) {
@@ -32,10 +37,11 @@ void Process::set_period(Duration period) {
 
 void Process::arm(Duration delay) {
     const std::uint64_t epoch = epoch_;
-    simulator_.schedule(delay, [this, epoch] {
+    pending_ = simulator_.schedule(delay, [this, epoch] {
         if (!running_ || epoch != epoch_) {
             return;
         }
+        pending_ = EventHandle{};
         ++activations_;
         body_(*this);
         if (running_ && epoch == epoch_) {

@@ -89,7 +89,8 @@ private:
     Duration period_;
     Body body_;
     bool running_ = false;
-    std::uint64_t epoch_ = 0; // invalidates in-flight events on stop/restart
+    std::uint64_t epoch_ = 0;  // invalidates in-flight events on stop/restart
+    EventHandle pending_;      // in-flight activation, cancelled eagerly on stop
     std::uint64_t activations_ = 0;
 };
 

@@ -1,7 +1,6 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
-#include <memory>
 
 #include "util/assert.hpp"
 
@@ -22,33 +21,53 @@ std::uint64_t Simulator::schedule_periodic(Duration period, EventQueue::Action a
     SA_REQUIRE(period.count_ns() > 0, "periodic activity needs a positive period");
     SA_REQUIRE(phase.count_ns() >= 0, "phase must be non-negative");
     auto task = std::make_shared<PeriodicTask>();
-    task->id = next_periodic_id_++;
+    const std::uint64_t id = next_periodic_id_++;
+    task->id = id;
     task->period = period;
     task->action = std::move(action);
-    periodics_.push_back(task);
-    schedule(phase, [this, task] { fire_periodic(task); });
-    return task->id;
+    PeriodicTask& slot = *periodics_.emplace(id, std::move(task)).first->second;
+    arm_periodic(slot, phase);
+    return id;
 }
 
-void Simulator::fire_periodic(std::shared_ptr<PeriodicTask> task) {
-    if (task->cancelled) {
-        return;
+Simulator::PeriodicTask* Simulator::find_periodic(std::uint64_t id) noexcept {
+    const auto it = periodics_.find(id);
+    return it == periodics_.end() ? nullptr : it->second.get();
+}
+
+void Simulator::arm_periodic(PeriodicTask& task, Duration delay) {
+    // The firing captures only {this, id} — small enough for std::function's
+    // inline storage, so re-arming a periodic never heap-allocates. The id
+    // indirection (instead of a pointer) keeps the firing safe even if the
+    // task cancels itself from inside its own action.
+    const std::uint64_t id = task.id;
+    task.next = schedule(delay, [this, id] { fire_periodic(id); });
+}
+
+void Simulator::fire_periodic(std::uint64_t id) {
+    const auto it = periodics_.find(id);
+    if (it == periodics_.end()) {
+        return; // cancelled between scheduling and firing (belt and braces)
     }
+    // Pin the task across the call: the action may cancel_periodic its own
+    // id, which erases the map entry — the std::function and its captures
+    // must outlive their invocation.
+    const std::shared_ptr<PeriodicTask> task = it->second;
+    task->next = EventHandle{};
     task->action();
-    if (!task->cancelled) {
-        schedule(task->period, [this, task] { fire_periodic(task); });
+    // Re-resolve before re-arming: only still-registered tasks continue.
+    PeriodicTask* live = find_periodic(id);
+    if (live != nullptr) {
+        arm_periodic(*live, live->period);
     }
 }
 
 void Simulator::cancel_periodic(std::uint64_t id) {
-    for (auto& task : periodics_) {
-        if (task->id == id) {
-            task->cancelled = true;
-        }
+    const auto it = periodics_.find(id);
+    if (it != periodics_.end()) {
+        queue_.cancel(it->second->next); // eager: no stale event stays queued
+        periodics_.erase(it);
     }
-    periodics_.erase(std::remove_if(periodics_.begin(), periodics_.end(),
-                                    [](const auto& t) { return t->cancelled; }),
-                     periodics_.end());
 }
 
 std::size_t Simulator::run_until(Time until) {
@@ -67,10 +86,46 @@ std::size_t Simulator::run_until(Time until) {
         ++executed_;
     }
     // Even if nothing fired, time advances to the horizon so subsequent
-    // scheduling is relative to the end of the observed window.
-    if (now_ < until && until != Time::max()) {
+    // scheduling is relative to the end of the observed window — except
+    // after a stop(): jumping past still-pending events would strand them
+    // in the past and poison every later drain.
+    if (!stop_requested_ && now_ < until && until != Time::max()) {
         now_ = until;
     }
+    // Consume the stop request: it was honored by this run and must not
+    // leak into a later run_batch() drain loop.
+    stop_requested_ = false;
+    return executed;
+}
+
+std::size_t Simulator::run_batch(Time until) {
+    if (stop_requested_) {
+        // stop() was requested (typically from within the previous cohort):
+        // consume the request and end the caller's drain loop.
+        stop_requested_ = false;
+        return 0;
+    }
+    if (queue_.empty()) {
+        return 0;
+    }
+    const Time next = queue_.next_time();
+    if (next > until) {
+        return 0;
+    }
+    SA_ASSERT(next >= now_, "event queue time went backwards");
+    // Drain into a local buffer (recycled through batch_) so that an action
+    // which re-enters run_batch() cannot invalidate the cohort being
+    // iterated; the innermost call simply grows its own buffer.
+    std::vector<EventQueue::Action> batch = std::move(batch_);
+    batch.clear();
+    now_ = queue_.pop_batch(batch);
+    for (auto& action : batch) {
+        action();
+        action = nullptr; // destroy captures promptly, like run_until()
+        ++executed_;
+    }
+    const std::size_t executed = batch.size();
+    batch_ = std::move(batch); // hand the (largest) buffer back for reuse
     return executed;
 }
 

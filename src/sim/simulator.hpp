@@ -3,11 +3,18 @@
 // the same seed and setup always produce the same trace. All substrates
 // (CAN bus, ECU schedulers, vehicle dynamics, platoon messaging) run on one
 // Simulator instance so their interleavings are globally ordered.
+//
+// Two drain paths exist: run_until()/step() execute one event at a time and
+// honour stop() between any two events; run_batch() drains one timestamp
+// cohort per call through EventQueue::pop_batch(), trading per-event control
+// for one queue round-trip per cohort (see the run_batch() contract below).
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -18,7 +25,7 @@ namespace sa::sim {
 
 class Simulator {
 public:
-    explicit Simulator(std::uint64_t seed = 0x5AA5F00DULL) : rng_(seed) {}
+    explicit Simulator(std::uint64_t seed = 0x5AA5F00DULL) : seed_(seed) {}
 
     Simulator(const Simulator&) = delete;
     Simulator& operator=(const Simulator&) = delete;
@@ -36,16 +43,40 @@ public:
     std::uint64_t schedule_periodic(Duration period, EventQueue::Action action,
                                     Duration phase = Duration::zero());
 
+    /// Stop a periodic activity. The in-flight occurrence is cancelled
+    /// eagerly (O(1) via the queue's generation counters), so no stale event
+    /// lingers in the queue.
     void cancel_periodic(std::uint64_t id);
 
     bool cancel(EventHandle handle) { return queue_.cancel(handle); }
 
     /// Run until the event queue is empty or `until` is reached (whichever is
-    /// first). Returns the number of events executed.
+    /// first). Returns the number of events executed. Executes one event at a
+    /// time; stop() takes effect after the current event completes.
     std::size_t run_until(Time until);
 
     /// Run for `span` from now.
     std::size_t run_for(Duration span) { return run_until(now_ + span); }
+
+    /// Drain ONE timestamp cohort: every event pending at the next timestamp
+    /// (if it is <= `until`) is popped in a single EventQueue::pop_batch()
+    /// call and executed in FIFO order. Returns the number of events
+    /// executed (0 if nothing is pending before `until`).
+    ///
+    /// Contract differences vs run_until():
+    ///  - The cohort is extracted from the queue before execution, so
+    ///    cancelling a same-timestamp event from within the cohort has no
+    ///    effect — it already left the queue (EventQueue::pop_batch()).
+    ///  - stop() does not interrupt a cohort; the next run_batch() call
+    ///    observes the request, returns 0 (leaving remaining events
+    ///    queued), and clears it — ending a `while (run_batch() > 0)` loop.
+    ///  - Unlike run_until(until), run_batch never advances now() to the
+    ///    horizon when nothing is due; time only moves to executed cohorts'
+    ///    timestamps.
+    /// Events scheduled *during* the cohort at the same timestamp form a new
+    /// cohort and are picked up by the next call, preserving the global
+    /// FIFO-within-timestamp order of run_until().
+    std::size_t run_batch(Time until = Time::max());
 
     /// Execute exactly one event if one is pending before `until`.
     bool step(Time until = Time::max());
@@ -57,25 +88,42 @@ public:
     [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
     [[nodiscard]] std::uint64_t executed_events() const noexcept { return executed_; }
 
-    RandomEngine& rng() noexcept { return rng_; }
+    /// Deterministic RNG seeded from the constructor seed. Constructed
+    /// lazily on first access: seeding a mt19937_64 costs ~0.6 us, which
+    /// purely-deterministic simulations (no noise, no fault injection)
+    /// never need to pay. The drawn sequence is identical either way.
+    RandomEngine& rng() noexcept {
+        if (!rng_.has_value()) {
+            rng_.emplace(seed_);
+        }
+        return *rng_;
+    }
 
 private:
     struct PeriodicTask {
         std::uint64_t id;
         Duration period;
         EventQueue::Action action;
-        bool cancelled = false;
+        EventHandle next; ///< the in-flight occurrence, cancelled eagerly
     };
 
-    void fire_periodic(std::shared_ptr<PeriodicTask> task);
+    void fire_periodic(std::uint64_t id);
+    void arm_periodic(PeriodicTask& task, Duration delay);
+    PeriodicTask* find_periodic(std::uint64_t id) noexcept;
 
     EventQueue queue_;
     Time now_ = Time::zero();
-    RandomEngine rng_;
+    std::uint64_t seed_;
+    std::optional<RandomEngine> rng_;
     bool stop_requested_ = false;
     std::uint64_t executed_ = 0;
     std::uint64_t next_periodic_id_ = 1;
-    std::vector<std::shared_ptr<PeriodicTask>> periodics_;
+    // Keyed by id: firings resolve their task in O(1). shared_ptr (not
+    // unique_ptr) so fire_periodic can pin the task across the action call —
+    // an action that cancels its own id would otherwise destroy the
+    // std::function (and its captures) while it executes.
+    std::unordered_map<std::uint64_t, std::shared_ptr<PeriodicTask>> periodics_;
+    std::vector<EventQueue::Action> batch_; ///< reused run_batch() buffer
 };
 
 } // namespace sa::sim

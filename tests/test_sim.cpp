@@ -97,6 +97,70 @@ TEST(EventQueue, PopEmptyThrows) {
     EXPECT_THROW((void)q.next_time(), ContractViolation);
 }
 
+TEST(EventQueue, CancelAfterPopIsRejected) {
+    EventQueue q;
+    int runs = 0;
+    auto h = q.push(Time(10), [&] { ++runs; });
+    q.pop().action();
+    EXPECT_EQ(runs, 1);
+    // The event already fired; its handle must be dead even though the
+    // queue internally reuses the slot for the next push.
+    EXPECT_FALSE(q.cancel(h));
+    bool second = false;
+    auto h2 = q.push(Time(20), [&] { second = true; });
+    EXPECT_FALSE(q.cancel(h)) << "stale handle must not cancel a reused slot";
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_TRUE(q.cancel(h2));
+    EXPECT_FALSE(second);
+}
+
+TEST(EventQueue, CancelAfterClearIsRejected) {
+    EventQueue q;
+    auto h = q.push(Time(10), [] {});
+    q.clear();
+    EXPECT_FALSE(q.cancel(h));
+    q.push(Time(5), [] {}); // may reuse the cleared slot
+    EXPECT_FALSE(q.cancel(h));
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, PopBatchDrainsWholeCohortInFifoOrder) {
+    EventQueue q;
+    std::vector<int> fired;
+    for (int i = 0; i < 10; ++i) {
+        q.push(Time(5), [&fired, i] { fired.push_back(i); });
+    }
+    q.push(Time(7), [&fired] { fired.push_back(99); });
+    std::vector<EventQueue::Action> batch;
+    EXPECT_EQ(q.pop_batch(batch).ns(), 5);
+    EXPECT_EQ(batch.size(), 10u);
+    EXPECT_EQ(q.size(), 1u); // the Time(7) event stays queued
+    for (auto& a : batch) {
+        a();
+    }
+    EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(EventQueue, PopBatchSkipsCancelledAndReleasesHandles) {
+    EventQueue q;
+    std::vector<int> fired;
+    q.push(Time(5), [&] { fired.push_back(0); });
+    auto h = q.push(Time(5), [&] { fired.push_back(1); });
+    q.push(Time(5), [&] { fired.push_back(2); });
+    EXPECT_TRUE(q.cancel(h));
+    std::vector<EventQueue::Action> batch;
+    (void)q.pop_batch(batch);
+    ASSERT_EQ(batch.size(), 2u);
+    for (auto& a : batch) {
+        a();
+    }
+    EXPECT_EQ(fired, (std::vector<int>{0, 2}));
+    EXPECT_TRUE(q.empty());
+    // Extracted events left the queue: their handles are dead (documented
+    // pop_batch cancellation contract).
+    EXPECT_FALSE(q.cancel(h));
+}
+
 // --- Simulator -------------------------------------------------------------------
 
 TEST(Simulator, RunsEventsInOrder) {
@@ -179,6 +243,164 @@ TEST(Simulator, StopBreaksRun) {
     });
     sim.run_until(Time(Duration::ms(100).count_ns()));
     EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, BatchDrainMatchesStepDrain) {
+    // The same workload executed through run_batch() cohorts and through
+    // per-event step() must produce the same order, times and event count:
+    // nested same-timestamp scheduling included.
+    const auto build = [](Simulator& sim, std::vector<std::pair<int, std::int64_t>>& log) {
+        for (int i = 0; i < 4; ++i) {
+            sim.schedule_at(Time(10), [&log, &sim, i] {
+                log.emplace_back(i, sim.now().ns());
+                if (i == 1) {
+                    // Same-timestamp event scheduled from within the cohort:
+                    // runs after the current cohort, still at t=10.
+                    sim.schedule_at(Time(10), [&log, &sim] {
+                        log.emplace_back(100, sim.now().ns());
+                    });
+                }
+            });
+        }
+        sim.schedule_at(Time(20), [&log, &sim] { log.emplace_back(200, sim.now().ns()); });
+    };
+
+    Simulator batch_sim;
+    std::vector<std::pair<int, std::int64_t>> batch_log;
+    build(batch_sim, batch_log);
+    std::size_t batch_total = 0;
+    for (std::size_t n = batch_sim.run_batch(); n > 0; n = batch_sim.run_batch()) {
+        batch_total += n;
+    }
+
+    Simulator step_sim;
+    std::vector<std::pair<int, std::int64_t>> step_log;
+    build(step_sim, step_log);
+    std::size_t step_total = 0;
+    while (step_sim.step()) {
+        ++step_total;
+    }
+
+    EXPECT_EQ(batch_total, 6u);
+    EXPECT_EQ(batch_total, step_total);
+    EXPECT_EQ(batch_log, step_log);
+    EXPECT_EQ(batch_sim.now(), step_sim.now());
+}
+
+TEST(Simulator, RunBatchHonorsHorizon) {
+    Simulator sim;
+    int runs = 0;
+    sim.schedule_at(Time(10), [&] { ++runs; });
+    sim.schedule_at(Time(10), [&] { ++runs; });
+    sim.schedule_at(Time(50), [&] { ++runs; });
+    EXPECT_EQ(sim.run_batch(Time(5)), 0u); // nothing due yet
+    EXPECT_EQ(sim.run_batch(Time(20)), 2u);
+    EXPECT_EQ(runs, 2);
+    EXPECT_EQ(sim.now().ns(), 10);
+    EXPECT_EQ(sim.run_batch(Time(20)), 0u); // Time(50) is past the horizon
+    EXPECT_EQ(sim.run_batch(), 1u);
+    EXPECT_EQ(runs, 3);
+}
+
+TEST(Simulator, StopEndsRunBatchLoopBetweenCohorts) {
+    Simulator sim;
+    int runs = 0;
+    sim.schedule_at(Time(10), [&] {
+        ++runs;
+        sim.stop(); // finishes this cohort, then the drain loop ends
+    });
+    sim.schedule_at(Time(10), [&] { ++runs; });
+    sim.schedule_at(Time(20), [&] { ++runs; });
+    std::size_t cohorts = 0;
+    while (sim.run_batch() > 0) {
+        ++cohorts;
+    }
+    EXPECT_EQ(cohorts, 1u);
+    EXPECT_EQ(runs, 2);                  // the t=10 cohort completed
+    EXPECT_EQ(sim.pending_events(), 1u); // t=20 stays queued
+    EXPECT_EQ(sim.run_batch(), 1u);      // the request was consumed
+    EXPECT_EQ(runs, 3);
+}
+
+TEST(Simulator, StopDoesNotAdvanceTimePastPendingEvents) {
+    // stop() with a finite horizon must leave now() at the stop point, not
+    // jump to the horizon and strand still-queued events in the past.
+    Simulator sim;
+    int runs = 0;
+    sim.schedule_at(Time(10), [&] {
+        ++runs;
+        sim.stop();
+    });
+    sim.schedule_at(Time(20), [&] { ++runs; });
+    sim.run_until(Time(100));
+    EXPECT_EQ(runs, 1);
+    EXPECT_EQ(sim.now().ns(), 10);
+    sim.run_until(Time(100)); // resumes cleanly: drains t=20, then horizon
+    EXPECT_EQ(runs, 2);
+    EXPECT_EQ(sim.now().ns(), 100);
+}
+
+TEST(Simulator, StopConsumedByRunUntilDoesNotStarveLaterBatches) {
+    // A stop() honored by run_until() must not leak into a later
+    // run_batch() drain and no-op it.
+    Simulator sim;
+    int runs = 0;
+    sim.schedule_at(Time(10), [&] {
+        ++runs;
+        sim.stop();
+    });
+    sim.schedule_at(Time(20), [&] { ++runs; });
+    sim.run_until(Time::max()); // returns after the stop; t=20 stays queued
+    EXPECT_EQ(runs, 1);
+    std::size_t executed = 0;
+    while (sim.run_batch() > 0) {
+        ++executed;
+    }
+    EXPECT_EQ(executed, 1u); // the drain actually ran
+    EXPECT_EQ(runs, 2);
+}
+
+TEST(Simulator, CancelledEventLeavesQueueEagerly) {
+    Simulator sim;
+    auto h = sim.schedule(Duration::us(10), [] { FAIL() << "cancelled event fired"; });
+    EXPECT_EQ(sim.pending_events(), 1u);
+    EXPECT_TRUE(sim.cancel(h));
+    EXPECT_EQ(sim.pending_events(), 0u);
+    EXPECT_FALSE(sim.cancel(h));
+    sim.run_until(Time(Duration::ms(1).count_ns()));
+}
+
+TEST(Simulator, PeriodicSelfCancelFromAction) {
+    Simulator sim;
+    int count = 0;
+    std::uint64_t id = 0;
+    id = sim.schedule_periodic(Duration::ms(1), [&] {
+        if (++count == 3) {
+            sim.cancel_periodic(id);
+        }
+    });
+    sim.run_until(Time(Duration::ms(20).count_ns()));
+    EXPECT_EQ(count, 3);
+    EXPECT_TRUE(sim.idle()); // eager cancel: no stale event left behind
+}
+
+TEST(Simulator, PeriodicSelfCancelKeepsActionAlive) {
+    // A periodic action that cancels its own id must stay alive (captures
+    // included) for the remainder of the call — under ASan this test fails
+    // if cancel_periodic destroys the executing std::function.
+    Simulator sim;
+    int reads = 0;
+    std::uint64_t id = 0;
+    const std::string tag = "periodic-task-capture-must-outlive-self-cancel";
+    id = sim.schedule_periodic(Duration::ms(1), [&sim, &id, &reads, tag] {
+        sim.cancel_periodic(id);
+        if (tag == "periodic-task-capture-must-outlive-self-cancel") {
+            ++reads; // capture read after the self-cancel
+        }
+    });
+    sim.run_until(Time(Duration::ms(10).count_ns()));
+    EXPECT_EQ(reads, 1);
+    EXPECT_TRUE(sim.idle());
 }
 
 TEST(Simulator, StepExecutesOneEvent) {
@@ -266,6 +488,18 @@ TEST(Process, SelfAdjustingPeriod) {
     EXPECT_EQ(at[0], 0);
     EXPECT_EQ(at[1], Duration::ms(20).count_ns());
     EXPECT_EQ(at[2], Duration::ms(40).count_ns());
+}
+
+TEST(Process, StopCancelsInFlightActivation) {
+    Simulator sim;
+    int runs = 0;
+    Process p(sim, "ticker", Duration::ms(10), [&](Process&) { ++runs; });
+    p.start(Duration::ms(5));
+    EXPECT_EQ(sim.pending_events(), 1u);
+    p.stop();
+    EXPECT_EQ(sim.pending_events(), 0u); // armed event cancelled eagerly
+    sim.run_until(Time(Duration::ms(100).count_ns()));
+    EXPECT_EQ(runs, 0);
 }
 
 // --- Trace -----------------------------------------------------------------------

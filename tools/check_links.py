@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links resolve to existing files.
+
+Usage: check_links.py FILE.md [FILE.md ...]
+
+For every inline markdown link [text](target) in the given files:
+  - http(s)/mailto targets are skipped (no network access in CI);
+  - pure in-page anchors (#section) are skipped;
+  - anything else is resolved relative to the containing file and must
+    exist on disk (an optional #anchor suffix is stripped first).
+
+Exits non-zero listing every broken link. Used by the CI docs job on
+README.md and docs/*.md.
+"""
+
+import os
+import re
+import sys
+
+# Inline links only: [text](target). Reference-style links are not used in
+# this repository. The target match stops at the first ')' or whitespace,
+# which is fine for plain file paths.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def check_file(path):
+    broken = []
+    try:
+        text = open(path, encoding="utf-8").read()
+    except OSError as err:
+        return [f"{path}: unreadable ({err})"]
+    base = os.path.dirname(os.path.abspath(path))
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for target in LINK_RE.findall(line):
+            if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            resolved = os.path.normpath(os.path.join(base, rel))
+            if not os.path.exists(resolved):
+                broken.append(f"{path}:{lineno}: broken link '{target}' "
+                              f"(resolved to {resolved})")
+    return broken
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    broken = []
+    for path in argv[1:]:
+        broken.extend(check_file(path))
+    for problem in broken:
+        print(problem, file=sys.stderr)
+    if broken:
+        print(f"{len(broken)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(argv) - 1} file(s): all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
