@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "model/mcc.hpp"
+#include "scenario/vehicle_builder.hpp"
 #include "util/string_util.hpp"
 
 using namespace sa;
@@ -18,15 +19,17 @@ using sim::Duration;
 
 namespace {
 
+/// The platform is declared once on the scenario builder; the benchmark
+/// then exercises the MCC against the builder's model-domain product.
 PlatformModel make_platform(int ecus) {
-    PlatformModel p;
+    scenario::VehicleBuilder builder("fig1");
     for (int i = 0; i < ecus; ++i) {
-        p.ecus.push_back(EcuDescriptor{format("ecu%d", i), 1.0, 0.75, Asil::D,
-                                       i % 2 ? "cabin" : "engine_bay", "main"});
+        builder.ecu(EcuDescriptor{format("ecu%d", i), 1.0, 0.75, Asil::D,
+                                  i % 2 ? "cabin" : "engine_bay", "main"});
     }
-    p.buses.push_back(BusDescriptor{"can0", 500'000, 0.6});
-    p.buses.push_back(BusDescriptor{"can1", 500'000, 0.6});
-    return p;
+    builder.can_bus(BusDescriptor{"can0", 500'000, 0.6})
+        .can_bus(BusDescriptor{"can1", 500'000, 0.6});
+    return builder.platform_model();
 }
 
 Contract make_component(int index, int total) {
@@ -66,11 +69,15 @@ Contract make_component(int index, int total) {
 /// Full integration of an n-component system from scratch.
 void BM_IntegrateSystem(benchmark::State& state) {
     const int n = static_cast<int>(state.range(0));
-    ChangeRequest change;
-    change.description = "system";
-    for (int i = 0; i < n; ++i) {
-        change.contracts.push_back(make_component(i, n));
+    scenario::VehicleBuilder contracts_builder("fig1");
+    {
+        std::vector<Contract> parsed;
+        for (int i = 0; i < n; ++i) {
+            parsed.push_back(make_component(i, n));
+        }
+        contracts_builder.contracts(std::move(parsed));
     }
+    const ChangeRequest change = contracts_builder.change_request();
     bool accepted = false;
     std::size_t nodes = 0;
     std::size_t edges = 0;

@@ -5,14 +5,13 @@
 // misses, CPU utilization) with an increasing number of attached monitors
 // plus their periodic overhead tasks. The claim holds if the utilization
 // delta stays in the low single digits while monitors deliver full coverage.
+// The vehicle under test is composed on the sa::scenario builder (the
+// measured system includes its assembly, exactly like the hand-wired
+// original did).
 
 #include <benchmark/benchmark.h>
 
-#include "monitor/budget_monitor.hpp"
-#include "monitor/deadline_monitor.hpp"
-#include "monitor/heartbeat_monitor.hpp"
-#include "monitor/manager.hpp"
-#include "rte/rte.hpp"
+#include "scenario/vehicle_builder.hpp"
 
 using namespace sa;
 using sim::Duration;
@@ -29,11 +28,10 @@ struct RunResult {
 
 RunResult run_with_monitors(int monitor_sets) {
     sim::Simulator simulator(3);
-    rte::Rte rte(simulator);
-    rte::Ecu& ecu = rte.add_ecu(rte::EcuConfig{"ecu0", {1.0}, {}});
+    scenario::VehicleBuilder builder("bench");
+    builder.ecu({"ecu0", 1.0, 0.75, model::Asil::D, "cabin", "main"}, {1.0});
 
     // Application: 5 periodic tasks, ~45% utilization.
-    std::vector<rte::TaskId> app_tasks;
     for (int i = 0; i < 5; ++i) {
         rte::RtTaskConfig t;
         t.name = "app" + std::to_string(i);
@@ -42,39 +40,26 @@ RunResult run_with_monitors(int monitor_sets) {
         t.wcet = Duration::us(400 + i * 200);
         t.bcet = t.wcet;
         t.randomize_exec = false;
-        app_tasks.push_back(ecu.scheduler().add_task(t));
+        builder.rt_task("ecu0", t);
     }
 
-    monitor::MonitorManager monitors(simulator);
-    std::vector<monitor::Monitor*> attached;
     for (int m = 0; m < monitor_sets; ++m) {
-        auto& deadline = monitors.add<monitor::DeadlineMonitor>(ecu.scheduler());
-        auto& budget = monitors.add<monitor::BudgetMonitor>(ecu.scheduler());
-        budget.set_mode(monitor::BudgetMode::Warn);
-        for (auto id : app_tasks) {
-            budget.set_budget(id, Duration::ms(2));
-        }
-        auto& heartbeat = monitors.add<monitor::HeartbeatMonitor>(
-            "app" + std::to_string(m), Duration::ms(100));
-        heartbeat.start();
-        // Each monitor set costs one periodic check task on the ECU.
-        monitors.attach_overhead_task(ecu, Duration::ms(10), Duration::us(50),
-                                      100 + m);
-        attached.push_back(&deadline);
-        attached.push_back(&budget);
-        attached.push_back(&heartbeat);
+        builder.deadline_monitor("ecu0")
+            .budget_monitor("ecu0", monitor::BudgetMode::Warn, Duration::ms(2))
+            .heartbeat_monitor("app" + std::to_string(m), Duration::ms(100))
+            // Each monitor set costs one periodic check task on the ECU.
+            .monitor_overhead_task("ecu0", Duration::ms(10), Duration::us(50), 100 + m);
     }
 
-    ecu.scheduler().start();
+    auto vehicle = builder.build(simulator);
     simulator.run_until(Time(Duration::sec(5).count_ns()));
 
     RunResult result;
-    result.completed = ecu.scheduler().completed_jobs();
-    result.missed = ecu.scheduler().missed_deadlines();
-    result.utilization = ecu.scheduler().utilization(simulator.now());
-    for (auto* m : attached) {
-        result.checks += m->checks();
-    }
+    const auto& scheduler = vehicle->rte().ecu("ecu0").scheduler();
+    result.completed = scheduler.completed_jobs();
+    result.missed = scheduler.missed_deadlines();
+    result.utilization = scheduler.utilization(simulator.now());
+    result.checks = vehicle->monitors().total_checks();
     return result;
 }
 

@@ -13,6 +13,7 @@
 
 #include "platoon/consensus.hpp"
 #include "platoon/platoon.hpp"
+#include "scenario/scenario_builder.hpp"
 #include "util/random.hpp"
 
 using namespace sa;
@@ -80,31 +81,33 @@ void BM_MeanAblation(benchmark::State& state) {
 }
 BENCHMARK(BM_MeanAblation)->Arg(0)->Arg(1);
 
-/// Full platoon formation in fog (trust gating + double consensus).
+/// Full platoon formation in fog (trust gating + double consensus), with
+/// the cooperation substrate (trust history, consensus configuration)
+/// declared on the scenario builder.
 void BM_PlatoonFormation(benchmark::State& state) {
     const int members = static_cast<int>(state.range(0));
-    TrustManager trust;
-    RandomEngine rng(3);
-    std::vector<MemberCapability> candidates;
+    scenario::ScenarioBuilder builder(3);
     for (int i = 0; i < members; ++i) {
-        const std::string id = "v" + std::to_string(i);
-        for (int k = 0; k < 10; ++k) {
-            trust.record(id, true);
-        }
-        MemberCapability cap;
-        cap.id = id;
-        cap.sensor_quality = rng.uniform(0.5, 1.0);
-        cap.safe_speed_mps = safe_speed_for_quality(cap.sensor_quality);
-        cap.min_gap_m = rng.uniform(8.0, 16.0);
-        cap.byzantine = (i == members - 1); // one insider
-        candidates.push_back(cap);
+        builder.trust("v" + std::to_string(i), 10);
     }
     PlatoonConfig cfg;
     cfg.assumed_faults = 1;
-    PlatoonCoordinator coordinator(trust, cfg);
+    builder.platoon_config(cfg);
+    auto scenario = builder.build();
+
+    std::vector<MemberCapability> candidates;
+    for (int i = 0; i < members; ++i) {
+        MemberCapability cap;
+        cap.id = "v" + std::to_string(i);
+        cap.sensor_quality = scenario->rng().uniform(0.5, 1.0);
+        cap.safe_speed_mps = safe_speed_for_quality(cap.sensor_quality);
+        cap.min_gap_m = scenario->rng().uniform(8.0, 16.0);
+        cap.byzantine = (i == members - 1); // one insider
+        candidates.push_back(cap);
+    }
     PlatoonAgreement agreement;
     for (auto _ : state) {
-        agreement = coordinator.form(candidates, rng);
+        agreement = scenario->form_platoon(candidates);
         benchmark::DoNotOptimize(agreement);
     }
     state.counters["members"] = members;

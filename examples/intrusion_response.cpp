@@ -8,192 +8,140 @@
 //   - if even that were impossible, the objective layer would order a safe
 //     stop.
 // The example runs the first two variants and prints the decision audit.
+// Both vehicles are composed on the scenario builder; only the contract set
+// (redundant channel or not) differs.
 //
 // Build & run:  ./build/examples/intrusion_response
 
 #include <cstdio>
+#include <string>
 
-#include "core/ability_layer.hpp"
-#include "core/coordinator.hpp"
-#include "core/network_layer.hpp"
-#include "core/objective_layer.hpp"
-#include "core/platform_layer.hpp"
-#include "core/safety_layer.hpp"
-#include "model/contract_parser.hpp"
-#include "model/mcc.hpp"
-#include "monitor/manager.hpp"
-#include "monitor/rate_monitor.hpp"
-#include "rte/fault_injection.hpp"
-#include "skills/acc_graph_factory.hpp"
-#include "skills/degradation.hpp"
-#include "vehicle/acc_controller.hpp"
-#include "vehicle/brake_by_wire.hpp"
+#include "scenario/scenario_builder.hpp"
 
 using namespace sa;
 using sim::Duration;
-using sim::Time;
 
 namespace {
 
-struct Vehicle {
-    sim::Simulator simulator{123};
-    rte::Rte rte{simulator};
-    model::Mcc mcc;
-    monitor::MonitorManager monitors{simulator};
-    skills::AbilityGraph abilities{skills::make_acc_skill_graph()};
-    skills::DegradationManager tactics;
-    vehicle::BrakeByWire brakes;
-    vehicle::AccController acc;
-    core::CrossLayerCoordinator coordinator{simulator};
-    core::ObjectiveLayer* objective = nullptr;
-
-    explicit Vehicle(bool with_redundancy) : mcc(platform()) {
-        rte.add_ecu(rte::EcuConfig{"chassis_a", {1.0, 0.8, 0.6, 0.4}, {}});
-        rte.add_ecu(rte::EcuConfig{"chassis_b", {1.0, 0.8, 0.6, 0.4}, {}});
-
-        std::string text = R"(
-            component brake_ctrl {
+std::string vehicle_contracts(bool with_redundancy) {
+    std::string text = R"(
+        component brake_ctrl {
+          asil D;
+          security_level 2;
+          task control { wcet 400us; period 10ms; deadline 8ms; }
+          provides service brake_cmd { max_rate 300/s; min_client_level 1; }
+          pin ecu chassis_a;
+    )";
+    if (with_redundancy) {
+        text += "  redundant_with brake_ctrl_b;\n";
+    }
+    text += R"(
+        }
+        component perception {
+          asil C;
+          security_level 1;
+          task track { wcet 3ms; period 40ms; }
+          provides service object_list { max_rate 100/s; }
+        }
+        component acc_app {
+          asil C;
+          security_level 1;
+          task plan { wcet 1ms; period 20ms; }
+          requires service brake_cmd;
+          requires service object_list;
+        }
+    )";
+    if (with_redundancy) {
+        text += R"(
+            component brake_ctrl_b {
               asil D;
               security_level 2;
               task control { wcet 400us; period 10ms; deadline 8ms; }
-              provides service brake_cmd { max_rate 300/s; min_client_level 1; }
-              pin ecu chassis_a;
-        )";
-        if (with_redundancy) {
-            text += "  redundant_with brake_ctrl_b;\n";
-        }
-        text += R"(
-            }
-            component perception {
-              asil C;
-              security_level 1;
-              task track { wcet 3ms; period 40ms; }
-              provides service object_list { max_rate 100/s; }
-            }
-            component acc_app {
-              asil C;
-              security_level 1;
-              task plan { wcet 1ms; period 20ms; }
-              requires service brake_cmd;
-              requires service object_list;
+              redundant_with brake_ctrl;
+              pin ecu chassis_b;
             }
         )";
-        if (with_redundancy) {
-            text += R"(
-                component brake_ctrl_b {
-                  asil D;
-                  security_level 2;
-                  task control { wcet 400us; period 10ms; deadline 8ms; }
-                  redundant_with brake_ctrl;
-                  pin ecu chassis_b;
-                }
-            )";
-        }
-        model::ContractParser parser;
-        model::ChangeRequest change;
-        change.description = "vehicle system";
-        change.contracts = parser.parse(text);
-        const auto report = mcc.integrate(change);
-        SA_ASSERT(report.accepted, "integration must succeed: " + report.rejection_reason);
-        rte.apply(mcc.make_rte_config());
-        rte.start();
+    }
+    return text;
+}
 
-        auto& ids = monitors.add<monitor::RateMonitor>(rte.services(), Duration::ms(100));
-        for (const auto& rb : mcc.security_policy().rate_bounds) {
-            ids.set_rate_bound(rb.client, rb.service, rb.max_rate_hz);
-        }
-        ids.set_default_bound(400.0);
-        ids.start();
-
-        coordinator.register_layer(std::make_unique<core::PlatformLayer>(rte, mcc));
-        coordinator.register_layer(std::make_unique<core::NetworkLayer>(rte));
-        coordinator.register_layer(std::make_unique<core::SafetyLayer>(rte, mcc));
-        auto ability = std::make_unique<core::AbilityLayer>(abilities, tactics,
-                                                            skills::acc::kAccDriving);
-        ability->set_update_hook([this](const core::Problem& problem) {
+std::unique_ptr<scenario::Scenario> make_vehicle(bool with_redundancy) {
+    scenario::ScenarioBuilder builder(123);
+    builder.vehicle("ego")
+        .ecu({"chassis_a", 1.0, 0.75, model::Asil::D, "engine_bay", "main"})
+        .ecu({"chassis_b", 1.0, 0.75, model::Asil::D, "cabin", "main"})
+        .contracts(vehicle_contracts(with_redundancy))
+        .rate_ids(Duration::ms(100), /*default_bound=*/400.0)
+        .acc_skills()
+        .full_layer_stack()
+        .ability_update_hook([](scenario::Vehicle& v, const core::Problem& problem) {
             if (problem.anomaly.kind == "component_contained" &&
                 problem.anomaly.source == "brake_ctrl") {
-                brakes.set_rear_available(false);
-                abilities.set_source_level(skills::acc::kBrakeSystem,
-                                           brakes.ability_level());
+                v.brakes().set_rear_available(false);
+                v.abilities().set_source_level(skills::acc::kBrakeSystem,
+                                               v.brakes().ability_level());
                 return true;
             }
             return false;
-        });
-        coordinator.register_layer(std::move(ability));
-        auto obj = std::make_unique<core::ObjectiveLayer>();
-        objective = obj.get();
-        coordinator.register_layer(std::move(obj));
-        coordinator.connect(monitors);
+        })
+        .tactic("reduce_speed_and_drivetrain_brake", skills::acc::kDecelerate, 0.2,
+                0.85, 2, [](scenario::Vehicle& v) {
+                    v.acc().set_speed_limit(15.0);
+                    v.brakes().set_drivetrain_assist(true);
+                    v.abilities().set_source_level(skills::acc::kBrakeSystem,
+                                                   v.brakes().ability_level());
+                });
+    return builder.build();
+}
 
-        tactics.register_tactic(skills::Tactic{
-            "reduce_speed_and_drivetrain_brake", skills::acc::kDecelerate, 0.2, 0.85, 2,
-            [this] {
-                acc.set_speed_limit(15.0);
-                brakes.set_drivetrain_assist(true);
-                abilities.set_source_level(skills::acc::kBrakeSystem,
-                                           brakes.ability_level());
-            },
-            nullptr});
-    }
+void attack_and_run(scenario::Scenario& scenario) {
+    auto& ego = scenario.only_vehicle();
+    ego.rte().access().grant("brake_ctrl", "object_list");
+    ego.faults().compromise_with_message_storm("brake_ctrl", "object_list",
+                                               Duration::ms(2));
+    scenario.run(Duration::sec(3));
+}
 
-    static model::PlatformModel platform() {
-        model::PlatformModel p;
-        p.ecus.push_back(model::EcuDescriptor{"chassis_a", 1.0, 0.75, model::Asil::D,
-                                              "engine_bay", "main"});
-        p.ecus.push_back(model::EcuDescriptor{"chassis_b", 1.0, 0.75, model::Asil::D,
-                                              "cabin", "main"});
-        return p;
-    }
-
-    void attack_and_run() {
-        rte::FaultInjector chaos(rte);
-        rte.access().grant("brake_ctrl", "object_list");
-        chaos.compromise_with_message_storm("brake_ctrl", "object_list", Duration::ms(2));
-        simulator.run_until(Time(Duration::sec(3).count_ns()));
-    }
-
-    void print_audit(const char* label) const {
-        std::printf("\n=== %s ===\n", label);
-        for (const auto& d : coordinator.decisions()) {
-            std::printf("  problem #%llu [%s] %s(%s)\n",
-                        static_cast<unsigned long long>(d.problem_id),
-                        monitor::to_string(d.anomaly.domain), d.anomaly.kind.c_str(),
-                        d.anomaly.source.c_str());
-            for (const auto& c : d.considered) {
-                std::printf("    considered %s\n", c.str().c_str());
-            }
-            if (d.executed.has_value()) {
-                std::printf("    => executed %s (%d escalation(s))\n",
-                            d.executed->str().c_str(), d.escalations);
-            } else {
-                std::printf("    => UNRESOLVED: %s\n", d.rationale.c_str());
-            }
+void print_audit(scenario::Scenario& scenario, const char* label) {
+    auto& ego = scenario.only_vehicle();
+    std::printf("\n=== %s ===\n", label);
+    for (const auto& d : ego.coordinator().decisions()) {
+        std::printf("  problem #%llu [%s] %s(%s)\n",
+                    static_cast<unsigned long long>(d.problem_id),
+                    monitor::to_string(d.anomaly.domain), d.anomaly.kind.c_str(),
+                    d.anomaly.source.c_str());
+        for (const auto& c : d.considered) {
+            std::printf("    considered %s\n", c.str().c_str());
         }
-        std::printf("  brake state: %s | rear brake %s | drivetrain assist %s\n",
-                    rte::to_string(
-                        const_cast<rte::Rte&>(rte).component("brake_ctrl").state()),
-                    brakes.rear_available() ? "ok" : "LOST",
-                    brakes.drivetrain_assist() ? "ENGAGED" : "off");
-        std::printf("  speed limit: %s | objective: %s\n",
-                    acc.speed_limit().has_value() ? "15 m/s" : "none",
-                    core::to_string(objective->objective()));
+        if (d.executed.has_value()) {
+            std::printf("    => executed %s (%d escalation(s))\n",
+                        d.executed->str().c_str(), d.escalations);
+        } else {
+            std::printf("    => UNRESOLVED: %s\n", d.rationale.c_str());
+        }
     }
-};
+    std::printf("  brake state: %s | rear brake %s | drivetrain assist %s\n",
+                rte::to_string(ego.rte().component("brake_ctrl").state()),
+                ego.brakes().rear_available() ? "ok" : "LOST",
+                ego.brakes().drivetrain_assist() ? "ENGAGED" : "off");
+    std::printf("  speed limit: %s | objective: %s\n",
+                ego.acc().speed_limit().has_value() ? "15 m/s" : "none",
+                core::to_string(ego.objective_layer().objective()));
+}
 
 } // namespace
 
 int main() {
     {
-        Vehicle vehicle(/*with_redundancy=*/true);
-        vehicle.attack_and_run();
-        vehicle.print_audit("variant A: redundant brake channel (safety layer covers)");
+        auto scenario = make_vehicle(/*with_redundancy=*/true);
+        attack_and_run(*scenario);
+        print_audit(*scenario, "variant A: redundant brake channel (safety layer covers)");
     }
     {
-        Vehicle vehicle(/*with_redundancy=*/false);
-        vehicle.attack_and_run();
-        vehicle.print_audit(
-            "variant B: no redundancy (ability layer compensates, driving continues)");
+        auto scenario = make_vehicle(/*with_redundancy=*/false);
+        attack_and_run(*scenario);
+        print_audit(*scenario,
+                    "variant B: no redundancy (ability layer compensates, driving continues)");
     }
     std::printf("\nintrusion_response finished.\n");
     return 0;

@@ -4,24 +4,22 @@
 // be a viable option, which, however, raises the issue of trustworthiness."
 //
 // A camera-only vehicle is blinded by fog. It evaluates its own safe speed,
-// then tries to join a platoon of radar-equipped trucks. Trust gating
-// excludes a peer with a bad reputation; a byzantine insider with a clean
-// record equivocates during the speed agreement and is absorbed by the
-// trimmed-mean consensus.
+// then tries to join a platoon of radar-equipped trucks. Trust history,
+// platoon candidates and the consensus configuration are declared on the
+// scenario builder; trust gating excludes a peer with a bad reputation; a
+// byzantine insider with a clean record equivocates during the speed
+// agreement and is absorbed by the trimmed-mean consensus.
 //
 // Build & run:  ./build/examples/platoon_fog
 
 #include <cstdio>
 
-#include "platoon/platoon.hpp"
-#include "vehicle/sensor.hpp"
-#include "vehicle/weather.hpp"
+#include "scenario/scenario_builder.hpp"
 
 using namespace sa;
 using namespace sa::platoon;
 
 int main() {
-    RandomEngine rng(99);
     const auto fog = vehicle::WeatherCondition::dense_fog();
     std::printf("weather: dense fog, visibility %.0f m\n", vehicle::visibility_m(fog));
 
@@ -33,37 +31,38 @@ int main() {
     std::printf("ego: camera quality %.2f in fog -> safe speed alone %.1f m/s\n",
                 cam_quality, alone_speed);
 
-    // Reputation from past interactions (broadcasts matching observations).
-    TrustManager trust;
-    for (int i = 0; i < 12; ++i) {
-        trust.record("truck_a", true);
-        trust.record("truck_b", true);
-        trust.record("insider", true);   // clean record, but byzantine today
-        trust.record("shady_van", false); // known liar
-    }
-    trust.record("ego", true);
-    for (const char* id : {"ego", "truck_a", "truck_b", "insider", "shady_van"}) {
-        std::printf("  trust(%s) = %.2f\n", id, trust.trust(id));
-    }
-
-    // Candidate platoon.
+    // The candidate platoon: radar-equipped trucks.
     vehicle::RangeSensor radar(
         vehicle::SensorConfig{vehicle::SensorType::Radar, "radar", 150.0, 0.3, 0.002});
     const double radar_quality = radar.effective_range_m(fog) / 150.0;
-    std::vector<MemberCapability> candidates = {
-        {"ego", cam_quality, 18.0, 14.0, false}, // safe *inside* a platoon
-        {"truck_a", radar_quality, safe_speed_for_quality(radar_quality), 10.0, false},
-        {"truck_b", radar_quality, safe_speed_for_quality(radar_quality) - 1.0, 10.0,
-         false},
-        {"insider", radar_quality, 0.0, 0.0, true}, // equivocates in consensus
-        {"shady_van", radar_quality, 50.0, 2.0, false}, // untrusted: gated out
-    };
 
     PlatoonConfig cfg;
     cfg.trust_threshold = 0.55;
     cfg.assumed_faults = 1;
-    PlatoonCoordinator coordinator(trust, cfg);
-    const auto agreement = coordinator.form(candidates, rng);
+
+    scenario::ScenarioBuilder builder(99);
+    builder
+        // Reputation from past interactions (broadcasts matching observations).
+        .trust("truck_a", 12)
+        .trust("truck_b", 12)
+        .trust("insider", 12)  // clean record, but byzantine today
+        .trust("shady_van", 0, 12) // known liar
+        .trust("ego", 1)
+        .platoon_config(cfg)
+        .platoon_candidate({"ego", cam_quality, 18.0, 14.0, false}) // safe *inside*
+        .platoon_candidate({"truck_a", radar_quality,
+                            safe_speed_for_quality(radar_quality), 10.0, false})
+        .platoon_candidate({"truck_b", radar_quality,
+                            safe_speed_for_quality(radar_quality) - 1.0, 10.0, false})
+        .platoon_candidate({"insider", radar_quality, 0.0, 0.0, true}) // equivocates
+        .platoon_candidate({"shady_van", radar_quality, 50.0, 2.0, false}); // gated out
+    auto scenario = builder.build();
+
+    for (const char* id : {"ego", "truck_a", "truck_b", "insider", "shady_van"}) {
+        std::printf("  trust(%s) = %.2f\n", id, scenario->trust().trust(id));
+    }
+
+    const auto agreement = scenario->form_platoon();
 
     if (!agreement.formed) {
         std::printf("platoon not formed: %s\n", agreement.rejected_reason.c_str());

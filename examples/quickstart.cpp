@@ -1,73 +1,61 @@
-// Quickstart: assemble a minimal self-aware vehicle platform.
+// Quickstart: compose a minimal self-aware vehicle platform on the
+// sa::scenario builder — the sanctioned composition root:
 //
-//   1. write component contracts in the contracting language
-//   2. let the MCC integrate them (mapping + acceptance tests)
-//   3. deploy the accepted configuration to the simulated RTE
-//   4. attach monitors, the ability graph and the cross-layer coordinator
-//   5. run, then print the vehicle's self-model
+//   1. declare the platform and the component contracts
+//   2. the builder runs the MCC integration and deploys to the RTE
+//   3. monitors, skill graph, layer stack and self-model ride along
+//   4. run, then print the vehicle's self-model
 //
 // Build & run:  ./build/examples/quickstart
 
 #include <cstdio>
 
-#include "core/ability_layer.hpp"
-#include "core/coordinator.hpp"
-#include "core/network_layer.hpp"
-#include "core/objective_layer.hpp"
-#include "core/platform_layer.hpp"
-#include "core/safety_layer.hpp"
-#include "core/self_model.hpp"
-#include "model/contract_parser.hpp"
-#include "model/mcc.hpp"
-#include "monitor/manager.hpp"
-#include "monitor/rate_monitor.hpp"
-#include "rte/rte.hpp"
-#include "skills/acc_graph_factory.hpp"
+#include "scenario/scenario_builder.hpp"
 
 using namespace sa;
 using sim::Duration;
-using sim::Time;
+
+namespace {
+
+constexpr const char* kContracts = R"(
+    component perception {
+      asil C;
+      task track { wcet 3ms; bcet 1ms; period 40ms; }
+      provides service object_list { max_rate 100/s; }
+      message objects { payload 8; period 40ms; }
+    }
+    component acc {
+      asil C;
+      security_level 1;
+      task plan { wcet 1ms; period 20ms; }
+      requires service object_list;
+    }
+    component brake {
+      asil D;
+      security_level 2;
+      task control { wcet 400us; period 10ms; deadline 8ms; }
+      provides service brake_cmd { max_rate 300/s; min_client_level 1; }
+    }
+)";
+
+} // namespace
 
 int main() {
-    sim::Simulator simulator(42);
+    scenario::ScenarioBuilder builder(42);
+    builder.vehicle("ego")
+        .ecu({"ecu_front", 1.0, 0.75, model::Asil::D, "engine_bay", "main"})
+        .ecu({"ecu_rear", 1.0, 0.75, model::Asil::D, "trunk", "main"})
+        .can_bus({"can0", 500'000, 0.6})
+        .contracts(kContracts)
+        .integration_policy(scenario::IntegrationPolicy::ReportOnly)
+        .rate_ids(Duration::ms(100))
+        .acc_skills()
+        .full_layer_stack()
+        .self_model(Duration::ms(500));
+    auto scenario = builder.build();
+    auto& ego = scenario->vehicle("ego");
 
-    // --- platform model (the red domain's view of the hardware) ------------
-    model::PlatformModel platform;
-    platform.ecus.push_back(
-        model::EcuDescriptor{"ecu_front", 1.0, 0.75, model::Asil::D, "engine_bay", "main"});
-    platform.ecus.push_back(
-        model::EcuDescriptor{"ecu_rear", 1.0, 0.75, model::Asil::D, "trunk", "main"});
-    platform.buses.push_back(model::BusDescriptor{"can0", 500'000, 0.6});
-
-    // --- contracts ----------------------------------------------------------
-    const char* contracts = R"(
-        component perception {
-          asil C;
-          task track { wcet 3ms; bcet 1ms; period 40ms; }
-          provides service object_list { max_rate 100/s; }
-          message objects { payload 8; period 40ms; }
-        }
-        component acc {
-          asil C;
-          security_level 1;
-          task plan { wcet 1ms; period 20ms; }
-          requires service object_list;
-        }
-        component brake {
-          asil D;
-          security_level 2;
-          task control { wcet 400us; period 10ms; deadline 8ms; }
-          provides service brake_cmd { max_rate 300/s; min_client_level 1; }
-        }
-    )";
-
-    // --- model domain: integrate ---------------------------------------------
-    model::Mcc mcc(platform);
-    model::ContractParser parser;
-    model::ChangeRequest change;
-    change.description = "quickstart system";
-    change.contracts = parser.parse(contracts);
-    const auto report = mcc.integrate(change);
+    const auto& report = ego.integration_report();
     std::printf("MCC integration: %s\n", report.accepted ? "ACCEPTED" : "REJECTED");
     for (const auto& step : report.steps) {
         std::printf("  [%-18s] %s %s\n", step.name.c_str(),
@@ -78,50 +66,19 @@ int main() {
         return 1;
     }
 
-    // --- execution domain: deploy --------------------------------------------
-    rte::Rte rte(simulator);
-    rte.add_ecu(rte::EcuConfig{"ecu_front", {1.0, 0.8, 0.6, 0.4}, {}});
-    rte.add_ecu(rte::EcuConfig{"ecu_rear", {1.0, 0.8, 0.6, 0.4}, {}});
-    rte.apply(mcc.make_rte_config());
-    rte.start();
+    scenario->run(Duration::sec(5));
 
-    // --- monitors + layer stack ------------------------------------------------
-    monitor::MonitorManager monitors(simulator);
-    auto& ids = monitors.add<monitor::RateMonitor>(rte.services(), Duration::ms(100));
-    for (const auto& rb : mcc.security_policy().rate_bounds) {
-        ids.set_rate_bound(rb.client, rb.service, rb.max_rate_hz);
-    }
-    ids.start();
-
-    skills::AbilityGraph abilities(skills::make_acc_skill_graph());
-    skills::DegradationManager tactics;
-    core::CrossLayerCoordinator coordinator(simulator);
-    coordinator.register_layer(std::make_unique<core::PlatformLayer>(rte, mcc));
-    coordinator.register_layer(std::make_unique<core::NetworkLayer>(rte));
-    coordinator.register_layer(std::make_unique<core::SafetyLayer>(rte, mcc));
-    coordinator.register_layer(std::make_unique<core::AbilityLayer>(
-        abilities, tactics, skills::acc::kAccDriving));
-    coordinator.register_layer(std::make_unique<core::ObjectiveLayer>());
-    coordinator.connect(monitors);
-
-    core::SelfModel self(simulator, coordinator);
-    self.start(Duration::ms(500));
-
-    // --- run -------------------------------------------------------------------
-    simulator.run_until(Time(Duration::sec(5).count_ns()));
-
-    // --- report ------------------------------------------------------------------
     std::printf("\nafter 5 s of operation:\n");
     std::printf("  jobs completed: %llu, deadline misses: %llu\n",
-                static_cast<unsigned long long>(rte.total_completed_jobs()),
-                static_cast<unsigned long long>(rte.total_deadline_misses()));
+                static_cast<unsigned long long>(ego.rte().total_completed_jobs()),
+                static_cast<unsigned long long>(ego.rte().total_deadline_misses()));
     std::printf("  anomalies: %llu, problems handled: %llu\n",
-                static_cast<unsigned long long>(monitors.total_anomalies()),
-                static_cast<unsigned long long>(coordinator.problems_handled()));
-    std::printf("  self-model: %s\n", self.latest().str().c_str());
+                static_cast<unsigned long long>(ego.monitors().total_anomalies()),
+                static_cast<unsigned long long>(ego.coordinator().problems_handled()));
+    std::printf("  self-model: %s\n", ego.self_model().latest().str().c_str());
     std::printf("  root ability '%s': %s (%.2f)\n", skills::acc::kAccDriving,
-                skills::to_string(abilities.ability(skills::acc::kAccDriving)),
-                abilities.level(skills::acc::kAccDriving));
+                skills::to_string(ego.abilities().ability(skills::acc::kAccDriving)),
+                ego.abilities().level(skills::acc::kAccDriving));
     std::printf("\nquickstart finished.\n");
     return 0;
 }

@@ -8,23 +8,18 @@
 // A heat wave hits the engine-bay ECU. The platform layer throttles (DVFS),
 // but only after the model domain confirms the configuration remains
 // schedulable at the reduced speed. The example compares the self-aware run
-// against a baseline without thermal management.
+// against a baseline without thermal management — the two variants differ
+// only in two builder declarations (thermal_guard + the platform layer).
 //
 // Build & run:  ./build/examples/thermal_adaptation
 
+#include <algorithm>
 #include <cstdio>
 
-#include "core/coordinator.hpp"
-#include "core/platform_layer.hpp"
-#include "model/contract_parser.hpp"
-#include "model/mcc.hpp"
-#include "monitor/manager.hpp"
-#include "monitor/range_monitor.hpp"
-#include "rte/fault_injection.hpp"
+#include "scenario/scenario_builder.hpp"
 
 using namespace sa;
 using sim::Duration;
-using sim::Time;
 
 namespace {
 
@@ -36,71 +31,50 @@ struct Run {
 };
 
 Run simulate(bool self_aware) {
-    sim::Simulator simulator(31);
-
-    model::PlatformModel platform;
-    platform.ecus.push_back(
-        model::EcuDescriptor{"hot_ecu", 1.0, 0.75, model::Asil::D, "engine_bay", "main"});
-    model::Mcc mcc(platform);
-
-    model::ContractParser parser;
-    model::ChangeRequest change;
-    change.description = "control stack";
-    // ~50% utilization with headroom: still schedulable down to 0.6 speed.
-    change.contracts = parser.parse(R"(
-        component engine_ctrl {
-          asil D;
-          task control { wcet 2ms; period 10ms; }
-        }
-        component stability {
-          asil D;
-          task esc { wcet 3ms; period 20ms; }
-        }
-        component logger {
-          asil QM;
-          task log { wcet 6ms; period 50ms; }
-        }
-    )");
-    SA_ASSERT(mcc.integrate(change).accepted, "integration must succeed");
-
-    rte::Rte rte(simulator);
+    scenario::ScenarioBuilder builder(31);
     rte::ThermalConfig thermal;
     thermal.ambient_c = 30.0;
     thermal.tau_s = 10.0;
-    rte.add_ecu(rte::EcuConfig{"hot_ecu", {1.0, 0.8, 0.6, 0.4}, thermal});
-    rte.apply(mcc.make_rte_config());
-    rte.start();
-
-    monitor::MonitorManager monitors(simulator);
-    core::CrossLayerCoordinator coordinator(simulator);
-    core::PlatformLayer* platform_layer = nullptr;
+    auto& vehicle = builder.vehicle("ego")
+        .ecu({"hot_ecu", 1.0, 0.75, model::Asil::D, "engine_bay", "main"},
+             {1.0, 0.8, 0.6, 0.4}, thermal)
+        // ~50% utilization with headroom: still schedulable down to 0.6 speed.
+        .contracts(R"(
+            component engine_ctrl {
+              asil D;
+              task control { wcet 2ms; period 10ms; }
+            }
+            component stability {
+              asil D;
+              task esc { wcet 3ms; period 20ms; }
+            }
+            component logger {
+              asil QM;
+              task log { wcet 6ms; period 50ms; }
+            }
+        )");
     if (self_aware) {
-        auto& range =
-            monitors.add<monitor::RangeMonitor>("thermal", monitor::Domain::Platform);
-        range.set_bounds("temp.hot_ecu", -40.0, 85.0, monitor::Severity::Critical);
-        rte.ecu("hot_ecu").thermal().temperature_updated().subscribe(
-            [&range](double celsius) { range.sample("temp.hot_ecu", celsius); });
-        auto layer = std::make_unique<core::PlatformLayer>(rte, mcc);
-        platform_layer = layer.get();
-        coordinator.register_layer(std::move(layer));
-        coordinator.connect(monitors);
+        vehicle.thermal_guard("hot_ecu", -40.0, 85.0, monitor::Severity::Critical)
+            .layers({core::LayerId::Platform});
     }
+    auto scenario = builder.build();
+    auto& ego = scenario->only_vehicle();
 
     // Heat wave from t = 30 s.
-    rte::FaultInjector chaos(rte);
-    simulator.schedule(Duration::sec(30),
-                       [&chaos] { chaos.set_ambient_temperature("hot_ecu", 90.0); });
+    scenario->simulator().schedule(Duration::sec(30), [&ego] {
+        ego.faults().set_ambient_temperature("hot_ecu", 90.0);
+    });
 
     Run run;
-    simulator.schedule_periodic(Duration::ms(500), [&] {
-        run.peak_temp_c =
-            std::max(run.peak_temp_c, rte.ecu("hot_ecu").thermal().temperature_c());
+    scenario->simulator().schedule_periodic(Duration::ms(500), [&] {
+        run.peak_temp_c = std::max(run.peak_temp_c,
+                                   ego.rte().ecu("hot_ecu").thermal().temperature_c());
     });
-    simulator.run_until(Time(Duration::sec(180).count_ns()));
+    scenario->run(Duration::sec(180));
 
-    run.deadline_misses = rte.total_deadline_misses();
-    run.final_dvfs_level = rte.ecu("hot_ecu").dvfs_level();
-    run.dvfs_actions = platform_layer != nullptr ? platform_layer->dvfs_actions() : 0;
+    run.deadline_misses = ego.rte().total_deadline_misses();
+    run.final_dvfs_level = ego.rte().ecu("hot_ecu").dvfs_level();
+    run.dvfs_actions = self_aware ? ego.platform_layer().dvfs_actions() : 0;
     return run;
 }
 

@@ -4,77 +4,68 @@
 // or rejects each based on its formal acceptance tests. Accepted changes are
 // deployed to the running RTE without disturbing existing components.
 //
+// The factory image is declared on the scenario builder; later updates go
+// through Vehicle::integrate(), which deploys automatically on acceptance.
+//
 // Build & run:  ./build/examples/update_integration
 
 #include <cstdio>
 
-#include "model/contract_parser.hpp"
-#include "model/mcc.hpp"
-#include "rte/rte.hpp"
+#include "scenario/scenario_builder.hpp"
 
 using namespace sa;
 using sim::Duration;
-using sim::Time;
 
 namespace {
 
-void submit(model::Mcc& mcc, rte::Rte& rte, const char* description, const char* text) {
-    model::ContractParser parser;
-    model::ChangeRequest change;
-    change.description = description;
-    change.contracts = parser.parse(text);
-    const auto report = mcc.integrate(change);
+void print_report(const char* description, const model::IntegrationReport& report) {
     std::printf("\nupdate '%s': %s\n", description,
                 report.accepted ? "ACCEPTED" : "REJECTED");
     for (const auto& step : report.steps) {
         std::printf("  [%-18s] %s %s\n", step.name.c_str(),
                     step.passed ? "ok " : "FAIL", step.detail.c_str());
     }
-    if (report.accepted) {
-        rte.apply(mcc.make_rte_config());
-    } else {
+    if (!report.accepted) {
         std::printf("  reason: %s\n", report.rejection_reason.c_str());
     }
+}
+
+void submit(scenario::Vehicle& vehicle, const char* description, const char* text) {
+    print_report(description, vehicle.integrate(description, text));
 }
 
 } // namespace
 
 int main() {
-    sim::Simulator simulator(5);
+    scenario::ScenarioBuilder builder(5);
+    builder.vehicle("ego")
+        .ecu({"main_ecu", 1.0, 0.75, model::Asil::D, "cabin", "main"})
+        .ecu({"aux_ecu", 0.5, 0.75, model::Asil::B, "trunk", "main"}, {0.5})
+        .contracts(R"(
+            component engine_ctrl {
+              asil D;
+              security_level 2;
+              task control { wcet 1ms; period 10ms; deadline 8ms; }
+              provides service torque_cmd { max_rate 200/s; min_client_level 1; }
+            }
+            component dashboard {
+              asil QM;
+              security_level 0;
+              task render { wcet 5ms; period 50ms; }
+            }
+        )");
+    auto scenario = builder.build();
+    auto& ego = scenario->vehicle("ego");
 
-    model::PlatformModel platform;
-    platform.ecus.push_back(
-        model::EcuDescriptor{"main_ecu", 1.0, 0.75, model::Asil::D, "cabin", "main"});
-    platform.ecus.push_back(
-        model::EcuDescriptor{"aux_ecu", 0.5, 0.75, model::Asil::B, "trunk", "main"});
-    model::Mcc mcc(platform);
-
-    rte::Rte rte(simulator);
-    rte.add_ecu(rte::EcuConfig{"main_ecu", {1.0, 0.8, 0.6, 0.4}, {}});
-    rte.add_ecu(rte::EcuConfig{"aux_ecu", {0.5}, {}});
-
-    // Factory state of the vehicle.
-    submit(mcc, rte, "factory image", R"(
-        component engine_ctrl {
-          asil D;
-          security_level 2;
-          task control { wcet 1ms; period 10ms; deadline 8ms; }
-          provides service torque_cmd { max_rate 200/s; min_client_level 1; }
-        }
-        component dashboard {
-          asil QM;
-          security_level 0;
-          task render { wcet 5ms; period 50ms; }
-        }
-    )");
-    rte.start();
-    simulator.run_until(Time(Duration::ms(500).count_ns()));
+    // Factory state of the vehicle (integrated and deployed at build time).
+    print_report("factory image", ego.integration_report());
+    scenario->run(Duration::ms(500));
     std::printf("  running: %zu component(s), %llu job(s) so far\n",
-                rte.component_names().size(),
-                static_cast<unsigned long long>(rte.total_completed_jobs()));
+                ego.rte().component_names().size(),
+                static_cast<unsigned long long>(ego.rte().total_completed_jobs()));
 
     // 1. Benign feature update: accepted.
-    submit(mcc, rte, "eco driving assistant", R"(
+    submit(ego, "eco driving assistant", R"(
         component eco_assist {
           asil B;
           security_level 1;
@@ -84,7 +75,7 @@ int main() {
     )");
 
     // 2. Resource hog: rejected by the timing viewpoint / mapping.
-    submit(mcc, rte, "8k video recorder", R"(
+    submit(ego, "8k video recorder", R"(
         component video_rec {
           asil QM;
           security_level 0;
@@ -94,7 +85,7 @@ int main() {
 
     // 3. Security violation: a level-0 app wants the privileged torque
     //    service (min_client_level 1): rejected by the security viewpoint.
-    submit(mcc, rte, "third-party tuning app", R"(
+    submit(ego, "third-party tuning app", R"(
         component tuner {
           asil QM;
           security_level 0;
@@ -105,7 +96,7 @@ int main() {
 
     // 4. Timing-infeasible control loop: mapping fits by utilization, but
     //    the WCRT analysis rejects the deadline.
-    submit(mcc, rte, "aggressive lane keeper", R"(
+    submit(ego, "aggressive lane keeper", R"(
         component lane_keeper {
           asil C;
           security_level 1;
@@ -113,12 +104,12 @@ int main() {
         }
     )");
 
-    simulator.run_until(Time(Duration::sec(2).count_ns()));
+    scenario->run(Duration::sec(2));
     std::printf("\nfinal state: %zu component(s) running, %llu/%llu change(s) accepted\n",
-                rte.component_names().size(),
-                static_cast<unsigned long long>(mcc.integrations_accepted()),
-                static_cast<unsigned long long>(mcc.integrations_attempted()));
+                ego.rte().component_names().size(),
+                static_cast<unsigned long long>(ego.mcc().integrations_accepted()),
+                static_cast<unsigned long long>(ego.mcc().integrations_attempted()));
     std::printf("deadline misses across the whole run: %llu\n",
-                static_cast<unsigned long long>(rte.total_deadline_misses()));
+                static_cast<unsigned long long>(ego.rte().total_deadline_misses()));
     return 0;
 }

@@ -1,0 +1,67 @@
+#pragma once
+// Bus-to-bus CAN gateway: joins two or more CAN buses into one topology by
+// store-and-forward routing. Zonal/domain architectures split traffic across
+// segments (sensor bus, actuation bus, backbone) and a gateway ECU forwards
+// the frames that must cross segments; the ROADMAP's "multi-bus fan-out"
+// scenarios are built from exactly this primitive.
+//
+// Routes are directional: (from bus, to bus, id/mask filter). A matching
+// frame completing on `from` is re-queued on `to` after `forward_latency`
+// (the gateway ECU's store-and-forward processing time). Routing loops are
+// the caller's responsibility — two routes forwarding the same id range in
+// both directions will ping-pong.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "can/controller.hpp"
+
+namespace sa::can {
+
+class BusGateway {
+public:
+    /// `name` prefixes the per-bus controller node names ("<name>@<bus>").
+    explicit BusGateway(std::string name,
+                        Duration forward_latency = Duration::us(20));
+    /// Pending (in-flight) forwards are dropped on destruction.
+    ~BusGateway();
+
+    BusGateway(const BusGateway&) = delete;
+    BusGateway& operator=(const BusGateway&) = delete;
+
+    /// Forward frames matching (id & mask) == (frame.id & mask) from `from`
+    /// to `to`. `mask` 0 forwards everything. Both buses must live on the
+    /// same simulator. Controllers are created lazily per bus.
+    void add_route(CanBus& from, CanBus& to, std::uint32_t id, std::uint32_t mask);
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] Duration forward_latency() const noexcept { return latency_; }
+
+    /// Frames accepted by a route filter and scheduled for forwarding.
+    [[nodiscard]] std::uint64_t frames_forwarded() const noexcept { return forwarded_; }
+    /// Forwards that were dropped because the egress TX queue was full.
+    [[nodiscard]] std::uint64_t frames_dropped() const noexcept { return dropped_; }
+    [[nodiscard]] std::size_t attached_bus_count() const noexcept {
+        return ports_.size();
+    }
+
+private:
+    CanController& port(CanBus& bus);
+
+    std::string name_;
+    Duration latency_;
+    // Stable addresses: forwarding callbacks capture CanController pointers.
+    std::map<const CanBus*, std::unique_ptr<CanController>> ports_;
+    // Liveness guard for in-flight forward events: scheduled forwards check
+    // the flag before touching the gateway, so destroying a gateway while
+    // its simulator keeps running simply drops the pending forwards instead
+    // of dereferencing freed controllers.
+    std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+    std::uint64_t forwarded_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace sa::can

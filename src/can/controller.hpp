@@ -72,6 +72,9 @@ public:
     void add_rx_filter(std::uint32_t id, std::uint32_t mask,
                        std::function<void(const CanFrame&, Time)> callback);
 
+    /// The bus this controller is attached to (fixed for its lifetime).
+    [[nodiscard]] CanBus& bus() noexcept { return bus_; }
+
     // CanControllerBase
     std::optional<CanFrame> peek_tx() override;
     void tx_started(const CanFrame& frame) override;

@@ -56,11 +56,17 @@ Decision CrossLayerCoordinator::handle(const monitor::Anomaly& anomaly) {
     if (decision.resolved) {
         ++resolved_;
     }
-    if (decisions_.size() == kDecisionHistory) {
+    push_decision(decision);
+    return decision;
+}
+
+void CrossLayerCoordinator::push_decision(Decision decision) {
+    // The audit trail is bounded: long-running vehicles must not grow the
+    // decision history without limit (kDecisionHistory).
+    while (decisions_.size() >= kDecisionHistory) {
         decisions_.pop_front();
     }
-    decisions_.push_back(decision);
-    return decision;
+    decisions_.push_back(std::move(decision));
 }
 
 Decision CrossLayerCoordinator::resolve(Problem problem, int follow_up_budget) {
@@ -159,10 +165,7 @@ Decision CrossLayerCoordinator::resolve(Problem problem, int follow_up_budget) {
         if (follow_decision.resolved) {
             ++resolved_;
         }
-        if (decisions_.size() == kDecisionHistory) {
-            decisions_.pop_front();
-        }
-        decisions_.push_back(follow_decision);
+        push_decision(std::move(follow_decision));
     }
 
     return decision;

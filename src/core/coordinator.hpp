@@ -68,8 +68,12 @@ public:
         config_.cross_layer_enabled = enabled;
     }
 
+    /// Retained decision records; decisions() never grows beyond this.
+    static constexpr std::size_t kDecisionHistory = 1024;
+
 private:
     Decision resolve(Problem problem, int follow_up_budget);
+    void push_decision(Decision decision);
     [[nodiscard]] bool target_locked(const std::string& target) const;
 
     sim::Simulator& simulator_;
@@ -82,7 +86,6 @@ private:
     std::uint64_t resolved_ = 0;
     std::uint64_t escalations_ = 0;
     std::uint64_t conflicts_ = 0;
-    static constexpr std::size_t kDecisionHistory = 1024;
 };
 
 } // namespace sa::core

@@ -1,5 +1,7 @@
 #include "monitor/manager.hpp"
 
+#include <algorithm>
+
 namespace sa::monitor {
 
 void MonitorManager::hook(Monitor& monitor) {
@@ -14,16 +16,18 @@ void MonitorManager::hook(Monitor& monitor) {
 }
 
 void MonitorManager::ingest(const Metric& metric) {
-    metric_stats_[metric.name].add(metric.value);
-    metric_last_[metric.name] = metric.value;
+    // try_emplace: the key string is copied only when the metric is first
+    // seen; steady-state ingestion is a pure hash lookup.
+    metric_stats_.try_emplace(metric.name).first->second.add(metric.value);
+    metric_last_.insert_or_assign(metric.name, metric.value);
 }
 
-double MonitorManager::last_value(const std::string& name) const {
+double MonitorManager::last_value(std::string_view name) const {
     auto it = metric_last_.find(name);
     return it == metric_last_.end() ? 0.0 : it->second;
 }
 
-const RunningStats* MonitorManager::stats(const std::string& name) const {
+const RunningStats* MonitorManager::stats(std::string_view name) const {
     auto it = metric_stats_.find(name);
     return it == metric_stats_.end() ? nullptr : &it->second;
 }
@@ -34,6 +38,7 @@ std::vector<std::string> MonitorManager::metric_names() const {
     for (const auto& [name, _] : metric_stats_) {
         names.push_back(name);
     }
+    std::sort(names.begin(), names.end());
     return names;
 }
 
@@ -43,6 +48,14 @@ std::size_t MonitorManager::count_kind(const std::string& kind) const {
         if (a.kind == kind) {
             ++n;
         }
+    }
+    return n;
+}
+
+std::uint64_t MonitorManager::total_checks() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& monitor : monitors_) {
+        n += monitor->checks();
     }
     return n;
 }

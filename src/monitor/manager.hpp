@@ -7,14 +7,16 @@
 // its checks as real RTE tasks when asked to (MON-OVH experiment).
 
 #include <deque>
-#include <map>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "monitor/monitor.hpp"
 #include "rte/ecu.hpp"
 #include "util/stats.hpp"
+#include "util/string_util.hpp"
 
 namespace sa::monitor {
 
@@ -40,9 +42,12 @@ public:
     sim::Signal<const Anomaly&>& anomalies() noexcept { return anomalies_; }
 
     /// Metric ingestion (monitors and substrates push; the MCC reads).
+    /// Lookups are transparent: string_view / const char* keys hash without
+    /// allocating a temporary std::string (monitor hot path).
     void ingest(const Metric& metric);
-    [[nodiscard]] double last_value(const std::string& name) const;
-    [[nodiscard]] const RunningStats* stats(const std::string& name) const;
+    [[nodiscard]] double last_value(std::string_view name) const;
+    [[nodiscard]] const RunningStats* stats(std::string_view name) const;
+    /// Registered metric names, sorted.
     [[nodiscard]] std::vector<std::string> metric_names() const;
 
     /// Retained anomaly history (bounded).
@@ -58,14 +63,21 @@ public:
 
     [[nodiscard]] std::size_t monitor_count() const noexcept { return monitors_.size(); }
 
+    /// Sum of Monitor::checks() over all registered monitors (MON-OVH
+    /// coverage figure).
+    [[nodiscard]] std::uint64_t total_checks() const noexcept;
+
 private:
     void hook(Monitor& monitor);
+
+    template <typename V>
+    using MetricMap = std::unordered_map<std::string, V, StringHash, std::equal_to<>>;
 
     sim::Simulator& simulator_;
     std::vector<std::unique_ptr<Monitor>> monitors_;
     sim::Signal<const Anomaly&> anomalies_;
-    std::map<std::string, RunningStats> metric_stats_;
-    std::map<std::string, double> metric_last_;
+    MetricMap<RunningStats> metric_stats_;
+    MetricMap<double> metric_last_;
     std::deque<Anomaly> history_;
     std::uint64_t total_ = 0;
     static constexpr std::size_t kHistoryCapacity = 4096;

@@ -11,7 +11,15 @@ namespace sa::monitor {
 
 /// Origin domain of an observation — the system layer where the raw signal
 /// was captured. The cross-layer coordinator maps domains to entry layers.
+/// When adding an enumerator, extend kAllDomains below and the switches in
+/// metric.cpp (to_string) and core/layer.cpp (entry_layer) — both compile
+/// under -Wswitch -Werror, so a forgotten mapping fails the build.
 enum class Domain { Platform, Network, Function, Sensor, Security };
+
+/// Every Domain enumerator, for exhaustive iteration in tests and tooling.
+inline constexpr Domain kAllDomains[] = {Domain::Platform, Domain::Network,
+                                         Domain::Function, Domain::Sensor,
+                                         Domain::Security};
 
 const char* to_string(Domain domain) noexcept;
 

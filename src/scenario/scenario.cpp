@@ -1,0 +1,58 @@
+#include "scenario/scenario.hpp"
+
+#include "util/assert.hpp"
+
+namespace sa::scenario {
+
+Scenario::Scenario(std::uint64_t seed) : simulator_(seed), rng_(seed) {}
+
+bool Scenario::has_vehicle(const std::string& name) const {
+    return vehicles_.count(name) > 0;
+}
+
+Vehicle& Scenario::vehicle(const std::string& name) {
+    auto it = vehicles_.find(name);
+    SA_REQUIRE(it != vehicles_.end(), "unknown vehicle: " + name);
+    return *it->second;
+}
+
+Vehicle& Scenario::only_vehicle() {
+    SA_REQUIRE(vehicles_.size() == 1,
+               "only_vehicle() needs exactly one vehicle in the scenario");
+    return *vehicles_.begin()->second;
+}
+
+platoon::V2vChannel& Scenario::v2v() {
+    SA_REQUIRE(v2v_ != nullptr, "v2v() not declared on the ScenarioBuilder");
+    return *v2v_;
+}
+
+platoon::PlatoonAgreement Scenario::form_platoon() { return form_platoon(candidates_); }
+
+platoon::PlatoonAgreement
+Scenario::form_platoon(const std::vector<platoon::MemberCapability>& candidates) {
+    SA_REQUIRE(!candidates.empty(), "form_platoon() needs candidates");
+    platoon::PlatoonCoordinator coordinator(trust_, platoon_config_);
+    return coordinator.form(candidates, rng_);
+}
+
+void Scenario::set_weather(const vehicle::WeatherCondition& weather) {
+    for (const auto& name : order_) {
+        Vehicle& v = *vehicles_.at(name);
+        if (v.has_driving()) {
+            v.driving().set_weather(weather);
+        }
+    }
+}
+
+ScenarioReport Scenario::report() const {
+    ScenarioReport report;
+    report.at = simulator_.now();
+    report.vehicles.reserve(order_.size());
+    for (const auto& name : order_) {
+        report.vehicles.push_back(vehicles_.at(name)->report());
+    }
+    return report;
+}
+
+} // namespace sa::scenario

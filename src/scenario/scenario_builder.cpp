@@ -1,0 +1,89 @@
+#include "scenario/scenario_builder.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace sa::scenario {
+
+ScenarioBuilder::ScenarioBuilder(std::uint64_t seed) : seed_(seed) {}
+
+VehicleBuilder& ScenarioBuilder::vehicle(const std::string& name) {
+    for (auto& builder : builders_) {
+        if (builder.name() == name) {
+            return builder;
+        }
+    }
+    order_.push_back(name);
+    builders_.emplace_back(name);
+    return builders_.back();
+}
+
+ScenarioBuilder& ScenarioBuilder::v2v(double loss_probability, sim::Duration latency) {
+    SA_REQUIRE(loss_probability >= 0.0 && loss_probability <= 1.0,
+               "loss probability must be in [0, 1]");
+    v2v_enabled_ = true;
+    v2v_loss_ = loss_probability;
+    v2v_latency_ = latency;
+    return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::trust(const std::string& peer, int positive,
+                                        int negative) {
+    SA_REQUIRE(positive >= 0 && negative >= 0, "trust counts must be non-negative");
+    trust_seeds_.push_back(TrustSeed{peer, positive, negative});
+    return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::platoon_config(platoon::PlatoonConfig config) {
+    platoon_config_ = config;
+    return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::platoon_candidate(platoon::MemberCapability candidate) {
+    candidates_.push_back(std::move(candidate));
+    return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::at(sim::Duration when,
+                                     std::function<void(Scenario&)> action) {
+    SA_REQUIRE(action != nullptr, "script needs an action");
+    SA_REQUIRE(when.count_ns() >= 0, "script time must be non-negative");
+    scripts_.push_back(Script{when, std::move(action)});
+    return *this;
+}
+
+std::unique_ptr<Scenario> ScenarioBuilder::build() {
+    auto scenario = std::unique_ptr<Scenario>(new Scenario(seed_));
+    for (const auto& name : order_) {
+        auto it = std::find_if(builders_.begin(), builders_.end(),
+                               [&](const VehicleBuilder& b) { return b.name() == name; });
+        SA_ASSERT(it != builders_.end(), "builder list out of sync");
+        scenario->vehicles_.emplace(name, it->build(scenario->simulator_));
+        scenario->order_.push_back(name);
+    }
+    for (const auto& seed : trust_seeds_) {
+        for (int i = 0; i < seed.positive; ++i) {
+            scenario->trust_.record(seed.peer, true);
+        }
+        for (int i = 0; i < seed.negative; ++i) {
+            scenario->trust_.record(seed.peer, false);
+        }
+    }
+    if (v2v_enabled_) {
+        scenario->v2v_ = std::make_unique<platoon::V2vChannel>(scenario->simulator_,
+                                                               v2v_loss_, v2v_latency_);
+    }
+    scenario->platoon_config_ = platoon_config_;
+    scenario->candidates_ = candidates_;
+    Scenario* raw = scenario.get();
+    for (const auto& script : scripts_) {
+        (void)scenario->simulator_.schedule(script.when,
+                                            [raw, action = script.action] {
+                                                action(*raw);
+                                            });
+    }
+    return scenario;
+}
+
+} // namespace sa::scenario

@@ -1,0 +1,65 @@
+#pragma once
+// ScenarioBuilder: N vehicles on one simulator plus the cooperation
+// substrate (trust records, V2V channel, platoon candidates) and scripted
+// events, producing a Scenario with a single run()/report() surface.
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scenario/vehicle_builder.hpp"
+
+namespace sa::scenario {
+
+class ScenarioBuilder {
+public:
+    /// `seed` seeds both the simulator and the scenario-level RNG.
+    explicit ScenarioBuilder(std::uint64_t seed = 0x5AA5F00DULL);
+
+    /// Declare (or retrieve, by name) a vehicle. Builders are stable: keep
+    /// the reference and chain configuration across statements.
+    VehicleBuilder& vehicle(const std::string& name);
+
+    // --- cooperation substrate ---------------------------------------------
+    ScenarioBuilder& v2v(double loss_probability,
+                         sim::Duration latency = sim::Duration::ms(20));
+    /// Seed the shared TrustManager with interaction history for a peer.
+    ScenarioBuilder& trust(const std::string& peer, int positive, int negative = 0);
+    ScenarioBuilder& platoon_config(platoon::PlatoonConfig config);
+    ScenarioBuilder& platoon_candidate(platoon::MemberCapability candidate);
+
+    // --- scripted events ----------------------------------------------------
+    /// Run `action` at absolute simulation time `when`.
+    ScenarioBuilder& at(sim::Duration when, std::function<void(Scenario&)> action);
+
+    /// Build every declared vehicle (in declaration order), seed trust,
+    /// create the V2V channel, then schedule the scripts.
+    [[nodiscard]] std::unique_ptr<Scenario> build();
+
+private:
+    struct TrustSeed {
+        std::string peer;
+        int positive;
+        int negative;
+    };
+    struct Script {
+        sim::Duration when;
+        std::function<void(Scenario&)> action;
+    };
+
+    std::uint64_t seed_;
+    std::vector<std::string> order_;
+    std::list<VehicleBuilder> builders_; ///< list: stable references
+    bool v2v_enabled_ = false;
+    double v2v_loss_ = 0.0;
+    sim::Duration v2v_latency_ = sim::Duration::ms(20);
+    std::vector<TrustSeed> trust_seeds_;
+    platoon::PlatoonConfig platoon_config_{};
+    std::vector<platoon::MemberCapability> candidates_;
+    std::vector<Script> scripts_;
+};
+
+} // namespace sa::scenario

@@ -1,11 +1,27 @@
 #pragma once
 // Small string helpers shared by the contract parser and report printers.
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace sa {
+
+/// Transparent hash for std::string-keyed unordered containers: lookups by
+/// std::string_view or const char* hash directly, without materialising a
+/// temporary std::string. Pair with std::equal_to<> (also transparent):
+///
+///   std::unordered_map<std::string, V, StringHash, std::equal_to<>> map;
+///   map.find(std::string_view{...});   // no allocation
+struct StringHash {
+    using is_transparent = void;
+
+    [[nodiscard]] std::size_t operator()(std::string_view text) const noexcept {
+        return std::hash<std::string_view>{}(text);
+    }
+};
 
 /// Split on a delimiter; empty fields are kept ("a,,b" -> {"a","","b"}).
 std::vector<std::string> split(std::string_view text, char delim);

@@ -45,6 +45,34 @@ TEST(EntryLayer, DomainsMapToLayers) {
     EXPECT_EQ(entry_layer(monitor::Domain::Sensor), LayerId::Ability);
 }
 
+TEST(EntryLayer, EveryDomainHasAnEntryLayer) {
+    // The switch names every enumerator and compiles under -Wswitch -Werror:
+    // adding a Domain without deciding its entry layer fails this build, and
+    // kAllDomains (checked below) keeps the runtime sweep exhaustive.
+    auto expected = [](monitor::Domain domain) {
+        switch (domain) {
+        case monitor::Domain::Platform: return LayerId::Platform;
+        case monitor::Domain::Network: return LayerId::Network;
+        case monitor::Domain::Security: return LayerId::Network;
+        case monitor::Domain::Function: return LayerId::Safety;
+        case monitor::Domain::Sensor: return LayerId::Ability;
+        }
+        return LayerId::Platform;
+    };
+    std::size_t covered = 0;
+    for (const monitor::Domain domain : monitor::kAllDomains) {
+        EXPECT_EQ(entry_layer(domain), expected(domain))
+            << "domain " << monitor::to_string(domain);
+        // Every entry layer must be a valid LayerId (routing never falls off
+        // the stack).
+        const int layer = static_cast<int>(entry_layer(domain));
+        EXPECT_GE(layer, 0);
+        EXPECT_LT(layer, kLayerCount);
+        ++covered;
+    }
+    EXPECT_EQ(covered, std::size(monitor::kAllDomains));
+}
+
 // --- Scripted layer for coordinator-only tests ---------------------------------------
 
 class ScriptedLayer : public Layer {
@@ -258,6 +286,23 @@ TEST(Coordinator, DuplicateLayerRejected) {
     EXPECT_THROW(coord.register_layer(std::make_unique<ScriptedLayer>(
                      LayerId::Network, std::vector<Proposal>{})),
                  ContractViolation);
+}
+
+TEST(Coordinator, DecisionHistoryIsTrimmedToCapacity) {
+    sim::Simulator sim;
+    CrossLayerCoordinator coord(sim);
+    const std::size_t capacity = CrossLayerCoordinator::kDecisionHistory;
+    const std::size_t total = capacity + 76;
+    for (std::size_t i = 0; i < total; ++i) {
+        (void)coord.handle(make_anomaly(monitor::Domain::Network, "rate_excess",
+                                        "n" + std::to_string(i)));
+    }
+    EXPECT_EQ(coord.problems_handled(), total);
+    // The audit deque is bounded: exactly the last `capacity` decisions
+    // survive, oldest first.
+    ASSERT_EQ(coord.decisions().size(), capacity);
+    EXPECT_EQ(coord.decisions().front().problem_id, total - capacity + 1);
+    EXPECT_EQ(coord.decisions().back().problem_id, total);
 }
 
 // --- Concrete layers on a small system fixture -----------------------------------------

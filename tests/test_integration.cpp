@@ -5,27 +5,15 @@
 //  3. the §V thermal scenario (ambient stress -> DVFS with model
 //     revalidation -> function-level degradation),
 //  4. single-layer vs. cross-layer ablation on the same intrusion.
+//
+// All vehicles are produced by make_test_vehicle() on the sa::scenario
+// builder — the same composition root the examples and benches use — so the
+// integration suite exercises the sanctioned assembly path itself.
 
 #include <gtest/gtest.h>
 
-#include "core/ability_layer.hpp"
-#include "core/coordinator.hpp"
-#include "core/network_layer.hpp"
-#include "core/objective_layer.hpp"
-#include "core/platform_layer.hpp"
-#include "core/safety_layer.hpp"
-#include "core/self_model.hpp"
 #include "monitor/budget_monitor.hpp"
-#include "monitor/manager.hpp"
-#include "monitor/range_monitor.hpp"
-#include "monitor/rate_monitor.hpp"
-#include "model/contract_parser.hpp"
-#include "model/mcc.hpp"
-#include "rte/fault_injection.hpp"
-#include "skills/acc_graph_factory.hpp"
-#include "skills/degradation.hpp"
-#include "vehicle/brake_by_wire.hpp"
-#include "vehicle/vehicle_sim.hpp"
+#include "scenario/scenario_builder.hpp"
 
 namespace {
 
@@ -66,133 +54,102 @@ const char* kSystemContracts = R"(
     }
 )";
 
-struct Testbed {
-    sim::Simulator sim{23};
-    rte::Rte rte{sim};
-    model::Mcc mcc;
-    monitor::MonitorManager monitors{sim};
-    skills::AbilityGraph abilities{skills::make_acc_skill_graph()};
-    skills::DegradationManager tactics;
-    vehicle::BrakeByWire brakes;
-    core::CrossLayerCoordinator coordinator;
-    vehicle::AccController acc_controller;
-
-    Testbed(core::CoordinatorConfig coord_cfg = {})
-        : mcc(make_platform()), coordinator(sim, coord_cfg) {
-        rte.add_ecu(rte::EcuConfig{"chassis_a", {1.0, 0.8, 0.6, 0.4}, {}});
-        rte.add_ecu(rte::EcuConfig{"chassis_b", {1.0, 0.8, 0.6, 0.4}, {}});
-
-        // Fig. 1, step 1: contracts into the MCC.
-        model::ContractParser parser;
-        model::ChangeRequest change;
-        change.description = "initial system";
-        change.contracts = parser.parse(kSystemContracts);
-        const auto report = mcc.integrate(change);
-        SA_ASSERT(report.accepted, "testbed integration must succeed: " +
-                                       report.rejection_reason);
-
-        // Fig. 1, step 2: configuration into the execution domain.
-        rte.apply(mcc.make_rte_config());
-        rte.start();
-
-        // Monitors per the derived security policy.
-        auto& ids = monitors.add<monitor::RateMonitor>(rte.services(), Duration::ms(100));
-        for (const auto& rb : mcc.security_policy().rate_bounds) {
-            ids.set_rate_bound(rb.client, rb.service, rb.max_rate_hz);
-        }
-        // Traffic on pairs the contracts never declared is suspicious above
-        // a generic bound ("monitoring communication behavior", §V).
-        ids.set_default_bound(400.0);
-        ids.start();
-
-        // Layer stack.
-        coordinator.register_layer(std::make_unique<core::PlatformLayer>(rte, mcc));
-        coordinator.register_layer(std::make_unique<core::NetworkLayer>(rte));
-        coordinator.register_layer(std::make_unique<core::SafetyLayer>(rte, mcc));
-        auto ability =
-            std::make_unique<core::AbilityLayer>(abilities, tactics,
-                                                 skills::acc::kAccDriving);
-        ability->set_update_hook([this](const core::Problem& problem) {
-            // Map component losses onto ability inputs: rear brake containment
-            // degrades the brake_system sink.
-            if (problem.anomaly.kind == "component_contained" &&
-                problem.anomaly.source == "brake_ctrl") {
-                brakes.set_rear_available(false);
-                abilities.set_source_level(skills::acc::kBrakeSystem,
-                                           brakes.ability_level());
-                return true;
-            }
-            if (problem.anomaly.kind == "platform_performance_reduced") {
-                abilities.set_intrinsic_level(skills::acc::kPerceiveTrack, 0.6);
-                return true;
-            }
-            return false;
-        });
-        coordinator.register_layer(std::move(ability));
-        auto objective = std::make_unique<core::ObjectiveLayer>();
-        objective_ = objective.get();
-        coordinator.register_layer(std::move(objective));
-        coordinator.connect(monitors);
-
-        // Degradation tactics (§V compensation).
-        tactics.register_tactic(skills::Tactic{
-            "reduce_speed_and_drivetrain_brake", skills::acc::kDecelerate, 0.2, 0.85, 2,
-            [this] {
-                acc_controller.set_speed_limit(15.0);
-                brakes.set_drivetrain_assist(true);
-                abilities.set_source_level(skills::acc::kBrakeSystem,
-                                           brakes.ability_level());
-            },
-            nullptr});
+/// The standard single-vehicle integration testbed, composed on the
+/// scenario builder. `customize` can add declarations (extra monitors,
+/// layer subsets) before the build.
+std::unique_ptr<scenario::Scenario>
+make_test_vehicle(core::CoordinatorConfig coord_cfg = {},
+                  const std::function<void(scenario::VehicleBuilder&)>& customize = {}) {
+    scenario::ScenarioBuilder builder(23);
+    auto& vehicle =
+        builder.vehicle("ego")
+            .ecu({"chassis_a", 1.0, 0.75, model::Asil::D, "engine_bay", "main"})
+            .ecu({"chassis_b", 1.0, 0.75, model::Asil::D, "cabin", "main"})
+            .contracts(kSystemContracts)
+            // Traffic on pairs the contracts never declared is suspicious
+            // above a generic bound ("monitoring communication behavior", §V).
+            .rate_ids(Duration::ms(100), /*default_bound=*/400.0)
+            .acc_skills()
+            .full_layer_stack()
+            .coordinator(coord_cfg)
+            // Map component losses onto ability inputs: rear brake
+            // containment degrades the brake_system sink.
+            .ability_update_hook([](scenario::Vehicle& v, const core::Problem& problem) {
+                if (problem.anomaly.kind == "component_contained" &&
+                    problem.anomaly.source == "brake_ctrl") {
+                    v.brakes().set_rear_available(false);
+                    v.abilities().set_source_level(skills::acc::kBrakeSystem,
+                                                   v.brakes().ability_level());
+                    return true;
+                }
+                if (problem.anomaly.kind == "platform_performance_reduced") {
+                    v.abilities().set_intrinsic_level(skills::acc::kPerceiveTrack, 0.6);
+                    return true;
+                }
+                return false;
+            })
+            // Degradation tactic (§V compensation).
+            .tactic("reduce_speed_and_drivetrain_brake", skills::acc::kDecelerate, 0.2,
+                    0.85, 2, [](scenario::Vehicle& v) {
+                        v.acc().set_speed_limit(15.0);
+                        v.brakes().set_drivetrain_assist(true);
+                        v.abilities().set_source_level(skills::acc::kBrakeSystem,
+                                                       v.brakes().ability_level());
+                    });
+    if (customize) {
+        customize(vehicle);
     }
+    return builder.build();
+}
 
-    static model::PlatformModel make_platform() {
-        model::PlatformModel p;
-        p.ecus.push_back(model::EcuDescriptor{"chassis_a", 1.0, 0.75, model::Asil::D,
-                                              "engine_bay", "main"});
-        p.ecus.push_back(model::EcuDescriptor{"chassis_b", 1.0, 0.75, model::Asil::D,
-                                              "cabin", "main"});
-        return p;
-    }
+void storm_attack(scenario::Vehicle& ego) {
+    ego.rte().access().grant("brake_ctrl", "object_list");
+    ego.faults().compromise_with_message_storm("brake_ctrl", "object_list",
+                                               Duration::ms(2));
+}
 
-    core::ObjectiveLayer* objective_ = nullptr;
-};
+void remove_redundant_channel(scenario::Vehicle& ego) {
+    model::ChangeRequest remove;
+    remove.kind = model::ChangeRequest::Kind::Remove;
+    remove.component = "brake_ctrl_b";
+    ASSERT_TRUE(ego.mcc().integrate(remove).accepted);
+    ego.rte().remove_component("brake_ctrl_b");
+}
 
 // --- Fig. 1 loop ---------------------------------------------------------------------
 
 TEST(Fig1Loop, MetricsFlowBackIntoModelDomain) {
-    Testbed bed;
+    auto bed = make_test_vehicle();
+    auto& ego = bed->only_vehicle();
     // Budget monitors feed observed execution times to the MCC.
     auto& budget_a =
-        bed.monitors.add<monitor::BudgetMonitor>(bed.rte.ecu("chassis_a").scheduler());
+        ego.monitors().add<monitor::BudgetMonitor>(ego.rte().ecu("chassis_a").scheduler());
     auto& budget_b =
-        bed.monitors.add<monitor::BudgetMonitor>(bed.rte.ecu("chassis_b").scheduler());
+        ego.monitors().add<monitor::BudgetMonitor>(ego.rte().ecu("chassis_b").scheduler());
     budget_a.set_mode(monitor::BudgetMode::Observe);
     budget_b.set_mode(monitor::BudgetMode::Observe);
 
-    for (auto* sched : {&bed.rte.ecu("chassis_a").scheduler(),
-                        &bed.rte.ecu("chassis_b").scheduler()}) {
-        sched->job_completed().subscribe([&bed](const rte::JobRecord& job) {
-            bed.mcc.ingest_observed_wcet(job.task_name, job.executed);
+    for (auto* sched : {&ego.rte().ecu("chassis_a").scheduler(),
+                        &ego.rte().ecu("chassis_b").scheduler()}) {
+        sched->job_completed().subscribe([&ego](const rte::JobRecord& job) {
+            ego.mcc().ingest_observed_wcet(job.task_name, job.executed);
         });
     }
 
-    bed.sim.run_until(Time(Duration::sec(2).count_ns()));
+    bed->run(Duration::sec(2));
 
     // Every contracted task produced observations within its modelled WCET.
-    EXPECT_GT(bed.mcc.observed_wcet("brake_ctrl.control"), Duration::zero());
-    EXPECT_LE(bed.mcc.observed_wcet("brake_ctrl.control"), Duration::us(400));
-    EXPECT_GT(bed.mcc.observed_wcet("perception.track"), Duration::zero());
-    EXPECT_TRUE(bed.mcc.wcet_violations().empty());
-    EXPECT_EQ(bed.rte.total_deadline_misses(), 0u);
+    EXPECT_GT(ego.mcc().observed_wcet("brake_ctrl.control"), Duration::zero());
+    EXPECT_LE(ego.mcc().observed_wcet("brake_ctrl.control"), Duration::us(400));
+    EXPECT_GT(ego.mcc().observed_wcet("perception.track"), Duration::zero());
+    EXPECT_TRUE(ego.mcc().wcet_violations().empty());
+    EXPECT_EQ(ego.rte().total_deadline_misses(), 0u);
 }
 
 TEST(Fig1Loop, UpdateAcceptedThenDeployed) {
-    Testbed bed;
-    model::ContractParser parser;
-    model::ChangeRequest update;
-    update.description = "add lane keeping";
-    update.contracts = parser.parse(R"(
+    auto bed = make_test_vehicle();
+    auto& ego = bed->only_vehicle();
+    const auto report = ego.integrate("add lane keeping", R"(
         component lane_keep {
           asil C;
           security_level 1;
@@ -200,21 +157,17 @@ TEST(Fig1Loop, UpdateAcceptedThenDeployed) {
           requires service object_list;
         }
     )");
-    const auto report = bed.mcc.integrate(update);
     ASSERT_TRUE(report.accepted) << report.rejection_reason;
-    bed.rte.apply(bed.mcc.make_rte_config());
-    EXPECT_TRUE(bed.rte.has_component("lane_keep"));
-    EXPECT_EQ(bed.rte.component("lane_keep").state(), rte::ComponentState::Running);
-    bed.sim.run_until(Time(Duration::ms(500).count_ns()));
-    EXPECT_EQ(bed.rte.total_deadline_misses(), 0u);
+    EXPECT_TRUE(ego.rte().has_component("lane_keep"));
+    EXPECT_EQ(ego.rte().component("lane_keep").state(), rte::ComponentState::Running);
+    bed->run(Duration::ms(500));
+    EXPECT_EQ(ego.rte().total_deadline_misses(), 0u);
 }
 
 TEST(Fig1Loop, HarmfulUpdateRejectedSystemUntouched) {
-    Testbed bed;
-    model::ContractParser parser;
-    model::ChangeRequest bad;
-    bad.description = "malicious: flood the brake service";
-    bad.contracts = parser.parse(R"(
+    auto bed = make_test_vehicle();
+    auto& ego = bed->only_vehicle();
+    const auto report = ego.integrate("malicious: flood the brake service", R"(
         component infotainment {
           asil QM;
           security_level 0;
@@ -222,41 +175,37 @@ TEST(Fig1Loop, HarmfulUpdateRejectedSystemUntouched) {
           requires service brake_cmd;
         }
     )");
-    const auto report = bed.mcc.integrate(bad);
     EXPECT_FALSE(report.accepted);
     // Security viewpoint: level 0 < min_client_level 1 on brake_cmd.
     const auto* security = report.viewpoint("security");
     ASSERT_NE(security, nullptr);
     EXPECT_FALSE(security->passed());
-    EXPECT_FALSE(bed.rte.has_component("infotainment"));
-    EXPECT_EQ(bed.mcc.functions().size(), 4u);
+    EXPECT_FALSE(ego.rte().has_component("infotainment"));
+    EXPECT_EQ(ego.mcc().functions().size(), 4u);
 }
 
 // --- §V rear-brake intrusion, full stack ------------------------------------------------
 
 TEST(IntrusionScenario, CrossLayerContainsCompensatesAndKeepsDriving) {
-    Testbed bed;
-    rte::FaultInjector chaos(bed.rte);
+    auto bed = make_test_vehicle();
+    auto& ego = bed->only_vehicle();
 
-    bed.sim.run_until(Time(Duration::ms(300).count_ns()));
-    ASSERT_EQ(bed.coordinator.problems_handled(), 0u);
+    bed->run(Duration::ms(300));
+    ASSERT_EQ(ego.coordinator().problems_handled(), 0u);
 
-    // Attack: brake_ctrl is compromised and floods its own provided service
-    // consumers... the storm goes to the acc's required service? No — the
-    // §V example: the component governing rear braking is compromised. It
-    // storms the object_list service it has no business calling at rate.
-    bed.rte.access().grant("brake_ctrl", "object_list");
-    chaos.compromise_with_message_storm("brake_ctrl", "object_list", Duration::ms(2));
-    bed.sim.run_until(Time(Duration::sec(2).count_ns()));
+    // Attack: the compromised brake_ctrl storms the object_list service it
+    // has no business calling at rate (§V's rear-braking security flaw).
+    storm_attack(ego);
+    bed->run(Duration::sec(2));
 
     // The IDS flagged it; the network layer contained it; the follow-up went
     // through safety (redundancy exists) — and driving continues.
-    EXPECT_GT(bed.coordinator.problems_handled(), 0u);
-    EXPECT_EQ(bed.rte.component("brake_ctrl").state(), rte::ComponentState::Contained);
+    EXPECT_GT(ego.coordinator().problems_handled(), 0u);
+    EXPECT_EQ(ego.rte().component("brake_ctrl").state(), rte::ComponentState::Contained);
 
     bool contained_decision = false;
     bool safety_or_ability_followup = false;
-    for (const auto& d : bed.coordinator.decisions()) {
+    for (const auto& d : ego.coordinator().decisions()) {
         if (d.executed.has_value() && d.executed->action == "contain_component") {
             contained_decision = true;
         }
@@ -268,33 +217,28 @@ TEST(IntrusionScenario, CrossLayerContainsCompensatesAndKeepsDriving) {
     EXPECT_TRUE(contained_decision);
     EXPECT_TRUE(safety_or_ability_followup);
     // Redundant channel keeps the function: no safe stop.
-    EXPECT_EQ(bed.objective_->objective(), core::DrivingObjective::Drive);
+    EXPECT_EQ(ego.objective_layer().objective(), core::DrivingObjective::Drive);
 }
 
 TEST(IntrusionScenario, WithoutRedundancyAbilityLayerCompensates) {
-    Testbed bed;
+    auto bed = make_test_vehicle();
+    auto& ego = bed->only_vehicle();
     // Remove the redundant channel first (maintenance scenario).
-    model::ChangeRequest remove;
-    remove.kind = model::ChangeRequest::Kind::Remove;
-    remove.component = "brake_ctrl_b";
-    ASSERT_TRUE(bed.mcc.integrate(remove).accepted);
-    bed.rte.remove_component("brake_ctrl_b");
+    remove_redundant_channel(ego);
 
-    rte::FaultInjector chaos(bed.rte);
-    bed.rte.access().grant("brake_ctrl", "object_list");
-    chaos.compromise_with_message_storm("brake_ctrl", "object_list", Duration::ms(2));
-    bed.sim.run_until(Time(Duration::sec(2).count_ns()));
+    storm_attack(ego);
+    bed->run(Duration::sec(2));
 
-    EXPECT_EQ(bed.rte.component("brake_ctrl").state(), rte::ComponentState::Contained);
+    EXPECT_EQ(ego.rte().component("brake_ctrl").state(), rte::ComponentState::Contained);
     // §V: "reducing the maximum speed and generating additional brake torque
     // from the drive train in order to stay in safe margins".
-    EXPECT_TRUE(bed.acc_controller.speed_limit().has_value());
-    EXPECT_TRUE(bed.brakes.drivetrain_assist());
-    EXPECT_FALSE(bed.brakes.rear_available());
+    EXPECT_TRUE(ego.acc().speed_limit().has_value());
+    EXPECT_TRUE(ego.brakes().drivetrain_assist());
+    EXPECT_FALSE(ego.brakes().rear_available());
     // Driving continues in degraded mode — no safe stop.
-    EXPECT_EQ(bed.objective_->objective(), core::DrivingObjective::Drive);
+    EXPECT_EQ(ego.objective_layer().objective(), core::DrivingObjective::Drive);
     bool ability_tactic = false;
-    for (const auto& d : bed.coordinator.decisions()) {
+    for (const auto& d : ego.coordinator().decisions()) {
         if (d.executed.has_value() &&
             d.executed->action == "tactic:reduce_speed_and_drivetrain_brake") {
             ability_tactic = true;
@@ -307,24 +251,19 @@ TEST(IntrusionScenario, WithoutRedundancyAbilityLayerCompensates) {
 TEST(IntrusionScenario, SingleLayerAblationLeavesFunctionLoss) {
     core::CoordinatorConfig cfg;
     cfg.cross_layer_enabled = false;
-    Testbed bed(cfg);
-    model::ChangeRequest remove;
-    remove.kind = model::ChangeRequest::Kind::Remove;
-    remove.component = "brake_ctrl_b";
-    ASSERT_TRUE(bed.mcc.integrate(remove).accepted);
-    bed.rte.remove_component("brake_ctrl_b");
+    auto bed = make_test_vehicle(cfg);
+    auto& ego = bed->only_vehicle();
+    remove_redundant_channel(ego);
 
-    rte::FaultInjector chaos(bed.rte);
-    bed.rte.access().grant("brake_ctrl", "object_list");
-    chaos.compromise_with_message_storm("brake_ctrl", "object_list", Duration::ms(2));
-    bed.sim.run_until(Time(Duration::sec(2).count_ns()));
+    storm_attack(ego);
+    bed->run(Duration::sec(2));
 
     // The network layer still contains the attack locally...
-    EXPECT_EQ(bed.rte.component("brake_ctrl").state(), rte::ComponentState::Contained);
+    EXPECT_EQ(ego.rte().component("brake_ctrl").state(), rte::ComponentState::Contained);
     // ...but nothing above reacts: no compensation happens and the vehicle
     // would keep driving at full speed with degraded brakes.
-    EXPECT_FALSE(bed.acc_controller.speed_limit().has_value());
-    EXPECT_FALSE(bed.brakes.drivetrain_assist());
+    EXPECT_FALSE(ego.acc().speed_limit().has_value());
+    EXPECT_FALSE(ego.brakes().drivetrain_assist());
 }
 
 
@@ -333,23 +272,18 @@ TEST(IntrusionScenario, FullEscalationEndsInSafeStop) {
     // adequate, the ability layer plans nothing, so the escalation chain must
     // terminate at the objective layer with a safe stop (the §V option to
     // "transition the system into a safe state, i.e. stop driving").
-    Testbed bed;
-    model::ChangeRequest remove;
-    remove.kind = model::ChangeRequest::Kind::Remove;
-    remove.component = "brake_ctrl_b";
-    ASSERT_TRUE(bed.mcc.integrate(remove).accepted);
-    bed.rte.remove_component("brake_ctrl_b");
-    bed.tactics = skills::DegradationManager{}; // drop all tactics
+    auto bed = make_test_vehicle();
+    auto& ego = bed->only_vehicle();
+    remove_redundant_channel(ego);
+    ego.tactics() = skills::DegradationManager{}; // drop all tactics
 
-    rte::FaultInjector chaos(bed.rte);
-    bed.rte.access().grant("brake_ctrl", "object_list");
-    chaos.compromise_with_message_storm("brake_ctrl", "object_list", Duration::ms(2));
-    bed.sim.run_until(Time(Duration::sec(2).count_ns()));
+    storm_attack(ego);
+    bed->run(Duration::sec(2));
 
-    EXPECT_EQ(bed.rte.component("brake_ctrl").state(), rte::ComponentState::Contained);
-    EXPECT_EQ(bed.objective_->objective(), core::DrivingObjective::SafeStop);
+    EXPECT_EQ(ego.rte().component("brake_ctrl").state(), rte::ComponentState::Contained);
+    EXPECT_EQ(ego.objective_layer().objective(), core::DrivingObjective::SafeStop);
     bool safe_stop_decision = false;
-    for (const auto& d : bed.coordinator.decisions()) {
+    for (const auto& d : ego.coordinator().decisions()) {
         if (d.executed.has_value() && d.executed->action == "safe_stop") {
             safe_stop_decision = true;
             EXPECT_EQ(d.executed->layer, core::LayerId::Objective);
@@ -362,23 +296,21 @@ TEST(IntrusionScenario, FullEscalationEndsInSafeStop) {
 // --- §V thermal scenario ------------------------------------------------------------------
 
 TEST(ThermalScenario, DvfsGuardedByTimingModel) {
-    Testbed bed;
-    // Thermal monitor: range violation above 85 C on chassis_a.
-    auto& range = bed.monitors.add<monitor::RangeMonitor>("thermal",
-                                                          monitor::Domain::Platform);
-    range.set_bounds("temp.chassis_a", -40.0, 85.0, monitor::Severity::Critical);
-    bed.rte.ecu("chassis_a").thermal().temperature_updated().subscribe(
-        [&](double celsius) { range.sample("temp.chassis_a", celsius); });
+    // Thermal monitor declared on the builder: range violation above 85 C on
+    // chassis_a, fed from the ECU's thermal model.
+    auto bed = make_test_vehicle({}, [](scenario::VehicleBuilder& vehicle) {
+        vehicle.thermal_guard("chassis_a", -40.0, 85.0, monitor::Severity::Critical);
+    });
+    auto& ego = bed->only_vehicle();
 
     // Heat wave.
-    rte::FaultInjector chaos(bed.rte);
-    chaos.set_ambient_temperature("chassis_a", 95.0);
-    bed.sim.run_until(Time(Duration::sec(120).count_ns()));
+    ego.faults().set_ambient_temperature("chassis_a", 95.0);
+    bed->run(Duration::sec(120));
 
     // The platform layer throttled the ECU (timing model said it is safe).
-    EXPECT_GT(bed.rte.ecu("chassis_a").dvfs_level(), 0);
+    EXPECT_GT(ego.rte().ecu("chassis_a").dvfs_level(), 0);
     bool dvfs_decision = false;
-    for (const auto& d : bed.coordinator.decisions()) {
+    for (const auto& d : ego.coordinator().decisions()) {
         if (d.executed.has_value() && d.executed->action == "dvfs_down") {
             dvfs_decision = true;
             EXPECT_EQ(d.executed->layer, core::LayerId::Platform);
@@ -386,28 +318,27 @@ TEST(ThermalScenario, DvfsGuardedByTimingModel) {
     }
     EXPECT_TRUE(dvfs_decision);
     // And the configuration stayed schedulable at the new speed.
-    EXPECT_EQ(bed.rte.total_deadline_misses(), 0u);
+    EXPECT_EQ(ego.rte().total_deadline_misses(), 0u);
 }
 
 // --- Self model over a disturbance ----------------------------------------------------------
 
 TEST(SelfModelIntegration, HealthDipsOnAttackAndDecisionIsAudited) {
-    Testbed bed;
-    core::SelfModel self(bed.sim, bed.coordinator);
-    self.start(Duration::ms(200));
-    bed.sim.run_until(Time(Duration::sec(1).count_ns()));
-    const double healthy = self.latest().overall;
+    auto bed = make_test_vehicle({}, [](scenario::VehicleBuilder& vehicle) {
+        vehicle.self_model(Duration::ms(200));
+    });
+    auto& ego = bed->only_vehicle();
+    bed->run(Duration::sec(1));
+    const double healthy = ego.self_model().latest().overall;
     EXPECT_GT(healthy, 0.9);
 
-    rte::FaultInjector chaos(bed.rte);
-    bed.rte.access().grant("brake_ctrl", "object_list");
-    chaos.compromise_with_message_storm("brake_ctrl", "object_list", Duration::ms(2));
-    bed.sim.run_until(Time(Duration::sec(3).count_ns()));
+    storm_attack(ego);
+    bed->run(Duration::sec(3));
 
-    EXPECT_LT(self.latest().overall, healthy);
+    EXPECT_LT(ego.self_model().latest().overall, healthy);
     // Decision records carry the full audit trail.
-    ASSERT_FALSE(bed.coordinator.decisions().empty());
-    const auto& d = bed.coordinator.decisions().front();
+    ASSERT_FALSE(ego.coordinator().decisions().empty());
+    const auto& d = ego.coordinator().decisions().front();
     EXPECT_FALSE(d.considered.empty());
     EXPECT_FALSE(d.rationale.empty());
 }

@@ -1,0 +1,349 @@
+// Tests for the sa::scenario composition root: vehicle/scenario builders,
+// the canonical assembly order's observable contracts, multi-bus gateway
+// routing, multi-vehicle scenarios with per-vehicle coordinators, the
+// cooperation substrate (trust/platoon/V2V) and scripted events.
+
+#include <gtest/gtest.h>
+
+#include "scenario/scenario_builder.hpp"
+
+namespace {
+
+using namespace sa;
+using sim::Duration;
+using sim::Time;
+
+const char* kMiniContracts = R"(
+    component ctrl {
+      asil D;
+      security_level 2;
+      task control { wcet 500us; period 10ms; deadline 8ms; }
+      provides service cmd { max_rate 200/s; min_client_level 1; }
+    }
+    component app {
+      asil C;
+      security_level 1;
+      task plan { wcet 1ms; period 20ms; }
+      requires service cmd;
+    }
+)";
+
+// --- VehicleBuilder basics ---------------------------------------------------------
+
+TEST(VehicleBuilder, ComposesIntegratesAndRuns) {
+    sim::Simulator simulator(1);
+    scenario::VehicleBuilder builder("ego");
+    builder.ecu({"ecu0", 1.0, 0.75, model::Asil::D, "cabin", "main"})
+        .contracts(kMiniContracts)
+        .rate_ids(Duration::ms(100))
+        .acc_skills()
+        .full_layer_stack()
+        .self_model(Duration::ms(100));
+    auto vehicle = builder.build(simulator);
+
+    EXPECT_TRUE(vehicle->integration_report().accepted);
+    EXPECT_TRUE(vehicle->rte().has_component("ctrl"));
+    EXPECT_TRUE(vehicle->rte().has_component("app"));
+    EXPECT_TRUE(vehicle->has_ids());
+    EXPECT_TRUE(vehicle->has_abilities());
+    EXPECT_TRUE(vehicle->has_self_model());
+    for (const auto id : {core::LayerId::Platform, core::LayerId::Network,
+                          core::LayerId::Safety, core::LayerId::Ability,
+                          core::LayerId::Objective}) {
+        EXPECT_TRUE(vehicle->coordinator().has_layer(id));
+    }
+
+    simulator.run_until(Time(Duration::sec(1).count_ns()));
+    EXPECT_GT(vehicle->rte().total_completed_jobs(), 0u);
+    EXPECT_EQ(vehicle->rte().total_deadline_misses(), 0u);
+    EXPECT_GT(vehicle->self_model().history().size(), 1u);
+    const auto report = vehicle->report();
+    EXPECT_EQ(report.jobs_completed, vehicle->rte().total_completed_jobs());
+    EXPECT_TRUE(report.self.has_value());
+}
+
+TEST(VehicleBuilder, RequireAcceptedPolicyThrowsOnRejectedContracts) {
+    sim::Simulator simulator(1);
+    scenario::VehicleBuilder builder("ego");
+    builder.ecu({"tiny", 1.0, 0.75, model::Asil::D, "cabin", "main"})
+        .contracts(R"(
+            component hog {
+              asil QM;
+              task burn { wcet 9ms; period 10ms; }
+            }
+            component hog2 {
+              asil QM;
+              task burn { wcet 9ms; period 10ms; }
+            }
+        )");
+    EXPECT_THROW((void)builder.build(simulator), ContractViolation);
+}
+
+TEST(VehicleBuilder, ReportOnlyPolicyKeepsRejectionWithoutDeploying) {
+    sim::Simulator simulator(1);
+    scenario::VehicleBuilder builder("ego");
+    builder.ecu({"tiny", 1.0, 0.75, model::Asil::D, "cabin", "main"})
+        .contracts(R"(
+            component hog {
+              asil QM;
+              task burn { wcet 9ms; period 10ms; }
+            }
+            component hog2 {
+              asil QM;
+              task burn { wcet 9ms; period 10ms; }
+            }
+        )")
+        .integration_policy(scenario::IntegrationPolicy::ReportOnly);
+    auto vehicle = builder.build(simulator);
+    EXPECT_FALSE(vehicle->integration_report().accepted);
+    EXPECT_TRUE(vehicle->rte().component_names().empty());
+}
+
+TEST(VehicleBuilder, ModelDomainProductsMatchDeclarations) {
+    scenario::VehicleBuilder builder("fig");
+    builder.ecu({"a", 1.0, 0.75, model::Asil::D, "cabin", "main"})
+        .ecu({"b", 0.5, 0.75, model::Asil::B, "trunk", "main"}, {0.5})
+        .can_bus({"can0", 500'000, 0.6})
+        .contracts(kMiniContracts);
+    const auto platform = builder.platform_model();
+    ASSERT_EQ(platform.ecus.size(), 2u);
+    EXPECT_EQ(platform.ecus[1].name, "b");
+    EXPECT_DOUBLE_EQ(platform.ecus[1].speed_factor, 0.5);
+    ASSERT_EQ(platform.buses.size(), 1u);
+    EXPECT_EQ(platform.buses[0].name, "can0");
+    const auto change = builder.change_request();
+    ASSERT_EQ(change.contracts.size(), 2u);
+    EXPECT_EQ(change.contracts[0].component, "ctrl");
+}
+
+TEST(VehicleBuilder, RawTasksAndMonitorDeclarations) {
+    sim::Simulator simulator(3);
+    scenario::VehicleBuilder builder("bench");
+    builder.ecu({"ecu0", 1.0, 0.75, model::Asil::D, "cabin", "main"}, {1.0});
+    rte::RtTaskConfig t;
+    t.name = "app";
+    t.priority = 10;
+    t.period = Duration::ms(5);
+    t.wcet = Duration::us(400);
+    t.bcet = t.wcet;
+    t.randomize_exec = false;
+    builder.rt_task("ecu0", t)
+        .deadline_monitor("ecu0")
+        .budget_monitor("ecu0", monitor::BudgetMode::Warn, Duration::ms(2))
+        .heartbeat_monitor("app", Duration::ms(100))
+        .monitor_overhead_task("ecu0", Duration::ms(10), Duration::us(50), 100);
+    auto vehicle = builder.build(simulator);
+
+    EXPECT_EQ(vehicle->monitors().monitor_count(), 3u);
+    EXPECT_NE(vehicle->rt_task("ecu0", "app"), 0u);
+    simulator.run_until(Time(Duration::sec(1).count_ns()));
+    EXPECT_GT(vehicle->monitors().total_checks(), 0u);
+    // 1 app task at 5 ms + 1 overhead task at 10 ms.
+    EXPECT_GE(vehicle->rte().total_completed_jobs(), 290u);
+}
+
+TEST(VehicleBuilder, AbilityLayerRequiresSkillGraph) {
+    sim::Simulator simulator(1);
+    scenario::VehicleBuilder builder("ego");
+    builder.ecu({"ecu0", 1.0, 0.75, model::Asil::D, "cabin", "main"})
+        .layers({core::LayerId::Ability});
+    EXPECT_THROW((void)builder.build(simulator), ContractViolation);
+}
+
+// --- Multi-bus gateway routing -----------------------------------------------------
+
+TEST(BusGateway, ForwardsMatchingFramesAcrossBuses) {
+    sim::Simulator simulator(9);
+    scenario::VehicleBuilder builder("zonal");
+    rte::RtTaskConfig tx;
+    tx.name = "tx";
+    tx.priority = 10;
+    tx.period = Duration::ms(10);
+    tx.wcet = Duration::us(100);
+    tx.randomize_exec = false;
+    rte::RtTaskConfig rx;
+    rx.name = "rx";
+    rx.priority = 10;
+    rx.period = Duration::zero(); // sporadic, CAN-activated
+    rx.wcet = Duration::us(50);
+    rx.randomize_exec = false;
+    builder.ecu({"front", 1.0, 0.75, model::Asil::D, "cabin", "main"})
+        .ecu({"rear", 1.0, 0.75, model::Asil::D, "trunk", "main"})
+        .can_bus({"can_a", 500'000, 0.6})
+        .can_bus({"can_b", 250'000, 0.6})
+        .can_gateway({"gw",
+                      {{"can_a", "can_b", 0x100, 0x700},
+                       {"can_b", "can_a", 0x300, 0x700}},
+                      Duration::us(20)})
+        .rt_task("front", tx)
+        .rt_task("rear", rx)
+        .can_tx_on_completion("front", "tx", "can_a",
+                              can::CanFrame::make(0x120, {0xAB}))
+        .can_rx_activation("rear", "rx", "can_b", 0x100, 0x700);
+    auto vehicle = builder.build(simulator);
+
+    simulator.run_until(Time(Duration::sec(1).count_ns()));
+
+    auto& gateway = vehicle->bus_gateway("gw");
+    // 100 periods -> 100 frames, all matching the 0x100/0x700 route.
+    EXPECT_EQ(vehicle->can_endpoint("front", "can_a").transmissions(), 100u);
+    EXPECT_EQ(gateway.frames_forwarded(), 100u);
+    EXPECT_EQ(gateway.frames_dropped(), 0u);
+    // Every forwarded frame released the sporadic task in the other zone.
+    EXPECT_EQ(vehicle->can_endpoint("rear", "can_b").activations(), 100u);
+    EXPECT_EQ(gateway.attached_bus_count(), 2u);
+    // Nothing flows back: the reverse route matches a different id range.
+    EXPECT_EQ(vehicle->rte().can_bus("can_a").frames_transmitted(), 100u);
+}
+
+TEST(VehicleBuilder, VehicleOnExternalSimulatorCanDieFirst) {
+    // A Vehicle built on an externally owned simulator must cancel its own
+    // periodic activities (tactic planner, self-model capture) and drop
+    // in-flight gateway forwards on destruction — running the simulator
+    // afterwards must not touch the destroyed vehicle (ASan-verified).
+    sim::Simulator simulator(5);
+    {
+        scenario::VehicleBuilder builder("shortlived");
+        rte::RtTaskConfig tx;
+        tx.name = "tx";
+        tx.priority = 10;
+        tx.period = Duration::ms(10);
+        tx.wcet = Duration::us(100);
+        tx.randomize_exec = false;
+        builder.ecu({"ecu0", 1.0, 0.75, model::Asil::D, "cabin", "main"})
+            .can_bus({"can_a", 500'000, 0.6})
+            .can_bus({"can_b", 500'000, 0.6})
+            .can_gateway({"gw", {{"can_a", "can_b", 0x100, 0x700}}, Duration::ms(5)})
+            .rt_task("ecu0", tx)
+            .can_tx_on_completion("ecu0", "tx", "can_a",
+                                  can::CanFrame::make(0x100, {1}))
+            .acc_skills()
+            .tactic("noop", skills::acc::kAccDriving, 0.0, 0.5, 1,
+                    [](scenario::Vehicle&) {})
+            .plan_tactics_every(Duration::ms(50))
+            .self_model(Duration::ms(20));
+        auto vehicle = builder.build(simulator);
+        // Stop mid-flight: a frame has been forwarded into the gateway's
+        // 5 ms store-and-forward window but not yet sent on can_b.
+        simulator.run_until(Time(Duration::ms(11).count_ns()));
+        EXPECT_GT(vehicle->bus_gateway("gw").frames_forwarded(), 0u);
+    }
+    // The vehicle is gone; pending events must be inert.
+    simulator.run_until(Time(Duration::sec(1).count_ns()));
+    SUCCEED();
+}
+
+TEST(BusGateway, RouteRequiresDistinctBuses) {
+    sim::Simulator simulator(1);
+    can::CanBus bus(simulator, "solo");
+    can::BusGateway gateway("gw");
+    EXPECT_THROW(gateway.add_route(bus, bus, 0, 0), ContractViolation);
+}
+
+// --- Scenario: multiple vehicles, scripts, substrate --------------------------------
+
+TEST(ScenarioBuilder, TwoVehiclesHaveIndependentStacks) {
+    scenario::ScenarioBuilder builder(17);
+    for (const char* name : {"lead", "follow"}) {
+        builder.vehicle(name)
+            .ecu({"ecu0", 1.0, 0.75, model::Asil::D, "cabin", "main"})
+            .contracts(kMiniContracts)
+            .rate_ids(Duration::ms(100), 400.0)
+            .full_layer_stack()
+            .acc_skills();
+    }
+    auto scenario = builder.build();
+    ASSERT_EQ(scenario->vehicle_names().size(), 2u);
+
+    // Attack only the follower; the leader's coordinator must stay silent.
+    auto& follow = scenario->vehicle("follow");
+    follow.rte().access().grant("ctrl", "cmd");
+    follow.faults().compromise_with_message_storm("ctrl", "cmd", Duration::ms(2));
+    scenario->run(Duration::sec(2));
+
+    EXPECT_GT(follow.coordinator().problems_handled(), 0u);
+    EXPECT_EQ(follow.rte().component("ctrl").state(), rte::ComponentState::Contained);
+    EXPECT_EQ(scenario->vehicle("lead").coordinator().problems_handled(), 0u);
+    EXPECT_EQ(scenario->vehicle("lead").rte().component("ctrl").state(),
+              rte::ComponentState::Running);
+
+    const auto report = scenario->report();
+    ASSERT_EQ(report.vehicles.size(), 2u);
+    EXPECT_EQ(report.vehicle("follow").problems_handled,
+              follow.coordinator().problems_handled());
+    EXPECT_FALSE(report.str().empty());
+}
+
+TEST(ScenarioBuilder, ScriptedEventsFireAtTheirTime) {
+    scenario::ScenarioBuilder builder(4);
+    builder.vehicle("ego").ecu({"ecu0", 1.0, 0.75, model::Asil::D, "cabin", "main"});
+    std::vector<double> fired_at;
+    builder.at(Duration::ms(250), [&](scenario::Scenario& s) {
+        fired_at.push_back(s.simulator().now().s());
+    });
+    builder.at(Duration::ms(750), [&](scenario::Scenario& s) {
+        fired_at.push_back(s.simulator().now().s());
+    });
+    auto scenario = builder.build();
+    scenario->run(Duration::ms(500));
+    ASSERT_EQ(fired_at.size(), 1u);
+    EXPECT_DOUBLE_EQ(fired_at[0], 0.25);
+    scenario->run(Duration::sec(1));
+    ASSERT_EQ(fired_at.size(), 2u);
+    EXPECT_DOUBLE_EQ(fired_at[1], 0.75);
+}
+
+TEST(ScenarioBuilder, TrustSeedsAndPlatoonFormation) {
+    scenario::ScenarioBuilder builder(3);
+    platoon::PlatoonConfig cfg;
+    cfg.trust_threshold = 0.55;
+    cfg.assumed_faults = 1;
+    builder.trust("good_a", 10)
+        .trust("good_b", 10)
+        .trust("liar", 0, 10)
+        .platoon_config(cfg)
+        .platoon_candidate({"good_a", 0.9, 25.0, 10.0, false})
+        .platoon_candidate({"good_b", 0.8, 22.0, 12.0, false})
+        .platoon_candidate({"liar", 0.9, 50.0, 2.0, false});
+    auto scenario = builder.build();
+    EXPECT_GT(scenario->trust().trust("good_a"), 0.8);
+    EXPECT_LT(scenario->trust().trust("liar"), 0.2);
+
+    const auto agreement = scenario->form_platoon();
+    ASSERT_TRUE(agreement.formed);
+    EXPECT_EQ(agreement.members.size(), 2u); // the liar is gated out
+    EXPECT_TRUE(agreement.speed_safe);
+}
+
+TEST(ScenarioBuilder, V2vChannelDeliversBetweenVehicles) {
+    scenario::ScenarioBuilder builder(6);
+    builder.vehicle("a").ecu({"ecu0", 1.0, 0.75, model::Asil::D, "cabin", "main"});
+    builder.vehicle("b").ecu({"ecu0", 1.0, 0.75, model::Asil::D, "cabin", "main"});
+    builder.v2v(0.0, Duration::ms(10));
+    auto scenario = builder.build();
+
+    int received = 0;
+    scenario->v2v().join("a", [&](const platoon::V2vBeacon&) { ++received; });
+    scenario->v2v().join("b", [&](const platoon::V2vBeacon&) { ++received; });
+    scenario->simulator().schedule(Duration::ms(5), [&] {
+        scenario->v2v().broadcast(platoon::V2vBeacon{"a", 0.0, 20.0, sim::Time::zero()});
+    });
+    scenario->run(Duration::ms(100));
+    EXPECT_EQ(scenario->v2v().broadcasts(), 1u);
+    EXPECT_EQ(received, 1); // own beacons are not delivered back
+}
+
+TEST(Scenario, WeatherAppliesToDrivingVehicles) {
+    scenario::ScenarioBuilder builder(7);
+    vehicle::ScenarioConfig cfg;
+    cfg.control_period = Duration::ms(50);
+    builder.vehicle("ego").driving(cfg).sensor(
+        {vehicle::SensorType::Radar, "radar", 150.0, 0.3, 0.002});
+    auto scenario = builder.build();
+    auto& ego = scenario->only_vehicle();
+    EXPECT_LT(ego.driving().weather().fog, 0.1);
+    scenario->set_weather(vehicle::WeatherCondition::dense_fog());
+    EXPECT_GT(ego.driving().weather().fog, 0.5);
+}
+
+} // namespace
