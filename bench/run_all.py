@@ -7,6 +7,20 @@ repo root) whose "benchmarks" entries carry a "binary" field naming their
 source binary. This file seeds the perf trajectory: later PRs optimising hot
 paths (event queue, CAN bus, ...) diff their numbers against it.
 
+Modes shared by CI and the local workflow:
+  --quick            reduced measurement time per benchmark (noisier, ~5x
+                     faster) — what the CI bench-gate runs on every PR
+  --diff BASELINE    after aggregating, compare wall times (real_time)
+                     entry-by-entry against BASELINE and exit non-zero when
+                     any entry regressed beyond --tolerance (default 0.25,
+                     i.e. +25%). Entries new in this run or missing from the
+                     baseline are reported but do not fail the gate. With
+                     --quick, flagged binaries are re-run with 3 repetitions
+                     at the full measurement time and each entry is judged on
+                     the best observation — wall-time noise (preemption, VM
+                     steal) only ever inflates, so only real regressions stay
+                     slow in every sample.
+
 Failure behaviour: if ANY binary fails (non-zero exit, timeout, bad JSON)
 the script exits non-zero and writes nothing — a committed baseline must
 never be clobbered by a partial run. The merged report records the git SHA
@@ -15,7 +29,7 @@ never be clobbered by a partial run. The merged report records the git SHA
 
 Note: the pinned Google Benchmark (1.7.x) expects --benchmark_min_time as a
 plain double in seconds — suffixed forms like "0.01s" are a later addition
-and are rejected, so keep MIN_TIME a bare number.
+and are rejected, so keep the min-time values bare numbers.
 """
 
 import argparse
@@ -25,7 +39,8 @@ import stat
 import subprocess
 import sys
 
-MIN_TIME = "0.01"  # seconds, plain double — see module docstring
+MIN_TIME = "0.01"        # seconds, plain double — see module docstring
+QUICK_MIN_TIME = "0.002" # --quick: noisier, ~5x faster
 
 
 def is_benchmark_binary(path):
@@ -54,8 +69,10 @@ def git_sha():
         return None
 
 
-def run_one(path):
-    cmd = [path, "--benchmark_format=json", f"--benchmark_min_time={MIN_TIME}"]
+def run_one(path, min_time, repetitions=None):
+    cmd = [path, "--benchmark_format=json", f"--benchmark_min_time={min_time}"]
+    if repetitions:
+        cmd.append(f"--benchmark_repetitions={repetitions}")
     try:
         proc = subprocess.run(cmd, capture_output=True, text=True, timeout=1800)
     except subprocess.TimeoutExpired:
@@ -71,12 +88,103 @@ def run_one(path):
         return None
 
 
+def entry_key(entry):
+    """Stable identity of one benchmark row across runs."""
+    return (entry.get("binary", ""), entry.get("name", ""))
+
+
+def best_iterations(report, binary):
+    """Per-key minimum-wall-time iteration entries of one binary's report.
+
+    With --benchmark_repetitions each benchmark appears several times (plus
+    aggregate rows, which are dropped); the minimum is the robust wall-time
+    estimator — noise only ever inflates it.
+    """
+    best = {}
+    for entry in report.get("benchmarks", []):
+        if entry.get("run_type", "iteration") != "iteration":
+            continue
+        entry["binary"] = binary
+        key = entry_key(entry)
+        kept = best.get(key)
+        if kept is None or entry.get("real_time", 0.0) < kept.get("real_time", 0.0):
+            best[key] = entry
+    return [best[key] for key in sorted(best)]
+
+
+def diff_against_baseline(merged, baseline_path, tolerance):
+    """Compare wall times against a baseline report.
+
+    Returns the list of regressed entry keys (entries slower than baseline
+    by more than `tolerance`, as a fraction). Prints a human-readable table
+    of regressions, improvements beyond the tolerance, new entries and
+    entries missing from this run.
+    """
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    base = {entry_key(e): e for e in baseline.get("benchmarks", [])
+            if e.get("run_type", "iteration") == "iteration"}
+    current = {entry_key(e): e for e in merged["benchmarks"]
+               if e.get("run_type", "iteration") == "iteration"}
+
+    regressions, improvements, new = [], [], []
+    for key, entry in sorted(current.items()):
+        if key not in base:
+            new.append(key)
+            continue
+        before = base[key].get("real_time", 0.0)
+        after = entry.get("real_time", 0.0)
+        if before <= 0.0:
+            continue
+        ratio = after / before
+        if ratio > 1.0 + tolerance:
+            regressions.append((key, before, after, ratio))
+        elif ratio < 1.0 - tolerance:
+            improvements.append((key, before, after, ratio))
+    missing = sorted(k for k in base if k not in current)
+
+    def show(rows, label, sign):
+        if rows:
+            print(f"\n{label}:")
+            for (binary, name), before, after, ratio in rows:
+                print(f"  {sign} {binary}:{name}: {before:.1f} -> {after:.1f} "
+                      f"{base[(binary, name)].get('time_unit', 'ns')} "
+                      f"({(ratio - 1.0) * 100.0:+.1f}%)")
+
+    show(regressions, f"REGRESSIONS (> +{tolerance * 100:.0f}% wall time)", "!!")
+    show(improvements, f"improvements (< -{tolerance * 100:.0f}% wall time)", "ok")
+    if new:
+        print(f"\nnew entries (not in {os.path.basename(baseline_path)}):")
+        for binary, name in new:
+            print(f"  + {binary}:{name}")
+    if missing:
+        print(f"\nWARNING: entries in the baseline but not in this run "
+              f"(removed bench? update the baseline):")
+        for binary, name in missing:
+            print(f"  - {binary}:{name}")
+    print(f"\ndiff vs {baseline_path}: {len(regressions)} regression(s), "
+          f"{len(improvements)} improvement(s), {len(new)} new, "
+          f"{len(missing)} missing "
+          f"({len(current)} entries compared at ±{tolerance * 100:.0f}%)")
+    return [key for key, *_ in regressions]
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--bin-dir", required=True,
                         help="directory holding the benchmark binaries")
     parser.add_argument("--out", required=True,
                         help="path of the aggregated JSON report")
+    parser.add_argument("--quick", action="store_true",
+                        help=f"reduced measurement time per benchmark "
+                             f"(min_time {QUICK_MIN_TIME}s instead of "
+                             f"{MIN_TIME}s)")
+    parser.add_argument("--diff", metavar="BASELINE",
+                        help="after running, diff wall times against this "
+                             "baseline JSON and exit non-zero on regression")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed wall-time regression as a fraction "
+                             "(default 0.25 = +25%%)")
     args = parser.parse_args()
 
     if not os.path.isdir(args.bin_dir):
@@ -91,12 +199,13 @@ def main():
         print(f"no benchmark binaries found in {args.bin_dir}", file=sys.stderr)
         return 1
 
+    min_time = QUICK_MIN_TIME if args.quick else MIN_TIME
     merged = {"context": None, "git_sha": git_sha(), "benchmarks": []}
     failed = []
     for path in binaries:
         name = os.path.basename(path)
         print(f"running {name} ...", flush=True)
-        report = run_one(path)
+        report = run_one(path, min_time)
         if report is None:
             failed.append(name)
             continue
@@ -124,6 +233,45 @@ def main():
     os.replace(tmp_out, args.out)
     print(f"wrote {len(merged['benchmarks'])} benchmark entries from "
           f"{len(binaries)}/{len(binaries)} binaries to {args.out}")
+
+    if args.diff:
+        if not os.path.isfile(args.diff):
+            print(f"--diff baseline {args.diff} not found", file=sys.stderr)
+            return 1
+        regressed = diff_against_baseline(merged, args.diff, args.tolerance)
+        if regressed and args.quick:
+            # A quick pass is noisy: confirm the flagged binaries with three
+            # repetitions at the full measurement time and judge each entry
+            # on the best of all observations (quick + 3 reps). Noise —
+            # scheduler preemption, VM steal time — only ever inflates wall
+            # time, so a real regression is the only thing that stays slow
+            # in every sample.
+            confirm = sorted({binary for binary, _ in regressed})
+            print(f"\nconfirming at full measurement time (x3): "
+                  f"{', '.join(confirm)}")
+            quick_times = {entry_key(e): e.get("real_time")
+                           for e in merged["benchmarks"]
+                           if e.get("binary") in set(confirm)}
+            for name in confirm:
+                report = run_one(os.path.join(args.bin_dir, name), MIN_TIME,
+                                 repetitions=3)
+                if report is None:
+                    return 1
+                merged["benchmarks"] = [e for e in merged["benchmarks"]
+                                        if e.get("binary") != name]
+                for entry in best_iterations(report, name):
+                    quick = quick_times.get(entry_key(entry))
+                    if quick and quick < entry.get("real_time", 0.0):
+                        entry = dict(entry, real_time=quick)
+                    merged["benchmarks"].append(entry)
+            with open(tmp_out, "w") as fh:
+                json.dump(merged, fh, indent=2)
+                fh.write("\n")
+            os.replace(tmp_out, args.out)
+            regressed = diff_against_baseline(merged, args.diff,
+                                              args.tolerance)
+        if regressed:
+            return 2
     return 0
 
 

@@ -1,0 +1,94 @@
+// SHARD — the sharded kernel on the flagship scenario: the dual-bus
+// three-vehicle platoon (examples/platoon_dual_bus.cpp) run at 1, 2 and 4
+// ECU domains. domains:1 is the single-queue kernel, bit-for-bit today's
+// behaviour; the sharded rows run the identical workload (identical
+// per-vehicle counters — locked in by tests/test_sharded.cpp) partitioned
+// across worker threads with the 20 ms V2V latency as conservative
+// lookahead. Wall-clock speedup tracks physical cores; on a single-core
+// host the sharded rows surface pure coordination overhead instead.
+//
+// Timing is manual (UseManualTime): assembly excluded, run() wall time only.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <string>
+
+#include "scenario/presets.hpp"
+#include "scenario/scenario_builder.hpp"
+
+using namespace sa;
+using sim::Duration;
+using sim::Time;
+
+namespace {
+
+const char* const kVehicles[] = {"alpha", "beta", "gamma"};
+
+void declare_vehicle(scenario::ScenarioBuilder& builder, const std::string& name) {
+    // The canonical preset — identical to the declaration the sharded
+    // determinism suite locks in, so this bench measures exactly the
+    // workload whose counters are proven stable across domain counts.
+    scenario::presets::declare_dual_bus_platoon_vehicle(builder, name);
+}
+
+void BM_ShardedDualBusPlatoon(benchmark::State& state) {
+    const auto domains = static_cast<std::size_t>(state.range(0));
+    std::uint64_t events = 0;
+    std::uint64_t windows = 0;
+    std::uint64_t cross = 0;
+    for (auto _ : state) {
+        scenario::ScenarioBuilder builder(2026);
+        builder.domains(domains).v2v(0.0, Duration::ms(20));
+        for (const char* name : kVehicles) {
+            declare_vehicle(builder, name);
+        }
+        builder.at(Duration::sec(1), [](scenario::Scenario& s) {
+            auto& beta = s.vehicle("beta");
+            beta.rte().access().grant("perception", "brake_cmd");
+            beta.faults().compromise_with_message_storm("perception", "brake_cmd",
+                                                        Duration::ms(2));
+        });
+        auto scenario = builder.build();
+        for (const char* name : kVehicles) {
+            scenario->join_v2v(name, [](const platoon::V2vBeacon&) {});
+        }
+        int slot = 0;
+        for (const char* name : kVehicles) {
+            scenario->simulator().schedule_periodic(
+                Duration::ms(100),
+                [&v2v = scenario->v2v(), name] {
+                    v2v.broadcast(
+                        platoon::V2vBeacon{name, 0.0, 22.0, Time::zero()});
+                },
+                Duration::ms(10 * ++slot));
+        }
+
+        const auto start = std::chrono::steady_clock::now();
+        scenario->run(Duration::sec(3), domains);
+        const auto end = std::chrono::steady_clock::now();
+        state.SetIterationTime(std::chrono::duration<double>(end - start).count());
+
+        if (scenario->sharded()) {
+            events = scenario->kernel().executed_events();
+            windows = scenario->kernel().windows();
+            cross = scenario->kernel().cross_domain_events();
+        } else {
+            events = scenario->simulator().executed_events();
+            windows = 0;
+            cross = 0;
+        }
+    }
+    state.counters["events"] = static_cast<double>(events);
+    state.counters["windows"] = static_cast<double>(windows);
+    state.counters["cross_domain_events"] = static_cast<double>(cross);
+}
+BENCHMARK(BM_ShardedDualBusPlatoon)
+    ->ArgName("domains")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace

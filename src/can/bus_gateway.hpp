@@ -10,7 +10,14 @@
 // (the gateway ECU's store-and-forward processing time). Routing loops are
 // the caller's responsibility — two routes forwarding the same id range in
 // both directions will ping-pong.
+//
+// Sharding: a route may join buses living on different domains of one
+// ShardedKernel. The forward then crosses domains through the kernel's
+// mailboxes, and add_route() declares `forward_latency` as the ingress
+// domain's lookahead bound — gateway routes are exactly the links whose
+// latency defines how far the domains may safely race ahead of each other.
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -33,17 +40,24 @@ public:
     BusGateway& operator=(const BusGateway&) = delete;
 
     /// Forward frames matching (id & mask) == (frame.id & mask) from `from`
-    /// to `to`. `mask` 0 forwards everything. Both buses must live on the
-    /// same simulator. Controllers are created lazily per bus.
+    /// to `to`. `mask` 0 forwards everything. The buses must live on the
+    /// same simulator or on two domains of the same ShardedKernel; a
+    /// cross-domain route requires a positive forward latency, which is
+    /// declared as the ingress domain's lookahead. Controllers are created
+    /// lazily per bus.
     void add_route(CanBus& from, CanBus& to, std::uint32_t id, std::uint32_t mask);
 
     [[nodiscard]] const std::string& name() const noexcept { return name_; }
     [[nodiscard]] Duration forward_latency() const noexcept { return latency_; }
 
     /// Frames accepted by a route filter and scheduled for forwarding.
-    [[nodiscard]] std::uint64_t frames_forwarded() const noexcept { return forwarded_; }
+    [[nodiscard]] std::uint64_t frames_forwarded() const noexcept {
+        return forwarded_.load(std::memory_order_relaxed);
+    }
     /// Forwards that were dropped because the egress TX queue was full.
-    [[nodiscard]] std::uint64_t frames_dropped() const noexcept { return dropped_; }
+    [[nodiscard]] std::uint64_t frames_dropped() const noexcept {
+        return dropped_.load(std::memory_order_relaxed);
+    }
     [[nodiscard]] std::size_t attached_bus_count() const noexcept {
         return ports_.size();
     }
@@ -58,10 +72,14 @@ private:
     // Liveness guard for in-flight forward events: scheduled forwards check
     // the flag before touching the gateway, so destroying a gateway while
     // its simulator keeps running simply drops the pending forwards instead
-    // of dereferencing freed controllers.
-    std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
-    std::uint64_t forwarded_ = 0;
-    std::uint64_t dropped_ = 0;
+    // of dereferencing freed controllers. Atomic because the ingress and
+    // egress side of a cross-domain route run on different workers.
+    std::shared_ptr<std::atomic<bool>> alive_ =
+        std::make_shared<std::atomic<bool>>(true);
+    // Relaxed atomics: forwarded_ counts on the ingress worker, dropped_ on
+    // the egress worker; order-free sums.
+    std::atomic<std::uint64_t> forwarded_{0};
+    std::atomic<std::uint64_t> dropped_{0};
 };
 
 } // namespace sa::can

@@ -6,7 +6,16 @@
 // neighbour's claims against their own sensor observations and feed the
 // outcome into the TrustManager — this is how the reputation that gates
 // platoon formation is earned in the first place.
+//
+// Sharding: V2V is the canonical cross-domain link. Each member may name a
+// home simulator (the domain its vehicle lives on); beacons are delivered to
+// every member's home via sim::post(), and when the channel rides a
+// ShardedKernel its latency is declared as every domain's lookahead bound —
+// the 20 ms beacon latency is exactly the window the domains may race ahead
+// inside. On a single shared simulator the behaviour (and event order) is
+// bit-for-bit the pre-sharding one.
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <string>
@@ -36,25 +45,48 @@ public:
     using Receiver = std::function<void(const V2vBeacon&)>;
 
     /// Join the channel; every delivered beacon from *other* senders invokes
-    /// the callback.
+    /// the callback. The member's home is the channel's own simulator —
+    /// therefore only valid on an unsharded channel (on a sharded kernel
+    /// every member must name its home; use the overload below).
     void join(const std::string& name, Receiver receiver);
+    /// Join with an explicit home simulator: delivered beacons execute on
+    /// `home` (its domain worker, under sharding). `home` must be the
+    /// channel's simulator or a domain of the same ShardedKernel.
+    void join(const std::string& name, sim::Simulator& home, Receiver receiver);
     void leave(const std::string& name);
 
     /// Broadcast a beacon; each receiver independently experiences loss.
+    /// Timestamps and loss draws use the calling domain's clock and RNG
+    /// (the channel simulator's outside any sharded window). Membership
+    /// must be quiescent during a sharded run: join/leave only between
+    /// runs or from script barriers.
     void broadcast(V2vBeacon beacon);
 
-    [[nodiscard]] std::uint64_t broadcasts() const noexcept { return broadcasts_; }
-    [[nodiscard]] std::uint64_t deliveries() const noexcept { return deliveries_; }
-    [[nodiscard]] std::uint64_t losses() const noexcept { return losses_; }
+    [[nodiscard]] std::uint64_t broadcasts() const noexcept {
+        return broadcasts_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t deliveries() const noexcept {
+        return deliveries_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t losses() const noexcept {
+        return losses_.load(std::memory_order_relaxed);
+    }
 
 private:
+    struct Member {
+        sim::Simulator* home;
+        Receiver receiver;
+    };
+
     sim::Simulator& simulator_;
     double loss_probability_;
     Duration latency_;
-    std::map<std::string, Receiver> members_;
-    std::uint64_t broadcasts_ = 0;
-    std::uint64_t deliveries_ = 0;
-    std::uint64_t losses_ = 0;
+    std::map<std::string, Member> members_;
+    // Relaxed atomics: broadcasts may run concurrently on several domain
+    // workers; the counts are order-free sums.
+    std::atomic<std::uint64_t> broadcasts_{0};
+    std::atomic<std::uint64_t> deliveries_{0};
+    std::atomic<std::uint64_t> losses_{0};
 };
 
 /// Compares a neighbour's claimed kinematics against own observations and

@@ -1,0 +1,59 @@
+#include "scenario/presets.hpp"
+
+namespace sa::scenario::presets {
+
+void declare_dual_bus_platoon_vehicle(ScenarioBuilder& builder,
+                                      const std::string& name) {
+    rte::RtTaskConfig obj_tx;
+    obj_tx.name = "obj_tx";
+    obj_tx.priority = 100;
+    obj_tx.period = sim::Duration::ms(20);
+    obj_tx.wcet = sim::Duration::us(150);
+    obj_tx.randomize_exec = false;
+    rte::RtTaskConfig brake_apply;
+    brake_apply.name = "brake_apply";
+    brake_apply.priority = 100;
+    brake_apply.period = sim::Duration::zero(); // sporadic: released by CAN RX
+    brake_apply.wcet = sim::Duration::us(80);
+    brake_apply.randomize_exec = false;
+
+    builder.vehicle(name)
+        .ecu({"zone_front", 1.0, 0.75, model::Asil::D, "engine_bay", "main"})
+        .ecu({"zone_rear", 1.0, 0.75, model::Asil::D, "trunk", "main"})
+        .can_bus({"can_sense", 500'000, 0.6})
+        .can_bus({"can_act", 250'000, 0.6})
+        .can_gateway({"gw",
+                      {{"can_sense", "can_act", kDualBusObjectFrameId, 0x7F0}},
+                      sim::Duration::us(50)})
+        .contracts(R"(
+            component perception {
+              asil C;
+              security_level 1;
+              task track { wcet 2ms; period 20ms; }
+              provides service object_list { max_rate 100/s; }
+              message objects { payload 8; period 20ms; bus can_sense; }
+              pin ecu zone_front;
+            }
+            component brake_ctrl {
+              asil D;
+              security_level 2;
+              task control { wcet 400us; period 10ms; deadline 8ms; }
+              provides service brake_cmd { max_rate 300/s; min_client_level 1; }
+              message brake { payload 4; period 10ms; bus can_act; }
+              pin ecu zone_rear;
+            }
+        )")
+        .rt_task("zone_front", obj_tx)
+        .rt_task("zone_rear", brake_apply)
+        .can_tx_on_completion(
+            "zone_front", "obj_tx", "can_sense",
+            can::CanFrame::make(kDualBusObjectFrameId, {1, 2, 3, 4}))
+        .can_rx_activation("zone_rear", "brake_apply", "can_act",
+                           kDualBusObjectFrameId, 0x7F0)
+        .rate_ids(sim::Duration::ms(100), 400.0)
+        .acc_skills()
+        .full_layer_stack()
+        .self_model(sim::Duration::ms(500));
+}
+
+} // namespace sa::scenario::presets

@@ -4,7 +4,42 @@
 
 namespace sa::scenario {
 
-Scenario::Scenario(std::uint64_t seed) : simulator_(seed), rng_(seed) {}
+Scenario::Scenario(std::uint64_t seed, std::size_t num_domains)
+    : simulator_(seed), rng_(seed) {
+    SA_REQUIRE(num_domains >= 1, "a scenario needs at least one domain");
+    if (num_domains > 1) {
+        kernel_ = std::make_unique<sim::ShardedKernel>(num_domains, seed);
+    }
+}
+
+sim::ShardedKernel& Scenario::kernel() {
+    SA_REQUIRE(kernel_ != nullptr,
+               "kernel() requires a sharded scenario (builder domains(n) > 1)");
+    return *kernel_;
+}
+
+sim::Simulator& Scenario::domain_simulator(std::size_t domain) {
+    if (kernel_ == nullptr) {
+        SA_REQUIRE(domain == 0, "domain index out of range (unsharded scenario)");
+        return simulator_;
+    }
+    return kernel_->domain(domain);
+}
+
+std::size_t Scenario::run_until(sim::Time until) {
+    return kernel_ ? kernel_->run_until(until) : simulator_.run_until(until);
+}
+
+std::size_t Scenario::run(sim::Duration until, std::size_t num_domains) {
+    SA_REQUIRE(num_domains == 0 || num_domains == this->num_domains(),
+               "num_domains disagrees with the partition declared at build "
+               "time; declare domains(n) on the ScenarioBuilder");
+    return run_until(sim::Time(until.count_ns()));
+}
+
+std::size_t Scenario::run_for(sim::Duration span) {
+    return kernel_ ? kernel_->run_for(span) : simulator_.run_for(span);
+}
 
 bool Scenario::has_vehicle(const std::string& name) const {
     return vehicles_.count(name) > 0;
@@ -27,6 +62,22 @@ platoon::V2vChannel& Scenario::v2v() {
     return *v2v_;
 }
 
+void Scenario::join_v2v(const std::string& vehicle_name,
+                        platoon::V2vChannel::Receiver receiver) {
+    v2v().join(vehicle_name, vehicle(vehicle_name).simulator(),
+               std::move(receiver));
+}
+
+bool Scenario::has_bridge(const std::string& name) const {
+    return bridges_.count(name) > 0;
+}
+
+can::BusGateway& Scenario::bridge(const std::string& name) {
+    auto it = bridges_.find(name);
+    SA_REQUIRE(it != bridges_.end(), "unknown bridge: " + name);
+    return *it->second;
+}
+
 platoon::PlatoonAgreement Scenario::form_platoon() { return form_platoon(candidates_); }
 
 platoon::PlatoonAgreement
@@ -47,7 +98,7 @@ void Scenario::set_weather(const vehicle::WeatherCondition& weather) {
 
 ScenarioReport Scenario::report() const {
     ScenarioReport report;
-    report.at = simulator_.now();
+    report.at = kernel_ ? kernel_->now() : simulator_.now();
     report.vehicles.reserve(order_.size());
     for (const auto& name : order_) {
         report.vehicles.push_back(vehicles_.at(name)->report());

@@ -31,6 +31,7 @@
 #include "rte/can_gateway.hpp"
 #include "rte/fault_injection.hpp"
 #include "rte/rte.hpp"
+#include "sim/sharded_kernel.hpp"
 #include "skills/ability_graph.hpp"
 #include "skills/degradation.hpp"
 #include "vehicle/vehicle_sim.hpp"
@@ -171,14 +172,29 @@ private:
     std::unique_ptr<core::SelfModel> self_;
 };
 
-/// A composed scenario: the simulator, its vehicles and the cooperation
-/// substrate, behind one run()/report() surface.
+/// A composed scenario: the simulation kernel (single-queue, or sharded
+/// across ECU domains when the builder declared domains(n) > 1), its
+/// vehicles and the cooperation substrate, behind one run()/report()
+/// surface.
 class Scenario {
 public:
     Scenario(const Scenario&) = delete;
     Scenario& operator=(const Scenario&) = delete;
 
-    [[nodiscard]] sim::Simulator& simulator() noexcept { return simulator_; }
+    /// The control simulator: the single queue of an unsharded scenario, or
+    /// domain 0 of the sharded kernel. Events scheduled here before run()
+    /// (beacon drivers, measurement probes) behave identically either way.
+    [[nodiscard]] sim::Simulator& simulator() {
+        return kernel_ ? kernel_->domain(0) : simulator_;
+    }
+    /// True when the builder partitioned the scenario into > 1 ECU domains.
+    [[nodiscard]] bool sharded() const noexcept { return kernel_ != nullptr; }
+    /// The sharded kernel. Requires sharded().
+    [[nodiscard]] sim::ShardedKernel& kernel();
+    /// Number of ECU domains (1 for the single-queue kernel).
+    [[nodiscard]] std::size_t num_domains() const noexcept {
+        return kernel_ ? kernel_->num_domains() : 1;
+    }
     /// Scenario-level RNG (platoon formation, ad-hoc noise); seeded with the
     /// builder seed, independent of the simulator's own engine.
     [[nodiscard]] RandomEngine& rng() noexcept { return rng_; }
@@ -195,6 +211,15 @@ public:
     [[nodiscard]] platoon::TrustManager& trust() noexcept { return trust_; }
     [[nodiscard]] bool has_v2v() const noexcept { return v2v_ != nullptr; }
     [[nodiscard]] platoon::V2vChannel& v2v();
+    /// Join `vehicle` to the V2V channel with its own simulator as home:
+    /// delivered beacons execute on the vehicle's domain.
+    void join_v2v(const std::string& vehicle, platoon::V2vChannel::Receiver receiver);
+
+    // --- cross-vehicle bridges ---------------------------------------------
+    /// Scenario-level CAN gateway declared via ScenarioBuilder::bridge():
+    /// joins buses of different vehicles (cross-domain when sharded).
+    [[nodiscard]] bool has_bridge(const std::string& name) const;
+    [[nodiscard]] can::BusGateway& bridge(const std::string& name);
     /// Form a platoon from the builder-declared candidates (or an explicit
     /// list), gated by the shared TrustManager, drawing from rng().
     [[nodiscard]] platoon::PlatoonAgreement form_platoon();
@@ -205,20 +230,33 @@ public:
     void set_weather(const vehicle::WeatherCondition& weather);
 
     // --- run / report -------------------------------------------------------
-    std::size_t run_until(sim::Time until) { return simulator_.run_until(until); }
+    std::size_t run_until(sim::Time until);
     /// Run until absolute simulation time `until` (from time zero).
-    std::size_t run(sim::Duration until) {
-        return simulator_.run_until(sim::Time(until.count_ns()));
-    }
-    std::size_t run_for(sim::Duration span) { return simulator_.run_for(span); }
+    ///
+    /// `num_domains` is a cross-check knob, not a re-partitioner: 0 (the
+    /// default) runs whatever partition was declared at build time, and any
+    /// non-zero value is REQUIREd to equal it (1 for an unsharded scenario)
+    /// — the vehicle→domain binding is fixed when the vehicles are
+    /// composed, so call sites that state a count fail loudly when the
+    /// build disagrees.
+    std::size_t run(sim::Duration until, std::size_t num_domains = 0);
+    std::size_t run_for(sim::Duration span);
+    /// Thread-safe stop request: the single-queue drain (or the sharded
+    /// coordinator, at its next barrier) returns, leaving events queued.
+    void stop() noexcept { kernel_ ? kernel_->stop() : simulator_.stop(); }
 
     [[nodiscard]] ScenarioReport report() const;
 
 private:
     friend class ScenarioBuilder;
-    explicit Scenario(std::uint64_t seed);
+    Scenario(std::uint64_t seed, std::size_t num_domains);
 
-    sim::Simulator simulator_;
+    /// The simulator a domain index maps to (the single queue when
+    /// unsharded; domains beyond 0 REQUIRE a sharded build).
+    [[nodiscard]] sim::Simulator& domain_simulator(std::size_t domain);
+
+    sim::Simulator simulator_; ///< single-queue kernel (unsharded scenarios)
+    std::unique_ptr<sim::ShardedKernel> kernel_; ///< non-null when domains(n>1)
     RandomEngine rng_;
     platoon::TrustManager trust_;
     platoon::PlatoonConfig platoon_config_;
@@ -226,6 +264,7 @@ private:
     std::unique_ptr<platoon::V2vChannel> v2v_;
     std::vector<std::string> order_;
     std::map<std::string, std::unique_ptr<Vehicle>> vehicles_;
+    std::map<std::string, std::unique_ptr<can::BusGateway>> bridges_;
 };
 
 } // namespace sa::scenario

@@ -19,6 +19,19 @@ VehicleBuilder& ScenarioBuilder::vehicle(const std::string& name) {
     return builders_.back();
 }
 
+ScenarioBuilder& ScenarioBuilder::domains(std::size_t n) {
+    SA_REQUIRE(n >= 1, "a scenario needs at least one domain");
+    num_domains_ = n;
+    return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::bridge(BridgeSpec spec) {
+    SA_REQUIRE(!spec.name.empty(), "bridge needs a name");
+    SA_REQUIRE(!spec.routes.empty(), "bridge needs at least one route");
+    bridges_.push_back(std::move(spec));
+    return *this;
+}
+
 ScenarioBuilder& ScenarioBuilder::v2v(double loss_probability, sim::Duration latency) {
     SA_REQUIRE(loss_probability >= 0.0 && loss_probability <= 1.0,
                "loss probability must be in [0, 1]");
@@ -54,13 +67,40 @@ ScenarioBuilder& ScenarioBuilder::at(sim::Duration when,
 }
 
 std::unique_ptr<Scenario> ScenarioBuilder::build() {
-    auto scenario = std::unique_ptr<Scenario>(new Scenario(seed_));
+    auto scenario = std::unique_ptr<Scenario>(new Scenario(seed_, num_domains_));
+    std::size_t round_robin = 0;
     for (const auto& name : order_) {
         auto it = std::find_if(builders_.begin(), builders_.end(),
                                [&](const VehicleBuilder& b) { return b.name() == name; });
         SA_ASSERT(it != builders_.end(), "builder list out of sync");
-        scenario->vehicles_.emplace(name, it->build(scenario->simulator_));
+        // Pinned vehicles must not consume round-robin slots: only unpinned
+        // ones advance the counter, so "round-robin in declaration order
+        // unless pinned" means exactly that.
+        std::size_t domain;
+        if (it->assigned_domain().has_value()) {
+            domain = *it->assigned_domain();
+        } else {
+            domain = round_robin++ % num_domains_;
+        }
+        SA_REQUIRE(domain < num_domains_,
+                   "vehicle '" + name + "' pinned to domain out of range");
+        scenario->vehicles_.emplace(name,
+                                    it->build(scenario->domain_simulator(domain)));
         scenario->order_.push_back(name);
+    }
+    for (const auto& spec : bridges_) {
+        SA_REQUIRE(scenario->bridges_.count(spec.name) == 0,
+                   "duplicate bridge: " + spec.name);
+        auto gateway =
+            std::make_unique<can::BusGateway>(spec.name, spec.forward_latency);
+        for (const auto& route : spec.routes) {
+            can::CanBus& from =
+                scenario->vehicle(route.from_vehicle).rte().can_bus(route.from_bus);
+            can::CanBus& to =
+                scenario->vehicle(route.to_vehicle).rte().can_bus(route.to_bus);
+            gateway->add_route(from, to, route.id, route.mask);
+        }
+        scenario->bridges_.emplace(spec.name, std::move(gateway));
     }
     for (const auto& seed : trust_seeds_) {
         for (int i = 0; i < seed.positive; ++i) {
@@ -71,17 +111,24 @@ std::unique_ptr<Scenario> ScenarioBuilder::build() {
         }
     }
     if (v2v_enabled_) {
-        scenario->v2v_ = std::make_unique<platoon::V2vChannel>(scenario->simulator_,
-                                                               v2v_loss_, v2v_latency_);
+        scenario->v2v_ = std::make_unique<platoon::V2vChannel>(
+            scenario->simulator(), v2v_loss_, v2v_latency_);
     }
     scenario->platoon_config_ = platoon_config_;
     scenario->candidates_ = candidates_;
     Scenario* raw = scenario.get();
     for (const auto& script : scripts_) {
-        (void)scenario->simulator_.schedule(script.when,
-                                            [raw, action = script.action] {
-                                                action(*raw);
-                                            });
+        if (scenario->kernel_) {
+            // Scripts are global barriers under sharding: they run at
+            // exactly `when` with every domain quiescent, so they may touch
+            // any vehicle without racing the workers.
+            scenario->kernel_->schedule_script(
+                sim::Time(script.when.count_ns()),
+                [raw, action = script.action] { action(*raw); });
+        } else {
+            (void)scenario->simulator_.schedule(
+                script.when, [raw, action = script.action] { action(*raw); });
+        }
     }
     return scenario;
 }

@@ -14,6 +14,25 @@
 
 namespace sa::scenario {
 
+/// A directional cross-vehicle forwarding rule of a scenario-level bridge.
+struct BridgeRoute {
+    std::string from_vehicle;
+    std::string from_bus;
+    std::string to_vehicle;
+    std::string to_bus;
+    std::uint32_t id = 0;
+    std::uint32_t mask = 0; ///< 0 forwards every frame
+};
+
+/// A named scenario-level CAN gateway joining buses of different vehicles
+/// (a backbone link). Under sharding its routes cross domains and the
+/// forward latency becomes the ingress domains' lookahead.
+struct BridgeSpec {
+    std::string name;
+    std::vector<BridgeRoute> routes;
+    sim::Duration forward_latency = sim::Duration::us(100);
+};
+
 class ScenarioBuilder {
 public:
     /// `seed` seeds both the simulator and the scenario-level RNG.
@@ -22,6 +41,15 @@ public:
     /// Declare (or retrieve, by name) a vehicle. Builders are stable: keep
     /// the reference and chain configuration across statements.
     VehicleBuilder& vehicle(const std::string& name);
+
+    /// Partition the scenario into `n` ECU domains (sim::ShardedKernel).
+    /// Vehicles are assigned round-robin in declaration order unless pinned
+    /// via VehicleBuilder::domain(). 1 (the default) builds everything on
+    /// one single-queue Simulator — bit-for-bit today's behaviour.
+    ScenarioBuilder& domains(std::size_t n);
+
+    /// Declare a scenario-level bridge joining buses of different vehicles.
+    ScenarioBuilder& bridge(BridgeSpec spec);
 
     // --- cooperation substrate ---------------------------------------------
     ScenarioBuilder& v2v(double loss_probability,
@@ -51,8 +79,10 @@ private:
     };
 
     std::uint64_t seed_;
+    std::size_t num_domains_ = 1;
     std::vector<std::string> order_;
     std::list<VehicleBuilder> builders_; ///< list: stable references
+    std::vector<BridgeSpec> bridges_;
     bool v2v_enabled_ = false;
     double v2v_loss_ = 0.0;
     sim::Duration v2v_latency_ = sim::Duration::ms(20);

@@ -26,6 +26,11 @@ VehicleBuilder::VehicleBuilder(std::string name) : name_(std::move(name)) {
     SA_REQUIRE(!name_.empty(), "vehicle needs a name");
 }
 
+VehicleBuilder& VehicleBuilder::domain(std::size_t index) {
+    domain_ = index;
+    return *this;
+}
+
 VehicleBuilder& VehicleBuilder::ecu(model::EcuDescriptor descriptor) {
     return ecu(std::move(descriptor), {1.0, 0.8, 0.6, 0.4});
 }

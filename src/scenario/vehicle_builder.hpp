@@ -57,6 +57,15 @@ public:
 
     [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
+    // --- sharding -----------------------------------------------------------
+    /// Pin this vehicle (all its buses, ECUs and periodics) to one ECU
+    /// domain of a sharded scenario (ScenarioBuilder::domains(n)). Without a
+    /// pin, vehicles are assigned round-robin in declaration order.
+    VehicleBuilder& domain(std::size_t index);
+    [[nodiscard]] std::optional<std::size_t> assigned_domain() const noexcept {
+        return domain_;
+    }
+
     // --- platform -----------------------------------------------------------
     /// ECU with default DVFS ladder and thermal model.
     VehicleBuilder& ecu(model::EcuDescriptor descriptor);
@@ -249,6 +258,7 @@ private:
     void require_unique_sensor(const std::string& name) const;
 
     std::string name_;
+    std::optional<std::size_t> domain_;
     std::vector<EcuSpec> ecus_;
     std::vector<BusSpec> buses_;
     std::vector<GatewaySpec> gateways_;

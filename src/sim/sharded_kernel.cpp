@@ -1,0 +1,307 @@
+#include "sim/sharded_kernel.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace sa::sim {
+
+namespace {
+
+/// splitmix64 finalizer — decorrelates per-domain seeds derived from one.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t domain) {
+    std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (domain + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+/// `at + delta`, saturating at Time::max() (unbounded lookaheads, horizons).
+Time saturating_after(Time at, Duration delta) {
+    if (at == Time::max() || delta.count_ns() >= INT64_MAX - at.ns()) {
+        return Time::max();
+    }
+    return at + delta;
+}
+
+} // namespace
+
+DomainKernel::DomainKernel(std::size_t index, std::uint64_t seed,
+                           std::size_t num_domains)
+    : simulator_(seed), index_(index), outbox_(num_domains) {}
+
+ShardedKernel::ShardedKernel(std::size_t num_domains, std::uint64_t seed) {
+    SA_REQUIRE(num_domains >= 1, "a sharded kernel needs at least one domain");
+    domains_.reserve(num_domains);
+    for (std::size_t d = 0; d < num_domains; ++d) {
+        domains_.push_back(std::unique_ptr<DomainKernel>(
+            new DomainKernel(d, mix_seed(seed, d), num_domains)));
+        domains_.back()->simulator_.shard_ = this;
+        domains_.back()->simulator_.shard_domain_ = d;
+    }
+}
+
+ShardedKernel::~ShardedKernel() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    cv_start_.notify_all();
+    for (auto& domain : domains_) {
+        if (domain->worker_.joinable()) {
+            domain->worker_.join();
+        }
+    }
+    if (workers_started_) {
+        detail::add_active_sharded_kernels(-1);
+    }
+}
+
+Simulator& ShardedKernel::domain(std::size_t index) {
+    SA_REQUIRE(index < domains_.size(), "domain index out of range");
+    return domains_[index]->simulator_;
+}
+
+const DomainKernel& ShardedKernel::domain_kernel(std::size_t index) const {
+    SA_REQUIRE(index < domains_.size(), "domain index out of range");
+    return *domains_[index];
+}
+
+void ShardedKernel::declare_lookahead(std::size_t domain, Duration min_latency) {
+    SA_REQUIRE(domain < domains_.size(), "domain index out of range");
+    SA_REQUIRE(min_latency.count_ns() > 0,
+               "cross-domain lookahead must be positive: a zero-latency link "
+               "admits no parallel progress");
+    domains_[domain]->lookahead_ =
+        std::min(domains_[domain]->lookahead_, min_latency);
+}
+
+void ShardedKernel::declare_lookahead(const Simulator& from, Duration min_latency) {
+    SA_REQUIRE(owns(from), "simulator is not a domain of this kernel");
+    declare_lookahead(from.shard_domain(), min_latency);
+}
+
+void ShardedKernel::schedule_script(Time at, std::function<void()> action) {
+    SA_REQUIRE(action != nullptr, "script needs an action");
+    SA_REQUIRE(at >= now_, "cannot schedule a script into the past");
+    scripts_.insert({at, std::move(action)});
+}
+
+std::uint64_t ShardedKernel::executed_events() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& domain : domains_) {
+        total += domain->simulator_.executed_events();
+    }
+    return total;
+}
+
+void ShardedKernel::ensure_workers() {
+    if (workers_started_) {
+        return;
+    }
+    workers_started_ = true;
+    // Flips the process-wide ownership guards from their single-queue fast
+    // path to the full thread-local check (see Simulator::owned_by_caller).
+    detail::add_active_sharded_kernels(1);
+    for (auto& domain : domains_) {
+        DomainKernel* raw = domain.get();
+        domain->worker_ = std::thread([this, raw] { worker_main(*raw); });
+    }
+}
+
+void ShardedKernel::worker_main(DomainKernel& domain) {
+    std::uint64_t seen_round = 0;
+    for (;;) {
+        Time window_end;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_start_.wait(lock,
+                           [&] { return round_ != seen_round || shutdown_; });
+            if (shutdown_) {
+                return;
+            }
+            seen_round = round_;
+            window_end = window_end_;
+        }
+        // The domain is the plain single-threaded kernel inside its window;
+        // the thread-local marks this thread as its (sole) owner so foreign
+        // mutations trip the Simulator's contracts instead of racing.
+        detail::set_executing_domain(&domain.simulator_);
+        try {
+            domain.simulator_.run_until(window_end);
+        } catch (...) {
+            domain.error_ = std::current_exception();
+        }
+        detail::set_executing_domain(nullptr);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (++done_ == domains_.size()) {
+                cv_done_.notify_one();
+            }
+        }
+    }
+}
+
+void ShardedKernel::run_window(Time window_end) {
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        window_end_ = window_end;
+        done_ = 0;
+        ++round_;
+        cv_start_.notify_all();
+        cv_done_.wait(lock, [&] { return done_ == domains_.size(); });
+        ++windows_;
+    }
+    // Surface window failures on the calling thread, lowest domain first
+    // (deterministic, if arbitrary relative to simulated time). A failed
+    // window aborts the whole round: every domain's error and outbox is
+    // dropped, so a caller that catches and re-runs cannot flush stale
+    // envelopes below a later horizon.
+    std::exception_ptr first_error;
+    for (auto& domain : domains_) {
+        if (domain->error_ && !first_error) {
+            first_error = domain->error_;
+        }
+        domain->error_ = nullptr;
+    }
+    if (first_error) {
+        for (auto& domain : domains_) {
+            for (auto& box : domain->outbox_) {
+                box.clear();
+            }
+        }
+        std::rethrow_exception(first_error);
+    }
+}
+
+void ShardedKernel::flush_outboxes() {
+    // Deterministic merge: targets in index order, sources in index order,
+    // sends in emission order. Within one timestamp bucket of the target
+    // queue this yields (source domain, send order) — stable across runs
+    // and independent of thread scheduling.
+    for (auto& target : domains_) {
+        Simulator& sim = target->simulator_;
+        for (auto& source : domains_) {
+            auto& box = source->outbox_[target->index_];
+            for (auto& envelope : box) {
+                SA_ASSERT(envelope.at >= horizon_,
+                          "cross-domain event below the safe horizon");
+                (void)sim.schedule_at(envelope.at, std::move(envelope.action));
+                ++cross_posts_;
+            }
+            box.clear();
+        }
+    }
+}
+
+void ShardedKernel::post_from(std::size_t from, std::size_t to, Time at,
+                              EventQueue::Action action) {
+    SA_REQUIRE(at >= horizon_,
+               "cross-domain event scheduled below the conservative horizon; "
+               "declare_lookahead() a bound no larger than the link latency");
+    domains_[from]->outbox_[to].push_back(
+        DomainKernel::Envelope{at, std::move(action)});
+}
+
+std::size_t ShardedKernel::run_until(Time until) {
+    SA_REQUIRE(until >= now_, "cannot run into the past");
+    ensure_workers();
+    const std::uint64_t executed_before = executed_events();
+    // Consume any stale stop request on entry, mirroring
+    // Simulator::run_until: a stop aimed at an idle kernel is discarded
+    // instead of silently skipping the next span.
+    stop_.store(false, std::memory_order_relaxed);
+    bool stopped = false;
+    for (;;) {
+        if (stop_.exchange(false, std::memory_order_relaxed)) {
+            stopped = true;
+            break;
+        }
+        const Time script_at =
+            scripts_.empty() ? Time::max() : scripts_.begin()->first;
+        Time next_min = script_at;
+        Time bound = Time::max();
+        for (const auto& domain : domains_) {
+            const Time next = domain->simulator_.next_pending_time();
+            next_min = std::min(next_min, next);
+            bound = std::min(bound, saturating_after(next, domain->lookahead_));
+        }
+        if (next_min == Time::max() || next_min > until) {
+            break; // drained, or nothing due inside the requested span
+        }
+        if (script_at <= until && next_min == script_at) {
+            // Global barrier: every domain is quiescent strictly before
+            // script_at, and since every pending event is >= script_at with
+            // positive lookahead, no cross-domain effect can land at or
+            // before it either. Align the clocks and run the script(s).
+            for (auto& domain : domains_) {
+                domain->simulator_.advance_to(script_at);
+            }
+            now_ = script_at;
+            while (!scripts_.empty() && scripts_.begin()->first == script_at) {
+                auto action = std::move(scripts_.begin()->second);
+                scripts_.erase(scripts_.begin());
+                action();
+            }
+            continue;
+        }
+        // Conservative window: everything strictly before the horizon is
+        // safe to execute in parallel. Positive lookaheads guarantee
+        // horizon > next_min, so every round makes progress.
+        Time horizon = std::min(bound, script_at);
+        horizon = std::min(horizon, saturating_after(until, Duration::ns(1)));
+        SA_ASSERT(horizon > next_min, "lookahead admitted no progress");
+        horizon_ = horizon;
+        if (horizon == Time::max()) {
+            // Unbounded window (run-to-completion with no cross-domain
+            // coupling due): pass Time::max() through so each domain's
+            // run_until leaves its clock at its last executed event instead
+            // of advancing it to the numeric limit and poisoning later
+            // relative scheduling.
+            run_window(Time::max());
+            flush_outboxes();
+            for (const auto& domain : domains_) {
+                now_ = std::max(now_, domain->simulator_.now());
+            }
+        } else {
+            run_window(Time(horizon.ns() - 1));
+            flush_outboxes();
+            now_ = Time(horizon.ns() - 1);
+        }
+    }
+    if (!stopped && until != Time::max()) {
+        // Align every clock with the end of the observed span, mirroring
+        // Simulator::run_until — relative scheduling after the run starts
+        // from the same "now" a single-queue run would report.
+        for (auto& domain : domains_) {
+            domain->simulator_.advance_to(until);
+        }
+        now_ = until;
+    }
+    return static_cast<std::size_t>(executed_events() - executed_before);
+}
+
+void post(Simulator& target, Time at, EventQueue::Action action) {
+    const Simulator* executing = detail::executing_domain();
+    if (executing == nullptr || executing == &target) {
+        // Quiescent context (main thread, coordinator/script barrier) or a
+        // same-domain send: plain scheduling is already safe and keeps the
+        // legacy single-queue order bit-for-bit.
+        (void)target.schedule_at(at, std::move(action));
+        return;
+    }
+    ShardedKernel* kernel = target.shard();
+    // A foreign simulator with no kernel has no mailbox and no safe way to
+    // be mutated from a worker thread — fail loudly instead of racing.
+    SA_REQUIRE(kernel != nullptr,
+               "post() to an unsharded foreign simulator from inside a "
+               "domain window; foreign simulators cannot be mutated from "
+               "worker threads");
+    SA_REQUIRE(executing->shard() == kernel,
+               "cross-kernel post: source and target belong to different "
+               "sharded kernels");
+    kernel->post_from(executing->shard_domain(), target.shard_domain(), at,
+                      std::move(action));
+}
+
+} // namespace sa::sim

@@ -6,13 +6,37 @@
 
 namespace sa::sim {
 
+namespace detail {
+namespace {
+thread_local Simulator* t_executing_domain = nullptr;
+std::atomic<int> g_active_sharded_kernels{0};
+} // namespace
+
+Simulator* executing_domain() noexcept { return t_executing_domain; }
+void set_executing_domain(Simulator* simulator) noexcept {
+    t_executing_domain = simulator;
+}
+int active_sharded_kernels() noexcept {
+    return g_active_sharded_kernels.load(std::memory_order_relaxed);
+}
+void add_active_sharded_kernels(int delta) noexcept {
+    g_active_sharded_kernels.fetch_add(delta, std::memory_order_relaxed);
+}
+} // namespace detail
+
 EventHandle Simulator::schedule(Duration delay, EventQueue::Action action) {
     SA_REQUIRE(delay.count_ns() >= 0, "cannot schedule into the past");
+    SA_REQUIRE(owned_by_caller(),
+               "event scheduled on a foreign simulator from inside a window; "
+               "use sim::post() instead");
     return queue_.push(now_ + delay, std::move(action));
 }
 
 EventHandle Simulator::schedule_at(Time at, EventQueue::Action action) {
     SA_REQUIRE(at >= now_, "cannot schedule into the past");
+    SA_REQUIRE(owned_by_caller(),
+               "event scheduled on a foreign simulator from inside a window; "
+               "use sim::post() instead");
     return queue_.push(at, std::move(action));
 }
 
@@ -20,6 +44,9 @@ std::uint64_t Simulator::schedule_periodic(Duration period, EventQueue::Action a
                                            Duration phase) {
     SA_REQUIRE(period.count_ns() > 0, "periodic activity needs a positive period");
     SA_REQUIRE(phase.count_ns() >= 0, "phase must be non-negative");
+    SA_REQUIRE(owned_by_caller(),
+               "periodic registered on a foreign simulator from inside a "
+               "window; post() the registration to the owning domain instead");
     auto task = std::make_shared<PeriodicTask>();
     const std::uint64_t id = next_periodic_id_++;
     task->id = id;
@@ -63,6 +90,9 @@ void Simulator::fire_periodic(std::uint64_t id) {
 }
 
 void Simulator::cancel_periodic(std::uint64_t id) {
+    SA_REQUIRE(owned_by_caller(),
+               "periodic cancelled on a foreign simulator from inside a "
+               "window; post() the cancellation to the owning domain instead");
     const auto it = periodics_.find(id);
     if (it != periodics_.end()) {
         queue_.cancel(it->second->next); // eager: no stale event stays queued
@@ -72,8 +102,8 @@ void Simulator::cancel_periodic(std::uint64_t id) {
 
 std::size_t Simulator::run_until(Time until) {
     std::size_t executed = 0;
-    stop_requested_ = false;
-    while (!queue_.empty() && !stop_requested_) {
+    stop_requested_.store(false, std::memory_order_relaxed);
+    while (!queue_.empty() && !stop_requested_.load(std::memory_order_relaxed)) {
         const Time next = queue_.next_time();
         if (next > until) {
             break;
@@ -89,20 +119,27 @@ std::size_t Simulator::run_until(Time until) {
     // scheduling is relative to the end of the observed window — except
     // after a stop(): jumping past still-pending events would strand them
     // in the past and poison every later drain.
-    if (!stop_requested_ && now_ < until && until != Time::max()) {
+    if (!stop_requested_.load(std::memory_order_relaxed) && now_ < until &&
+        until != Time::max()) {
         now_ = until;
     }
     // Consume the stop request: it was honored by this run and must not
     // leak into a later run_batch() drain loop.
-    stop_requested_ = false;
+    stop_requested_.store(false, std::memory_order_relaxed);
     return executed;
 }
 
+void Simulator::advance_to(Time at) {
+    SA_REQUIRE(at >= now_, "cannot advance the clock backwards");
+    SA_REQUIRE(queue_.empty() || queue_.next_time() >= at,
+               "cannot advance the clock past pending events");
+    now_ = at;
+}
+
 std::size_t Simulator::run_batch(Time until) {
-    if (stop_requested_) {
+    if (stop_requested_.exchange(false, std::memory_order_relaxed)) {
         // stop() was requested (typically from within the previous cohort):
         // consume the request and end the caller's drain loop.
-        stop_requested_ = false;
         return 0;
     }
     if (queue_.empty()) {

@@ -2,13 +2,17 @@
 // Discrete-event simulation kernel. Single-threaded and deterministic:
 // the same seed and setup always produce the same trace. All substrates
 // (CAN bus, ECU schedulers, vehicle dynamics, platoon messaging) run on one
-// Simulator instance so their interleavings are globally ordered.
+// Simulator instance so their interleavings are globally ordered. For
+// multi-domain scale-out, a ShardedKernel (sim/sharded_kernel.hpp) owns one
+// Simulator per ECU domain and coordinates them with conservative lookahead;
+// each domain remains exactly this single-threaded kernel inside its window.
 //
 // Two drain paths exist: run_until()/step() execute one event at a time and
 // honour stop() between any two events; run_batch() drains one timestamp
 // cohort per call through EventQueue::pop_batch(), trading per-event control
 // for one queue round-trip per cohort (see the run_batch() contract below).
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -22,6 +26,24 @@
 #include "util/random.hpp"
 
 namespace sa::sim {
+
+class ShardedKernel;
+class Simulator;
+
+namespace detail {
+/// The simulator whose sharded window is executing on the calling thread,
+/// or nullptr outside a window (main thread, coordinator thread, plain
+/// single-queue runs). Set by ShardedKernel around each domain window; the
+/// worker thread is the domain's sole owner for the window, hence mutable.
+[[nodiscard]] Simulator* executing_domain() noexcept;
+void set_executing_domain(Simulator* simulator) noexcept;
+/// Count of ShardedKernels with live worker threads in this process. While
+/// zero (every purely single-queue program), the ownership guards reduce to
+/// one relaxed global load — no thread-local access on the scheduling hot
+/// path.
+[[nodiscard]] int active_sharded_kernels() noexcept;
+void add_active_sharded_kernels(int delta) noexcept;
+} // namespace detail
 
 class Simulator {
 public:
@@ -40,15 +62,32 @@ public:
 
     /// Schedule a periodic activity; the first firing happens after `phase`.
     /// The returned id can be passed to cancel_periodic().
+    ///
+    /// Sharding contract: the periodic registry is single-threaded state.
+    /// Under a ShardedKernel this must be called from the owning domain (its
+    /// worker during a window, or any quiescent context between windows);
+    /// a foreign domain thread must post() the registration instead.
     std::uint64_t schedule_periodic(Duration period, EventQueue::Action action,
                                     Duration phase = Duration::zero());
 
     /// Stop a periodic activity. The in-flight occurrence is cancelled
     /// eagerly (O(1) via the queue's generation counters), so no stale event
     /// lingers in the queue.
+    ///
+    /// Sharding contract: like schedule_periodic(), only the owning domain
+    /// may call this while a sharded window is executing — a foreign domain
+    /// thread must post() the cancellation to the owning domain (enforced
+    /// with SA_REQUIRE, so a Vehicle torn down from the wrong thread fails
+    /// loudly instead of racing the owner's fire_periodic()).
     void cancel_periodic(std::uint64_t id);
 
-    bool cancel(EventHandle handle) { return queue_.cancel(handle); }
+    bool cancel(EventHandle handle) {
+        SA_REQUIRE(owned_by_caller(),
+                   "event cancelled on a foreign simulator from inside a "
+                   "window; post() the cancellation to the owning domain "
+                   "instead");
+        return queue_.cancel(handle);
+    }
 
     /// Run until the event queue is empty or `until` is reached (whichever is
     /// first). Returns the number of events executed. Executes one event at a
@@ -82,11 +121,32 @@ public:
     bool step(Time until = Time::max());
 
     /// Request that run_until return after the current event completes.
-    void stop() noexcept { stop_requested_ = true; }
+    /// Thread-safe: the flag is atomic, so a monitor on another domain's
+    /// worker thread (or any external thread) may request a stop without
+    /// racing the owning drain loop. Note the drain loops still consume the
+    /// flag on entry, so a stop aimed at an idle simulator is discarded; to
+    /// stop a whole sharded run use ShardedKernel::stop().
+    void stop() noexcept { stop_requested_.store(true, std::memory_order_relaxed); }
+
+    /// Advance the clock to `at` without executing anything. Requires that
+    /// no event is pending before `at` and `at` >= now(). The sharded
+    /// kernel uses this to align domain clocks on script barriers and at
+    /// the end of a run, so "schedule after delay from now" keeps meaning
+    /// the same thing it does on the single-queue kernel.
+    void advance_to(Time at);
+
+    /// Earliest pending event time, or Time::max() when idle.
+    [[nodiscard]] Time next_pending_time() const {
+        return queue_.empty() ? Time::max() : queue_.next_time();
+    }
 
     [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
     [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
     [[nodiscard]] std::uint64_t executed_events() const noexcept { return executed_; }
+
+    /// Non-null when this simulator is one domain of a ShardedKernel.
+    [[nodiscard]] ShardedKernel* shard() const noexcept { return shard_; }
+    [[nodiscard]] std::size_t shard_domain() const noexcept { return shard_domain_; }
 
     /// Deterministic RNG seeded from the constructor seed. Constructed
     /// lazily on first access: seeding a mt19937_64 costs ~0.6 us, which
@@ -107,15 +167,31 @@ private:
         EventHandle next; ///< the in-flight occurrence, cancelled eagerly
     };
 
+    friend class ShardedKernel; ///< binds shard_/shard_domain_ at construction
+
     void fire_periodic(std::uint64_t id);
     void arm_periodic(PeriodicTask& task, Duration delay);
     PeriodicTask* find_periodic(std::uint64_t id) noexcept;
+    /// True when the calling thread may mutate single-threaded state: either
+    /// no sharded window is executing on this thread, or the window is ours.
+    /// Applies to EVERY simulator, sharded or not — a domain worker holding
+    /// a reference to some foreign standalone simulator must not race its
+    /// owner either.
+    [[nodiscard]] bool owned_by_caller() const noexcept {
+        if (detail::active_sharded_kernels() == 0) {
+            return true; // fast path: no worker threads exist in the process
+        }
+        const Simulator* executing = detail::executing_domain();
+        return executing == nullptr || executing == this;
+    }
 
     EventQueue queue_;
     Time now_ = Time::zero();
     std::uint64_t seed_;
     std::optional<RandomEngine> rng_;
-    bool stop_requested_ = false;
+    std::atomic<bool> stop_requested_{false};
+    ShardedKernel* shard_ = nullptr;
+    std::size_t shard_domain_ = 0;
     std::uint64_t executed_ = 0;
     std::uint64_t next_periodic_id_ = 1;
     // Keyed by id: firings resolve their task in O(1). shared_ptr (not
