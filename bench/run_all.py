@@ -20,6 +20,15 @@ Modes shared by CI and the local workflow:
                      the best observation — wall-time noise (preemption, VM
                      steal) only ever inflates, so only real regressions stay
                      slow in every sample.
+  --update-baseline BASELINE
+                     merge entries that are new in this run (key: binary +
+                     benchmark name) into BASELINE. Existing baseline rows
+                     keep their committed timings untouched — only missing
+                     rows are added — and the merged "benchmarks" list is
+                     rewritten sorted by (binary, name) with sorted JSON
+                     keys, so the result is deterministic regardless of run
+                     order: adding a bench satellite no longer means
+                     hand-editing BENCH_baseline.json.
 
 Failure behaviour: if ANY binary fails (non-zero exit, timeout, bad JSON)
 the script exits non-zero and writes nothing — a committed baseline must
@@ -112,6 +121,40 @@ def best_iterations(report, binary):
     return [best[key] for key in sorted(best)]
 
 
+def update_baseline(merged, baseline_path):
+    """Merge entries missing from the baseline into it, deterministically.
+
+    Existing rows keep their committed timings (a quick local run must never
+    silently replace reference numbers); only keys absent from the baseline
+    are copied in from `merged`. The result is written with the benchmark
+    list sorted by (binary, name) and JSON keys sorted, so two machines
+    merging the same new bench produce byte-identical baselines.
+    """
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    existing = {entry_key(e) for e in baseline.get("benchmarks", [])}
+    added = []
+    for entry in merged["benchmarks"]:
+        if entry.get("run_type", "iteration") != "iteration":
+            continue
+        if entry_key(entry) not in existing:
+            baseline.setdefault("benchmarks", []).append(entry)
+            added.append(entry_key(entry))
+    baseline["benchmarks"].sort(key=entry_key)
+    tmp = baseline_path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(baseline, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, baseline_path)
+    if added:
+        print(f"\nmerged {len(added)} new entr{'y' if len(added) == 1 else 'ies'} "
+              f"into {baseline_path}:")
+        for binary, name in sorted(added):
+            print(f"  + {binary}:{name}")
+    else:
+        print(f"\nno new entries for {baseline_path} (rewritten sorted)")
+
+
 def diff_against_baseline(merged, baseline_path, tolerance):
     """Compare wall times against a baseline report.
 
@@ -182,6 +225,10 @@ def main():
     parser.add_argument("--diff", metavar="BASELINE",
                         help="after running, diff wall times against this "
                              "baseline JSON and exit non-zero on regression")
+    parser.add_argument("--update-baseline", metavar="BASELINE",
+                        help="merge entries new in this run into BASELINE "
+                             "(existing rows untouched; output sorted and "
+                             "therefore deterministic)")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed wall-time regression as a fraction "
                              "(default 0.25 = +25%%)")
@@ -233,6 +280,13 @@ def main():
     os.replace(tmp_out, args.out)
     print(f"wrote {len(merged['benchmarks'])} benchmark entries from "
           f"{len(binaries)}/{len(binaries)} binaries to {args.out}")
+
+    if args.update_baseline:
+        if not os.path.isfile(args.update_baseline):
+            print(f"--update-baseline {args.update_baseline} not found",
+                  file=sys.stderr)
+            return 1
+        update_baseline(merged, args.update_baseline)
 
     if args.diff:
         if not os.path.isfile(args.diff):

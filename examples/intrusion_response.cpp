@@ -66,6 +66,20 @@ std::string vehicle_contracts(bool with_redundancy) {
 }
 
 std::unique_ptr<scenario::Scenario> make_vehicle(bool with_redundancy) {
+    // The ability-level consequence of losing the rear brake channel is
+    // *data*: one DegradationPolicy rule mapping the containment follow-up
+    // onto the brake_system capability (availability = front-only
+    // effectiveness). The update hook only flips the physical actuator
+    // state; it no longer duplicates the level bookkeeping.
+    skills::DegradationPolicy policy;
+    skills::AlarmBinding contained;
+    contained.anomaly_kind = "component_contained";
+    contained.source = "brake_ctrl";
+    contained.capability = skills::acc::kBrakeSystem;
+    contained.quality = skills::QualityKind::Availability;
+    contained.degraded_value = vehicle::BrakeSplit{}.front_fraction;
+    policy.on_anomaly(contained);
+
     scenario::ScenarioBuilder builder(123);
     builder.vehicle("ego")
         .ecu({"chassis_a", 1.0, 0.75, model::Asil::D, "engine_bay", "main"})
@@ -74,15 +88,13 @@ std::unique_ptr<scenario::Scenario> make_vehicle(bool with_redundancy) {
         .rate_ids(Duration::ms(100), /*default_bound=*/400.0)
         .acc_skills()
         .full_layer_stack()
+        .degradation_policy(policy)
         .ability_update_hook([](scenario::Vehicle& v, const core::Problem& problem) {
             if (problem.anomaly.kind == "component_contained" &&
                 problem.anomaly.source == "brake_ctrl") {
                 v.brakes().set_rear_available(false);
-                v.abilities().set_source_level(skills::acc::kBrakeSystem,
-                                               v.brakes().ability_level());
-                return true;
             }
-            return false;
+            return false; // levels flow through the degradation policy
         })
         .tactic("reduce_speed_and_drivetrain_brake", skills::acc::kDecelerate, 0.2,
                 0.85, 2, [](scenario::Vehicle& v) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "skills/ability_graph.hpp"
 #include "util/assert.hpp"
 #include "util/string_util.hpp"
 
@@ -19,7 +20,18 @@ std::string SelfSnapshot::str() const {
     for (const auto& [layer, health] : layer_health) {
         out += format(" %s=%.2f", to_string(layer), health);
     }
+    if (root_ability.has_value()) {
+        out += format(" ability(%s)=%.2f", root_skill.c_str(), *root_ability);
+    }
     return out;
+}
+
+void SelfModel::bind_abilities(const skills::AbilityGraph& abilities,
+                               std::string root_skill) {
+    SA_REQUIRE(abilities.structure().has_node(root_skill),
+               "bind_abilities: unknown root skill: " + root_skill);
+    abilities_ = &abilities;
+    root_skill_ = std::move(root_skill);
 }
 
 SelfSnapshot SelfModel::capture() {
@@ -37,6 +49,10 @@ SelfSnapshot SelfModel::capture() {
         snap.overall = std::min(snap.overall, h);
     }
     snap.open_problems = coordinator_.problems_unresolved();
+    if (abilities_ != nullptr) {
+        snap.root_skill = root_skill_;
+        snap.root_ability = abilities_->level(root_skill_);
+    }
     if (history_.size() == kHistoryCapacity) {
         history_.pop_front();
     }

@@ -7,10 +7,15 @@
 
 #include <deque>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/coordinator.hpp"
+
+namespace sa::skills {
+class AbilityGraph;
+} // namespace sa::skills
 
 namespace sa::core {
 
@@ -20,6 +25,11 @@ struct SelfSnapshot {
     std::map<LayerId, double> layer_health; ///< [0, 1] per registered layer
     double overall = 1.0;                   ///< min over layers
     std::uint64_t open_problems = 0;        ///< handled - resolved so far
+    /// Root-skill name and ability level when the self-model is bound to an
+    /// ability graph (the degradation-policy outcome in the
+    /// self-representation); absent otherwise.
+    std::string root_skill;
+    std::optional<double> root_ability;
 
     [[nodiscard]] double health(LayerId layer) const;
     [[nodiscard]] std::string str() const;
@@ -29,6 +39,12 @@ class SelfModel {
 public:
     SelfModel(sim::Simulator& simulator, CrossLayerCoordinator& coordinator)
         : simulator_(simulator), coordinator_(coordinator) {}
+
+    /// Include the ability graph's root-skill level in every snapshot: the
+    /// degradation flow (monitor alarm -> DegradationPolicy -> ability
+    /// graph) becomes visible in the self-representation. `abilities` must
+    /// outlive this model.
+    void bind_abilities(const skills::AbilityGraph& abilities, std::string root_skill);
 
     /// Take a consistent snapshot now.
     SelfSnapshot capture();
@@ -47,6 +63,8 @@ public:
 private:
     sim::Simulator& simulator_;
     CrossLayerCoordinator& coordinator_;
+    const skills::AbilityGraph* abilities_ = nullptr;
+    std::string root_skill_;
     std::deque<SelfSnapshot> history_;
     std::uint64_t next_version_ = 1;
     std::uint64_t periodic_id_ = 0;

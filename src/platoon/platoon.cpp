@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/assert.hpp"
+#include "util/string_util.hpp"
 
 namespace sa::platoon {
 
@@ -98,6 +99,259 @@ PlatoonAgreement PlatoonCoordinator::form(const std::vector<MemberCapability>& c
     agreement.speed_safe =
         agreement.common_speed_mps <= lo_speed + config_.safety_tolerance_mps;
     return agreement;
+}
+
+// --- maneuvers ---------------------------------------------------------------------
+
+const char* to_string(ManeuverKind kind) noexcept {
+    switch (kind) {
+    case ManeuverKind::Form: return "form";
+    case ManeuverKind::Join: return "join";
+    case ManeuverKind::Leave: return "leave";
+    case ManeuverKind::Split: return "split";
+    case ManeuverKind::Dissolve: return "dissolve";
+    }
+    return "?";
+}
+
+std::string ManeuverRecord::str() const {
+    std::string out = format("%s(%s)%s%s", to_string(kind), subject.c_str(),
+                             succeeded ? "" : " FAILED",
+                             reason.empty() ? "" : (": " + reason).c_str());
+    out += " members=[";
+    for (std::size_t i = 0; i < members_after.size(); ++i) {
+        out += (i ? " " : "") + members_after[i];
+    }
+    out += "]";
+    if (!detached.empty()) {
+        out += " detached=[";
+        for (std::size_t i = 0; i < detached.size(); ++i) {
+            out += (i ? " " : "") + detached[i];
+        }
+        out += "]";
+    }
+    return out;
+}
+
+std::vector<std::string> Platoon::member_names() const {
+    std::vector<std::string> out;
+    out.reserve(members_.size());
+    for (const auto& m : members_) {
+        out.push_back(m.id);
+    }
+    return out;
+}
+
+bool Platoon::contains(const std::string& name) const {
+    return std::any_of(members_.begin(), members_.end(),
+                       [&](const MemberCapability& m) { return m.id == name; });
+}
+
+const std::string& Platoon::leader() const {
+    SA_REQUIRE(formed() && !members_.empty(), "platoon '" + id_ + "' is not formed");
+    return members_.front().id;
+}
+
+void Platoon::record(ManeuverRecord r) {
+    history_.push_back(r);
+    // Emit the local copy, not history_.back(): a subscriber may trigger a
+    // follow-up maneuver whose push_back reallocates history_ mid-emit.
+    maneuver_performed_.emit(r);
+}
+
+bool Platoon::adopt(std::vector<MemberCapability> members, RandomEngine& rng,
+                    PlatoonAgreement& out) {
+    PlatoonCoordinator coordinator(trust_, config_);
+    out = coordinator.form(members, rng);
+    if (!out.formed) {
+        return false;
+    }
+    // Keep the admitted members only (trust gating may have dropped some),
+    // preserving convoy order.
+    std::vector<MemberCapability> admitted;
+    for (const auto& m : members) {
+        if (std::find(out.members.begin(), out.members.end(), m.id) !=
+            out.members.end()) {
+            admitted.push_back(m);
+        }
+    }
+    agreement_ = out;
+    members_ = std::move(admitted);
+    return true;
+}
+
+const PlatoonAgreement& Platoon::form(const std::vector<MemberCapability>& candidates,
+                                      RandomEngine& rng) {
+    PlatoonAgreement attempt;
+    const bool ok = adopt(candidates, rng, attempt);
+    if (!ok) {
+        agreement_ = attempt;
+        members_.clear();
+    }
+    ManeuverRecord r;
+    r.kind = ManeuverKind::Form;
+    r.reason = ok ? "" : attempt.rejected_reason;
+    r.succeeded = ok;
+    r.members_after = member_names();
+    record(std::move(r));
+    return agreement_;
+}
+
+const PlatoonAgreement& Platoon::join(const MemberCapability& candidate,
+                                      RandomEngine& rng, std::string reason) {
+    ManeuverRecord r;
+    r.kind = ManeuverKind::Join;
+    r.subject = candidate.id;
+    r.reason = std::move(reason);
+    if (!formed() || contains(candidate.id) ||
+        !trust_.trusted(candidate.id, config_.trust_threshold)) {
+        r.succeeded = false;
+        if (!formed()) {
+            r.reason = "platoon not formed";
+        } else if (contains(candidate.id)) {
+            r.reason = "already a member";
+        } else {
+            r.reason = "candidate not trusted";
+        }
+        r.members_after = member_names();
+        record(std::move(r));
+        return agreement_;
+    }
+    std::vector<MemberCapability> next = members_;
+    next.push_back(candidate);
+    PlatoonAgreement attempt;
+    const bool ok = adopt(std::move(next), rng, attempt) && contains(candidate.id);
+    r.succeeded = ok;
+    if (!ok && !attempt.formed) {
+        r.reason = attempt.rejected_reason; // platoon unchanged
+    }
+    r.members_after = member_names();
+    record(std::move(r));
+    return agreement_;
+}
+
+const PlatoonAgreement& Platoon::leave(const std::string& name, RandomEngine& rng,
+                                       std::string reason) {
+    ManeuverRecord r;
+    r.kind = ManeuverKind::Leave;
+    r.subject = name;
+    r.reason = std::move(reason);
+    if (!contains(name)) {
+        r.succeeded = false;
+        r.reason = "not a member";
+        r.members_after = member_names();
+        record(std::move(r));
+        return agreement_;
+    }
+    std::vector<MemberCapability> rest;
+    for (const auto& m : members_) {
+        if (m.id != name) {
+            rest.push_back(m);
+        }
+    }
+    if (rest.size() < 2) {
+        // A one-vehicle platoon is no platoon: dissolve.
+        members_.clear();
+        agreement_ = PlatoonAgreement{};
+        agreement_.rejected_reason = "dissolved: fewer than two members left";
+        r.members_after = member_names();
+        record(std::move(r));
+        ManeuverRecord d;
+        d.kind = ManeuverKind::Dissolve;
+        d.reason = "fewer than two members left";
+        record(std::move(d));
+        return agreement_;
+    }
+    PlatoonAgreement attempt;
+    const bool ok = adopt(std::move(rest), rng, attempt);
+    if (!ok) {
+        // The remaining members could not re-agree: the platoon dissolves
+        // (fail safe) rather than drive on a stale agreement.
+        members_.clear();
+        agreement_ = attempt;
+    }
+    r.members_after = member_names();
+    record(std::move(r));
+    if (!ok) {
+        ManeuverRecord d;
+        d.kind = ManeuverKind::Dissolve;
+        d.reason = "re-agreement failed: " + attempt.rejected_reason;
+        record(std::move(d));
+    }
+    return agreement_;
+}
+
+std::vector<MemberCapability> Platoon::split(const std::string& at, RandomEngine& rng,
+                                             std::string reason) {
+    ManeuverRecord r;
+    r.kind = ManeuverKind::Split;
+    r.subject = at;
+    r.reason = std::move(reason);
+    const auto it = std::find_if(members_.begin(), members_.end(),
+                                 [&](const MemberCapability& m) { return m.id == at; });
+    if (it == members_.end()) {
+        r.succeeded = false;
+        r.reason = "not a member";
+        r.members_after = member_names();
+        record(std::move(r));
+        return {};
+    }
+    std::vector<MemberCapability> tail(it, members_.end());
+    std::vector<MemberCapability> head(members_.begin(), it);
+    for (const auto& m : tail) {
+        r.detached.push_back(m.id);
+    }
+    if (head.size() < 2) {
+        // Splitting at the leader (or its immediate follower) leaves no
+        // platoon at the head: dissolve.
+        members_.clear();
+        agreement_ = PlatoonAgreement{};
+        agreement_.rejected_reason = "dissolved by split at " + at;
+        r.members_after = member_names();
+        record(std::move(r));
+        ManeuverRecord d;
+        d.kind = ManeuverKind::Dissolve;
+        d.reason = "split at " + at + " left no head platoon";
+        record(std::move(d));
+        return tail;
+    }
+    PlatoonAgreement attempt;
+    const bool ok = adopt(std::move(head), rng, attempt);
+    if (!ok) {
+        members_.clear();
+        agreement_ = attempt;
+    }
+    r.members_after = member_names();
+    record(std::move(r));
+    if (!ok) {
+        ManeuverRecord d;
+        d.kind = ManeuverKind::Dissolve;
+        d.reason = "head re-agreement failed: " + attempt.rejected_reason;
+        record(std::move(d));
+    }
+    return tail;
+}
+
+const PlatoonAgreement& Platoon::update_member(const MemberCapability& capability,
+                                               RandomEngine& rng) {
+    const auto it = std::find_if(
+        members_.begin(), members_.end(),
+        [&](const MemberCapability& m) { return m.id == capability.id; });
+    SA_REQUIRE(it != members_.end(),
+               "update_member: '" + capability.id + "' is not a member");
+    *it = capability;
+    PlatoonAgreement attempt;
+    if (!adopt(members_, rng, attempt)) {
+        members_.clear();
+        agreement_ = attempt;
+        ManeuverRecord d;
+        d.kind = ManeuverKind::Dissolve;
+        d.subject = capability.id;
+        d.reason = "re-agreement failed after capability update: " +
+                   attempt.rejected_reason;
+        record(std::move(d));
+    }
+    return agreement_;
 }
 
 } // namespace sa::platoon

@@ -56,4 +56,12 @@ void declare_dual_bus_platoon_vehicle(ScenarioBuilder& builder,
         .self_model(sim::Duration::ms(500));
 }
 
+void declare_platoon_follow_vehicle(ScenarioBuilder& builder,
+                                    const std::string& name) {
+    declare_dual_bus_platoon_vehicle(builder, name);
+    builder.vehicle(name)
+        .skill_graph("platoon_follow")
+        .degradation_policy(skills::DegradationPolicy{});
+}
+
 } // namespace sa::scenario::presets

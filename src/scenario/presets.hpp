@@ -26,4 +26,14 @@ inline constexpr std::uint32_t kDualBusObjectFrameId = 0x120;
 void declare_dual_bus_platoon_vehicle(ScenarioBuilder& builder,
                                       const std::string& name);
 
+/// Maneuver-scenario variant: the same deterministic dual-bus platform, but
+/// running the registry's platoon_follow skill graph with the unified
+/// degradation policy instead of the ACC graph. The follow skill degrades
+/// through capability downgrades (fog scripts, sensor faults), which is what
+/// the automatic join/leave/split maneuvers key on — shared by the sharded
+/// determinism suite and bench/skill_graph_sweep.cpp so they measure one
+/// workload.
+void declare_platoon_follow_vehicle(ScenarioBuilder& builder,
+                                    const std::string& name);
+
 } // namespace sa::scenario::presets

@@ -34,6 +34,7 @@
 #include "sim/sharded_kernel.hpp"
 #include "skills/ability_graph.hpp"
 #include "skills/degradation.hpp"
+#include "skills/degradation_policy.hpp"
 #include "vehicle/vehicle_sim.hpp"
 
 namespace sa::scenario {
@@ -123,6 +124,15 @@ public:
     [[nodiscard]] skills::AbilityGraph& abilities();
     [[nodiscard]] skills::DegradationManager& tactics() noexcept { return tactics_; }
     void add_tactic(skills::Tactic tactic) { tactics_.register_tactic(std::move(tactic)); }
+    /// Unified degradation flow (declared via
+    /// VehicleBuilder::degradation_policy()): every monitor alarm is mapped
+    /// onto capability-quality downgrades of the ability graph.
+    [[nodiscard]] bool has_degradation_policy() const noexcept {
+        return policy_ != nullptr;
+    }
+    [[nodiscard]] skills::DegradationPolicy& degradation_policy();
+    /// Root skill of the configured skill graph (empty when none).
+    [[nodiscard]] const std::string& root_skill() const noexcept { return root_skill_; }
 
     // --- layer stack --------------------------------------------------------
     [[nodiscard]] core::CrossLayerCoordinator& coordinator() noexcept {
@@ -162,6 +172,8 @@ private:
     monitor::RangeMonitor* thermal_guard_ = nullptr;  ///< owned by monitors_
     std::map<std::string, monitor::SensorQualityMonitor*> sensor_quality_;
     std::unique_ptr<skills::AbilityGraph> abilities_;
+    std::unique_ptr<skills::DegradationPolicy> policy_;
+    std::string root_skill_;
     skills::DegradationManager tactics_;
     std::uint64_t tactic_planner_id_ = 0; ///< periodic handle; 0 = none
     std::unique_ptr<vehicle::VehicleSim> driving_;
@@ -226,6 +238,25 @@ public:
     [[nodiscard]] platoon::PlatoonAgreement
     form_platoon(const std::vector<platoon::MemberCapability>& candidates);
 
+    // --- managed platoon + automatic maneuvers ------------------------------
+    /// True when the builder declared platoon_maneuvers(policy).
+    [[nodiscard]] bool has_platoon() const noexcept { return platoon_ != nullptr; }
+    /// The managed platoon (join/leave/split maneuver history lives here).
+    [[nodiscard]] platoon::Platoon& platoon();
+    [[nodiscard]] const platoon::ManeuverPolicy& maneuver_policy() const;
+    /// Form the managed platoon from the builder-declared candidates. Call
+    /// before run() or from a script (`at(...)`); once formed, the maneuver
+    /// engine evaluates the policy every check_period at a script barrier:
+    /// a member whose follow skill degraded below leave_below leaves, a
+    /// mid-platoon member below split_below splits the platoon at its
+    /// position, and a non-member candidate below join_below joins.
+    const platoon::PlatoonAgreement& form_managed_platoon();
+    /// Members detached by split maneuvers so far, in maneuver order.
+    [[nodiscard]] const std::vector<platoon::MemberCapability>&
+    detached_members() const noexcept {
+        return detached_;
+    }
+
     /// Apply weather to every vehicle with closed-loop driving.
     void set_weather(const vehicle::WeatherCondition& weather);
 
@@ -255,12 +286,27 @@ private:
     /// unsharded; domains beyond 0 REQUIRE a sharded build).
     [[nodiscard]] sim::Simulator& domain_simulator(std::size_t domain);
 
+    /// Arm the maneuver engine: one policy evaluation at absolute time `at`,
+    /// rescheduling itself every check_period. Uses the script-barrier
+    /// mechanism under sharding (every domain quiescent), a plain event on
+    /// the single queue — the same dichotomy as ScenarioBuilder::at().
+    void schedule_maneuver_check(sim::Time at);
+    /// One policy evaluation (runs quiescent; may touch any vehicle).
+    void run_maneuver_check();
+
     sim::Simulator simulator_; ///< single-queue kernel (unsharded scenarios)
     std::unique_ptr<sim::ShardedKernel> kernel_; ///< non-null when domains(n>1)
     RandomEngine rng_;
     platoon::TrustManager trust_;
     platoon::PlatoonConfig platoon_config_;
     std::vector<platoon::MemberCapability> candidates_;
+    std::unique_ptr<platoon::Platoon> platoon_;
+    platoon::ManeuverPolicy maneuver_policy_;
+    /// True while a future maneuver check is scheduled. Cleared when the
+    /// engine parks itself on a dissolved platoon; form_managed_platoon()
+    /// re-arms.
+    bool check_armed_ = false;
+    std::vector<platoon::MemberCapability> detached_;
     std::unique_ptr<platoon::V2vChannel> v2v_;
     std::vector<std::string> order_;
     std::map<std::string, std::unique_ptr<Vehicle>> vehicles_;

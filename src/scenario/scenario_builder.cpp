@@ -58,6 +58,17 @@ ScenarioBuilder& ScenarioBuilder::platoon_candidate(platoon::MemberCapability ca
     return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::platoon_maneuvers(platoon::ManeuverPolicy policy) {
+    SA_REQUIRE(!policy.follow_skill.empty(), "maneuver policy needs a follow skill");
+    SA_REQUIRE(policy.check_period.count_ns() > 0,
+               "maneuver check period must be positive");
+    SA_REQUIRE(policy.leave_below >= policy.split_below,
+               "leave_below must be >= split_below (a split is the more "
+               "severe maneuver)");
+    maneuver_policy_ = policy;
+    return *this;
+}
+
 ScenarioBuilder& ScenarioBuilder::at(sim::Duration when,
                                      std::function<void(Scenario&)> action) {
     SA_REQUIRE(action != nullptr, "script needs an action");
@@ -116,6 +127,14 @@ std::unique_ptr<Scenario> ScenarioBuilder::build() {
     }
     scenario->platoon_config_ = platoon_config_;
     scenario->candidates_ = candidates_;
+    if (maneuver_policy_.has_value()) {
+        scenario->maneuver_policy_ = *maneuver_policy_;
+        scenario->platoon_ = std::make_unique<platoon::Platoon>(
+            "platoon", scenario->trust_, platoon_config_);
+        scenario->schedule_maneuver_check(
+            sim::Time(maneuver_policy_->check_period.count_ns()));
+        scenario->check_armed_ = true;
+    }
     Scenario* raw = scenario.get();
     for (const auto& script : scripts_) {
         if (scenario->kernel_) {

@@ -58,6 +58,12 @@ public:
     ScenarioBuilder& trust(const std::string& peer, int positive, int negative = 0);
     ScenarioBuilder& platoon_config(platoon::PlatoonConfig config);
     ScenarioBuilder& platoon_candidate(platoon::MemberCapability candidate);
+    /// Manage a platoon over the declared candidates with automatic
+    /// join/leave/split maneuvers driven by the members' skill-graph levels:
+    /// the maneuver engine evaluates `policy` every check_period at a
+    /// script barrier (deterministic across domain counts). Form the platoon
+    /// with Scenario::form_managed_platoon() (directly or from a script).
+    ScenarioBuilder& platoon_maneuvers(platoon::ManeuverPolicy policy);
 
     // --- scripted events ----------------------------------------------------
     /// Run `action` at absolute simulation time `when`.
@@ -89,6 +95,7 @@ private:
     std::vector<TrustSeed> trust_seeds_;
     platoon::PlatoonConfig platoon_config_{};
     std::vector<platoon::MemberCapability> candidates_;
+    std::optional<platoon::ManeuverPolicy> maneuver_policy_;
     std::vector<Script> scripts_;
 };
 

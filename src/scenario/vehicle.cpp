@@ -101,6 +101,12 @@ skills::AbilityGraph& Vehicle::abilities() {
     return *abilities_;
 }
 
+skills::DegradationPolicy& Vehicle::degradation_policy() {
+    SA_REQUIRE(policy_ != nullptr,
+               "vehicle '" + name_ + "': degradation_policy() not declared");
+    return *policy_;
+}
+
 core::ObjectiveLayer& Vehicle::objective_layer() {
     SA_REQUIRE(objective_ != nullptr,
                "vehicle '" + name_ + "': objective layer not registered");

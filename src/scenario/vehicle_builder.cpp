@@ -143,7 +143,27 @@ VehicleBuilder& VehicleBuilder::monitor_overhead_task(std::string ecu_name,
 VehicleBuilder& VehicleBuilder::skill_graph(skills::SkillGraph graph,
                                             std::string root_skill) {
     skill_graph_ = std::move(graph);
+    skill_spec_.reset();
     root_skill_ = std::move(root_skill);
+    return *this;
+}
+
+VehicleBuilder& VehicleBuilder::skill_graph(skills::SkillGraphSpec spec) {
+    SA_REQUIRE(!spec.root_skill().empty(),
+               "skill_graph(spec): spec '" + spec.name() + "' declares no root");
+    root_skill_ = spec.root_skill();
+    skill_spec_ = std::move(spec);
+    skill_graph_.reset();
+    return *this;
+}
+
+VehicleBuilder& VehicleBuilder::skill_graph(const std::string& registry_spec_name,
+                                            const skills::CapabilityRegistry& registry) {
+    return skill_graph(registry.spec(registry_spec_name));
+}
+
+VehicleBuilder& VehicleBuilder::degradation_policy(skills::DegradationPolicy policy) {
+    degradation_policy_ = std::move(policy);
     return *this;
 }
 
@@ -434,9 +454,17 @@ std::unique_ptr<Vehicle> VehicleBuilder::build(sim::Simulator& simulator) const 
         SA_REQUIRE(sensors_.empty(), "sensor() requires driving() to be declared");
     }
 
-    // 5. Ability graph.
-    if (skill_graph_.has_value()) {
+    // 5. Ability graph: from the declarative spec (aggregations/weights of
+    //    the spec applied first) or a raw SkillGraph; builder-level
+    //    aggregation()/dependency_weight() declarations refine either.
+    if (skill_spec_.has_value()) {
+        v.abilities_ = std::make_unique<skills::AbilityGraph>(
+            skill_spec_->instantiate_abilities());
+    } else if (skill_graph_.has_value()) {
         v.abilities_ = std::make_unique<skills::AbilityGraph>(*skill_graph_);
+    }
+    if (v.abilities_ != nullptr) {
+        v.root_skill_ = root_skill_;
         for (const auto& spec : aggregations_) {
             v.abilities_->set_aggregation(spec.skill, spec.aggregation);
         }
@@ -449,6 +477,20 @@ std::unique_ptr<Vehicle> VehicleBuilder::build(sim::Simulator& simulator) const 
                                           v.sensor_quality(spec.config.name));
             }
         }
+    }
+    if (degradation_policy_.has_value()) {
+        // The unified degradation flow: every monitor alarm is mapped onto
+        // capability-quality downgrades before the coordinator (connected in
+        // step 8, i.e. after this subscription) consults its layers.
+        SA_REQUIRE(v.abilities_ != nullptr,
+                   "degradation_policy() requires a skill graph");
+        v.policy_ = std::make_unique<skills::DegradationPolicy>(*degradation_policy_);
+        Vehicle* vp = &v;
+        v.monitors_->anomalies().subscribe([vp](const monitor::Anomaly& anomaly) {
+            if (vp->policy_->apply(anomaly, *vp->abilities_)) {
+                vp->abilities_->propagate();
+            }
+        });
     }
 
     // 6. Degradation tactics + the periodic planner.
@@ -501,10 +543,22 @@ std::unique_ptr<Vehicle> VehicleBuilder::build(sim::Simulator& simulator) const 
             SA_REQUIRE(v.abilities_ != nullptr, "ability layer requires a skill graph");
             auto layer = std::make_unique<core::AbilityLayer>(*v.abilities_, v.tactics_,
                                                               root_skill_);
-            if (update_hook_) {
+            if (update_hook_ || v.policy_ != nullptr) {
+                // The degradation policy runs first: coordinator-internal
+                // follow-up problems (containment consequences) that never
+                // hit the monitor stream still map onto capability
+                // downgrades. A user hook refines with vehicle-specific
+                // actuation on top.
                 layer->set_update_hook([&v, hook = update_hook_](
                                            const core::Problem& problem) {
-                    return hook(v, problem);
+                    bool updated = false;
+                    if (v.policy_ != nullptr) {
+                        updated = v.policy_->apply(problem.anomaly, *v.abilities_);
+                    }
+                    if (hook) {
+                        updated = hook(v, problem) || updated;
+                    }
+                    return updated;
                 });
             }
             v.coordinator_->register_layer(std::move(layer));
@@ -522,9 +576,14 @@ std::unique_ptr<Vehicle> VehicleBuilder::build(sim::Simulator& simulator) const 
         v.coordinator_->connect(*v.monitors_);
     }
 
-    // 9. Self-model capture.
+    // 9. Self-model capture; with a skill graph the root ability level is
+    //    part of every snapshot (the degradation-policy outcome in the
+    //    self-representation).
     if (self_model_period_.has_value()) {
         v.self_ = std::make_unique<core::SelfModel>(simulator, *v.coordinator_);
+        if (v.abilities_ != nullptr && !root_skill_.empty()) {
+            v.self_->bind_abilities(*v.abilities_, root_skill_);
+        }
         v.self_->start(*self_model_period_);
     }
     return owned;

@@ -17,6 +17,9 @@
 #include "monitor/budget_monitor.hpp"
 #include "scenario/scenario.hpp"
 #include "skills/acc_graph_factory.hpp"
+#include "skills/capability_registry.hpp"
+#include "skills/degradation_policy.hpp"
+#include "skills/skill_graph_spec.hpp"
 
 namespace sa::scenario {
 
@@ -123,8 +126,24 @@ public:
 
     // --- skills / degradation ----------------------------------------------
     VehicleBuilder& skill_graph(skills::SkillGraph graph, std::string root_skill);
+    /// Declarative form: instantiate `spec` at build time (its aggregation
+    /// choices and dependency weights are applied before any aggregation()/
+    /// dependency_weight() declared on this builder). The root skill comes
+    /// from the spec, which must declare one.
+    VehicleBuilder& skill_graph(skills::SkillGraphSpec spec);
+    /// Instantiate a spec registered in `registry` by name (the builtin
+    /// catalogue by default): `skill_graph("platoon_follow")`.
+    VehicleBuilder& skill_graph(const std::string& registry_spec_name,
+                                const skills::CapabilityRegistry& registry =
+                                    skills::CapabilityRegistry::builtin());
     /// The paper's §IV ACC skill graph with root acc_driving.
     VehicleBuilder& acc_skills(skills::AccGraphOptions options = {});
+    /// Route every monitor alarm of this vehicle through `policy` into the
+    /// ability graph (capability-quality downgrades via the registry's alarm
+    /// bindings plus the policy's own rules) — the unified degradation flow
+    /// consumed by the coordinator's ability layer and the self-model.
+    /// Requires a skill graph.
+    VehicleBuilder& degradation_policy(skills::DegradationPolicy policy);
     VehicleBuilder& aggregation(std::string skill, skills::Aggregation aggregation);
     VehicleBuilder& dependency_weight(std::string skill, std::string child,
                                       double weight);
@@ -271,6 +290,8 @@ private:
     std::vector<CanRxSpec> can_rx_;
     std::vector<MonitorDecl> monitor_decls_;
     std::optional<skills::SkillGraph> skill_graph_;
+    std::optional<skills::SkillGraphSpec> skill_spec_;
+    std::optional<skills::DegradationPolicy> degradation_policy_;
     std::string root_skill_;
     std::vector<AggregationSpec> aggregations_;
     std::vector<WeightSpec> weights_;

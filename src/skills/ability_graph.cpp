@@ -58,6 +58,12 @@ void AbilityGraph::set_intrinsic_level(const std::string& skill, double level) {
     intrinsic_[skill] = level;
 }
 
+double AbilityGraph::intrinsic_level(const std::string& skill) const {
+    auto it = intrinsic_.find(skill);
+    SA_REQUIRE(it != intrinsic_.end(), "not a skill: " + skill);
+    return it->second;
+}
+
 void AbilityGraph::set_aggregation(const std::string& skill, Aggregation aggregation) {
     SA_REQUIRE(structure_.has_node(skill) &&
                    structure_.node(skill).kind == SkillNodeKind::Skill,

@@ -46,6 +46,8 @@ public:
     /// Set a skill's intrinsic performance (its own monitor, e.g. control
     /// performance). Default 1.0. Does not propagate.
     void set_intrinsic_level(const std::string& skill, double level);
+    /// A skill's intrinsic performance as last set (1.0 by default).
+    [[nodiscard]] double intrinsic_level(const std::string& skill) const;
 
     void set_aggregation(const std::string& skill, Aggregation aggregation);
     void set_dependency_weight(const std::string& skill, const std::string& child,

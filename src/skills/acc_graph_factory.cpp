@@ -1,71 +1,17 @@
 #include "skills/acc_graph_factory.hpp"
 
+#include "skills/capability_registry.hpp"
+
 namespace sa::skills {
 
 SkillGraph make_acc_skill_graph(const AccGraphOptions& options) {
-    using namespace acc;
-    SkillGraph g;
-
-    g.add_skill(kAccDriving, "main skill: ACC driving");
-    g.add_skill(kControlDistance, "control distance to the preceding vehicle");
-    g.add_skill(kControlSpeed, "control speed of the ego vehicle");
-    g.add_skill(kKeepControllable, "keep the vehicle controllable for the driver");
-    g.add_skill(kEstimateDriverIntent, "estimate the driver's intent");
-    g.add_skill(kSelectTarget, "select a target object");
-    g.add_skill(kPerceiveTrack, "perceive and track dynamic objects");
-    g.add_skill(kAccelerate, "accelerate the vehicle");
-    g.add_skill(kDecelerate, "decelerate the vehicle");
-
-    g.add_sink(kPowertrain, "powertrain system (data sink)");
-    g.add_sink(kBrakeSystem, "braking system (data sink)");
-    g.add_source(kHmi, "human-machine interface (data source)");
-    if (options.split_environment_sensors) {
-        g.add_source(kRadar, "radar sensor (data source)");
-        g.add_source(kCamera, "camera sensor (data source)");
-        g.add_source(kLidar, "lidar sensor (data source)");
-    } else {
-        g.add_source("environment_sensors", "environment sensors (data source)");
-    }
-
-    // Main skill refinement.
-    g.add_dependency(kAccDriving, kControlDistance);
-    g.add_dependency(kAccDriving, kControlSpeed);
-    g.add_dependency(kAccDriving, kKeepControllable);
-
-    // Keep the vehicle controllable for the driver.
-    g.add_dependency(kKeepControllable, kEstimateDriverIntent);
-    g.add_dependency(kKeepControllable, kDecelerate);
-
-    // Distance / speed control.
-    g.add_dependency(kControlDistance, kSelectTarget);
-    g.add_dependency(kControlDistance, kEstimateDriverIntent);
-    g.add_dependency(kControlDistance, kAccelerate);
-    g.add_dependency(kControlDistance, kDecelerate);
-    g.add_dependency(kControlSpeed, kSelectTarget);
-    g.add_dependency(kControlSpeed, kEstimateDriverIntent);
-    g.add_dependency(kControlSpeed, kAccelerate);
-    g.add_dependency(kControlSpeed, kDecelerate);
-
-    // Target selection needs perception.
-    g.add_dependency(kSelectTarget, kPerceiveTrack);
-    if (options.split_environment_sensors) {
-        g.add_dependency(kPerceiveTrack, kRadar);
-        g.add_dependency(kPerceiveTrack, kCamera);
-        g.add_dependency(kPerceiveTrack, kLidar);
-    } else {
-        g.add_dependency(kPerceiveTrack, "environment_sensors");
-    }
-
-    // Driver intent needs the HMI.
-    g.add_dependency(kEstimateDriverIntent, kHmi);
-
-    // Actuation.
-    g.add_dependency(kAccelerate, kPowertrain);
-    g.add_dependency(kDecelerate, kPowertrain);
-    g.add_dependency(kDecelerate, kBrakeSystem);
-
-    g.validate();
-    return g;
+    // The ACC graph is no longer hand-wired: it instantiates from the
+    // registered spec, so "the paper's worked example" and "a spec-described
+    // maneuver" are one code path. The spec declares nodes and dependencies
+    // in the order the old factory did, keeping children() ordering — and
+    // therefore every propagate result — identical.
+    return CapabilityRegistry::builtin().instantiate(
+        options.split_environment_sensors ? "acc" : "acc_aggregate_sensors");
 }
 
 } // namespace sa::skills

@@ -1,6 +1,10 @@
 #pragma once
-// Builder for the paper's worked example (§IV): the skill graph of Adaptive
-// Cruise Control. The structure follows the text of the paper literally:
+// The paper's worked example (§IV): the skill graph of Adaptive Cruise
+// Control. Since the capability-registry rework this is a thin veneer over
+// the registered "acc" / "acc_aggregate_sensors" specs
+// (skills/capability_registry.hpp) — kept because examples, benches and
+// tests address the graph through these canonical node names.
+// The structure follows the text of the paper literally:
 //
 //   - ACC driving (main skill) requires: control distance, control speed,
 //     keep the vehicle controllable for the driver

@@ -1,0 +1,434 @@
+#include "skills/skill_graph_spec.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/assert.hpp"
+#include "util/string_util.hpp"
+
+namespace sa::skills {
+
+SpecParseError::SpecParseError(int line, const std::string& message)
+    : std::runtime_error(format("line %d: %s", line, message.c_str())), line_(line) {}
+
+bool aggregation_from_string(const std::string& text, Aggregation& out) {
+    if (text == "min") {
+        out = Aggregation::Min;
+    } else if (text == "product") {
+        out = Aggregation::Product;
+    } else if (text == "weighted_mean") {
+        out = Aggregation::WeightedMean;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+// --- builder ----------------------------------------------------------------------
+
+namespace {
+
+/// Names must lex as single identifiers in the text form, or str() output
+/// would not parse back.
+bool is_identifier(const std::string& text) {
+    if (text.empty() || (!std::isalpha(static_cast<unsigned char>(text[0])) &&
+                         text[0] != '_')) {
+        return false;
+    }
+    return std::all_of(text.begin(), text.end(), [](char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+    });
+}
+
+} // namespace
+
+SkillGraphSpec::SkillGraphSpec(std::string name) : name_(std::move(name)) {
+    SA_REQUIRE(is_identifier(name_),
+               "spec name must be an identifier ([A-Za-z_][A-Za-z0-9_]*): '" +
+                   name_ + "'");
+}
+
+SkillGraphSpec& SkillGraphSpec::add_node(NodeDecl decl) {
+    SA_REQUIRE(is_identifier(decl.name),
+               "spec node name must be an identifier ([A-Za-z_][A-Za-z0-9_]*): '" +
+                   decl.name + "'");
+    SA_REQUIRE(find_node(decl.name) == nullptr,
+               "duplicate node in spec '" + name_ + "': " + decl.name);
+    // Descriptions must survive str() -> parse(): the text form quotes them
+    // with no escape sequences, so quotes and newlines are unrepresentable.
+    SA_REQUIRE(decl.description.find('"') == std::string::npos &&
+                   decl.description.find('\n') == std::string::npos,
+               "node description must not contain '\"' or newlines: " + decl.name);
+    nodes_.push_back(std::move(decl));
+    return *this;
+}
+
+SkillGraphSpec& SkillGraphSpec::skill(std::string name, std::string description) {
+    return add_node(NodeDecl{std::move(name), SkillNodeKind::Skill,
+                             std::move(description)});
+}
+
+SkillGraphSpec& SkillGraphSpec::source(std::string name, std::string description) {
+    return add_node(NodeDecl{std::move(name), SkillNodeKind::DataSource,
+                             std::move(description)});
+}
+
+SkillGraphSpec& SkillGraphSpec::sink(std::string name, std::string description) {
+    return add_node(NodeDecl{std::move(name), SkillNodeKind::DataSink,
+                             std::move(description)});
+}
+
+SkillGraphSpec& SkillGraphSpec::depends(const std::string& parent,
+                                        const std::vector<std::string>& children) {
+    SA_REQUIRE(!children.empty(), "dependency declaration needs at least one child");
+    for (const auto& child : children) {
+        edges_.push_back(EdgeDecl{parent, child});
+    }
+    return *this;
+}
+
+SkillGraphSpec& SkillGraphSpec::aggregate(std::string skill, Aggregation aggregation) {
+    aggregates_.push_back(AggregateDecl{std::move(skill), aggregation});
+    return *this;
+}
+
+SkillGraphSpec& SkillGraphSpec::weight(std::string skill, std::string child,
+                                       double weight) {
+    SA_REQUIRE(weight > 0.0, "weights must be positive");
+    weights_.push_back(WeightDecl{std::move(skill), std::move(child), weight});
+    return *this;
+}
+
+SkillGraphSpec& SkillGraphSpec::root(std::string skill) {
+    root_ = std::move(skill);
+    return *this;
+}
+
+// --- introspection ----------------------------------------------------------------
+
+const SkillGraphSpec::NodeDecl* SkillGraphSpec::find_node(const std::string& name) const {
+    for (const auto& node : nodes_) {
+        if (node.name == name) {
+            return &node;
+        }
+    }
+    return nullptr;
+}
+
+bool SkillGraphSpec::declares_node(const std::string& name) const {
+    return find_node(name) != nullptr;
+}
+
+std::vector<std::string> SkillGraphSpec::node_names() const {
+    std::vector<std::string> out;
+    out.reserve(nodes_.size());
+    for (const auto& node : nodes_) {
+        out.push_back(node.name);
+    }
+    return out;
+}
+
+SkillNodeKind SkillGraphSpec::node_kind(const std::string& name) const {
+    const NodeDecl* node = find_node(name);
+    SA_REQUIRE(node != nullptr, "spec '" + name_ + "' declares no node: " + name);
+    return node->kind;
+}
+
+std::string SkillGraphSpec::str() const {
+    std::string out = "graph " + name_ + " {\n";
+    if (!root_.empty()) {
+        out += "  root " + root_ + ";\n";
+    }
+    for (const auto& node : nodes_) {
+        out += "  ";
+        switch (node.kind) {
+        case SkillNodeKind::Skill: out += "skill "; break;
+        case SkillNodeKind::DataSource: out += "source "; break;
+        case SkillNodeKind::DataSink: out += "sink "; break;
+        }
+        out += node.name;
+        if (!node.description.empty()) {
+            out += " \"" + node.description + "\"";
+        }
+        out += ";\n";
+    }
+    // Edges grouped by parent in declaration order (one fan-out per run).
+    for (std::size_t i = 0; i < edges_.size();) {
+        out += "  " + edges_[i].parent + " ->";
+        const std::string& parent = edges_[i].parent;
+        while (i < edges_.size() && edges_[i].parent == parent) {
+            out += " " + edges_[i].child;
+            ++i;
+        }
+        out += ";\n";
+    }
+    for (const auto& agg : aggregates_) {
+        out += "  aggregate " + agg.skill + " " +
+               std::string(to_string(agg.aggregation)) + ";\n";
+    }
+    for (const auto& w : weights_) {
+        out += "  weight " + w.skill + " " + w.child + " " +
+               format("%g", w.weight) + ";\n";
+    }
+    out += "}\n";
+    return out;
+}
+
+// --- instantiation ----------------------------------------------------------------
+
+SkillGraph SkillGraphSpec::instantiate() const {
+    SkillGraph g;
+    for (const auto& node : nodes_) {
+        switch (node.kind) {
+        case SkillNodeKind::Skill: g.add_skill(node.name, node.description); break;
+        case SkillNodeKind::DataSource: g.add_source(node.name, node.description); break;
+        case SkillNodeKind::DataSink: g.add_sink(node.name, node.description); break;
+        }
+    }
+    for (const auto& edge : edges_) {
+        g.add_dependency(edge.parent, edge.child);
+    }
+    g.validate();
+    if (!root_.empty()) {
+        const auto roots = g.roots();
+        SA_REQUIRE(std::find(roots.begin(), roots.end(), root_) != roots.end(),
+                   "spec '" + name_ + "': declared root '" + root_ +
+                       "' is not a root skill of the instantiated graph");
+    }
+    return g;
+}
+
+AbilityGraph SkillGraphSpec::instantiate_abilities(AbilityThresholds thresholds) const {
+    AbilityGraph abilities(instantiate(), thresholds);
+    for (const auto& agg : aggregates_) {
+        abilities.set_aggregation(agg.skill, agg.aggregation);
+    }
+    for (const auto& w : weights_) {
+        abilities.set_dependency_weight(w.skill, w.child, w.weight);
+    }
+    return abilities;
+}
+
+// --- parser -----------------------------------------------------------------------
+// Hand-rolled recursive-descent over a tiny token stream, mirroring the
+// structure (and error style) of model/contract_parser.
+
+namespace {
+
+enum class TokKind { Ident, Number, String, Punct, End };
+
+struct Token {
+    TokKind kind = TokKind::End;
+    std::string text;
+    int line = 0;
+};
+
+class Lexer {
+public:
+    explicit Lexer(const std::string& text) : text_(text) { advance(); }
+
+    [[nodiscard]] const Token& peek() const noexcept { return current_; }
+
+    Token take() {
+        Token t = current_;
+        advance();
+        return t;
+    }
+
+private:
+    void advance() {
+        skip_space_and_comments();
+        current_.line = line_;
+        if (pos_ >= text_.size()) {
+            current_ = Token{TokKind::End, "", line_};
+            return;
+        }
+        const char c = text_[pos_];
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::size_t start = pos_;
+            while (pos_ < text_.size() &&
+                   (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                    text_[pos_] == '_')) {
+                ++pos_;
+            }
+            current_ = Token{TokKind::Ident, text_.substr(start, pos_ - start), line_};
+            return;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+            std::size_t start = pos_;
+            while (pos_ < text_.size() &&
+                   (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                    text_[pos_] == '.')) {
+                ++pos_;
+            }
+            current_ = Token{TokKind::Number, text_.substr(start, pos_ - start), line_};
+            return;
+        }
+        if (c == '"') {
+            std::size_t start = ++pos_;
+            while (pos_ < text_.size() && text_[pos_] != '"' && text_[pos_] != '\n') {
+                ++pos_;
+            }
+            if (pos_ >= text_.size() || text_[pos_] != '"') {
+                throw SpecParseError(line_, "unterminated string literal");
+            }
+            current_ = Token{TokKind::String, text_.substr(start, pos_ - start), line_};
+            ++pos_;
+            return;
+        }
+        if (c == '-' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '>') {
+            current_ = Token{TokKind::Punct, "->", line_};
+            pos_ += 2;
+            return;
+        }
+        current_ = Token{TokKind::Punct, std::string(1, c), line_};
+        ++pos_;
+    }
+
+    void skip_space_and_comments() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '\n') {
+                ++line_;
+                ++pos_;
+            } else if (std::isspace(static_cast<unsigned char>(c))) {
+                ++pos_;
+            } else if (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '/') {
+                while (pos_ < text_.size() && text_[pos_] != '\n') {
+                    ++pos_;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    Token current_;
+};
+
+class SpecParser {
+public:
+    explicit SpecParser(const std::string& text) : lex_(text) {}
+
+    SkillGraphSpec parse_one() {
+        expect_ident("graph");
+        SkillGraphSpec spec(expect(TokKind::Ident, "graph name").text);
+        expect_punct("{");
+        while (!peek_punct("}")) {
+            parse_statement(spec);
+        }
+        expect_punct("}");
+        if (lex_.peek().kind != TokKind::End) {
+            fail("expected exactly one graph block");
+        }
+        return spec;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& msg) {
+        throw SpecParseError(lex_.peek().line, msg);
+    }
+
+    Token expect(TokKind kind, const std::string& what) {
+        if (lex_.peek().kind != kind) {
+            fail("expected " + what + ", got '" + lex_.peek().text + "'");
+        }
+        return lex_.take();
+    }
+
+    void expect_ident(const std::string& word) {
+        const Token t = expect(TokKind::Ident, "'" + word + "'");
+        if (t.text != word) {
+            throw SpecParseError(t.line, "expected '" + word + "', got '" + t.text + "'");
+        }
+    }
+
+    void expect_punct(const std::string& punct) {
+        if (lex_.peek().kind != TokKind::Punct || lex_.peek().text != punct) {
+            fail("expected '" + punct + "', got '" + lex_.peek().text + "'");
+        }
+        lex_.take();
+    }
+
+    [[nodiscard]] bool peek_punct(const std::string& punct) {
+        return lex_.peek().kind == TokKind::Punct && lex_.peek().text == punct;
+    }
+
+    std::string optional_description() {
+        if (lex_.peek().kind == TokKind::String) {
+            return lex_.take().text;
+        }
+        return {};
+    }
+
+    void parse_statement(SkillGraphSpec& spec) {
+        const Token head = expect(TokKind::Ident, "statement");
+        if (head.text == "root") {
+            spec.root(expect(TokKind::Ident, "root skill name").text);
+        } else if (head.text == "skill") {
+            const std::string name = expect(TokKind::Ident, "skill name").text;
+            spec.skill(name, optional_description());
+        } else if (head.text == "source") {
+            const std::string name = expect(TokKind::Ident, "source name").text;
+            spec.source(name, optional_description());
+        } else if (head.text == "sink") {
+            const std::string name = expect(TokKind::Ident, "sink name").text;
+            spec.sink(name, optional_description());
+        } else if (head.text == "aggregate") {
+            const std::string skill = expect(TokKind::Ident, "skill name").text;
+            const Token agg = expect(TokKind::Ident, "aggregation name");
+            Aggregation aggregation{};
+            if (!aggregation_from_string(agg.text, aggregation)) {
+                throw SpecParseError(agg.line,
+                                     "unknown aggregation '" + agg.text +
+                                         "' (min, product, weighted_mean)");
+            }
+            spec.aggregate(skill, aggregation);
+        } else if (head.text == "weight") {
+            const std::string skill = expect(TokKind::Ident, "skill name").text;
+            const std::string child = expect(TokKind::Ident, "child name").text;
+            const Token value = expect(TokKind::Number, "weight value");
+            double weight = 0.0;
+            try {
+                std::size_t consumed = 0;
+                weight = std::stod(value.text, &consumed);
+                if (consumed != value.text.size()) {
+                    throw std::invalid_argument("trailing characters");
+                }
+            } catch (const std::exception&) {
+                throw SpecParseError(value.line,
+                                     "bad weight value '" + value.text + "'");
+            }
+            if (weight <= 0.0) {
+                throw SpecParseError(value.line, "weights must be positive");
+            }
+            spec.weight(skill, child, weight);
+        } else if (peek_punct("->")) {
+            // `<parent> -> <child> [<child> ...]`
+            lex_.take();
+            std::vector<std::string> children;
+            children.push_back(expect(TokKind::Ident, "child name").text);
+            while (lex_.peek().kind == TokKind::Ident) {
+                children.push_back(lex_.take().text);
+            }
+            spec.depends(head.text, children);
+        } else {
+            throw SpecParseError(head.line, "unknown statement '" + head.text + "'");
+        }
+        expect_punct(";");
+    }
+
+    Lexer lex_;
+};
+
+} // namespace
+
+SkillGraphSpec SkillGraphSpec::parse(const std::string& text) {
+    SpecParser parser(text);
+    return parser.parse_one();
+}
+
+} // namespace sa::skills

@@ -282,4 +282,171 @@ TEST(Platoon, FogScenarioDegradedVehicleBenefits) {
     EXPECT_GT(agreement.common_speed_mps, alone);
 }
 
+// --- Maneuvers: join / leave / split ------------------------------------------------
+
+struct ManeuverRig : PlatoonRig {
+    Platoon platoon{"p1", trust};
+
+    MemberCapability member(const char* id, double safe_speed = 25.0) {
+        make_trusted(id);
+        return {id, 0.9, safe_speed, 10.0, false};
+    }
+};
+
+TEST(PlatoonManeuvers, FormKeepsConvoyOrder) {
+    ManeuverRig rig;
+    const auto& agreement = rig.platoon.form(
+        {rig.member("lead"), rig.member("mid"), rig.member("tail")}, rig.rng);
+    ASSERT_TRUE(agreement.formed) << agreement.rejected_reason;
+    EXPECT_TRUE(rig.platoon.formed());
+    EXPECT_EQ(rig.platoon.member_names(),
+              (std::vector<std::string>{"lead", "mid", "tail"}));
+    EXPECT_EQ(rig.platoon.leader(), "lead");
+    ASSERT_EQ(rig.platoon.history().size(), 1u);
+    EXPECT_EQ(rig.platoon.history()[0].kind, ManeuverKind::Form);
+}
+
+TEST(PlatoonManeuvers, JoinAppendsAtTailAndReAgrees) {
+    ManeuverRig rig;
+    (void)rig.platoon.form({rig.member("lead", 26.0), rig.member("mid", 25.0)},
+                           rig.rng);
+    const double speed_before = rig.platoon.agreement().common_speed_mps;
+    // The newcomer is slower: the re-run agreement must respect it.
+    const auto& agreement =
+        rig.platoon.join(rig.member("newcomer", 20.0), rig.rng, "fog cover");
+    ASSERT_TRUE(agreement.formed);
+    EXPECT_EQ(rig.platoon.member_names(),
+              (std::vector<std::string>{"lead", "mid", "newcomer"}));
+    EXPECT_LE(agreement.common_speed_mps, 20.0 + 0.5);
+    EXPECT_LT(agreement.common_speed_mps, speed_before);
+    const auto& record = rig.platoon.history().back();
+    EXPECT_EQ(record.kind, ManeuverKind::Join);
+    EXPECT_EQ(record.subject, "newcomer");
+    EXPECT_TRUE(record.succeeded);
+    EXPECT_EQ(record.reason, "fog cover");
+}
+
+TEST(PlatoonManeuvers, UntrustedJoinRefusedAndPlatoonUnchanged) {
+    ManeuverRig rig;
+    (void)rig.platoon.form({rig.member("lead"), rig.member("mid")}, rig.rng);
+    rig.make_untrusted("mallory");
+    const auto members_before = rig.platoon.member_names();
+    (void)rig.platoon.join({"mallory", 0.9, 25.0, 10.0, false}, rig.rng);
+    EXPECT_EQ(rig.platoon.member_names(), members_before);
+    const auto& record = rig.platoon.history().back();
+    EXPECT_EQ(record.kind, ManeuverKind::Join);
+    EXPECT_FALSE(record.succeeded);
+    EXPECT_EQ(record.reason, "candidate not trusted");
+    // Double-join is also refused.
+    (void)rig.platoon.join(rig.member("mid"), rig.rng);
+    EXPECT_FALSE(rig.platoon.history().back().succeeded);
+    EXPECT_EQ(rig.platoon.member_names(), members_before);
+}
+
+TEST(PlatoonManeuvers, LeaveRelaxesAgreementAndDissolvesBelowTwo) {
+    ManeuverRig rig;
+    (void)rig.platoon.form({rig.member("lead", 26.0), rig.member("slow", 18.0),
+                            rig.member("tail", 25.0)},
+                           rig.rng);
+    ASSERT_TRUE(rig.platoon.formed());
+    const double speed_before = rig.platoon.agreement().common_speed_mps;
+    (void)rig.platoon.leave("slow", rig.rng, "degraded follow skill");
+    EXPECT_EQ(rig.platoon.member_names(), (std::vector<std::string>{"lead", "tail"}));
+    // The slow member gone, the agreement can speed up.
+    EXPECT_GT(rig.platoon.agreement().common_speed_mps, speed_before);
+    // One more leave dissolves the platoon entirely.
+    (void)rig.platoon.leave("tail", rig.rng);
+    EXPECT_FALSE(rig.platoon.formed());
+    EXPECT_TRUE(rig.platoon.member_names().empty());
+    EXPECT_EQ(rig.platoon.history().back().kind, ManeuverKind::Dissolve);
+    // Leaving an unknown member is a recorded no-op.
+    (void)rig.platoon.leave("ghost", rig.rng);
+    EXPECT_FALSE(rig.platoon.history().back().succeeded);
+}
+
+TEST(PlatoonManeuvers, SplitDetachesTheTail) {
+    ManeuverRig rig;
+    (void)rig.platoon.form({rig.member("v1"), rig.member("v2"), rig.member("v3"),
+                            rig.member("v4")},
+                           rig.rng);
+    const auto detached = rig.platoon.split("v3", rig.rng, "v3 follow unavailable");
+    ASSERT_EQ(detached.size(), 2u);
+    EXPECT_EQ(detached[0].id, "v3");
+    EXPECT_EQ(detached[1].id, "v4");
+    // Head platoon re-agreed among v1, v2.
+    EXPECT_TRUE(rig.platoon.formed());
+    EXPECT_EQ(rig.platoon.member_names(), (std::vector<std::string>{"v1", "v2"}));
+    const auto& record = rig.platoon.history().back();
+    EXPECT_EQ(record.kind, ManeuverKind::Split);
+    EXPECT_EQ(record.detached, (std::vector<std::string>{"v3", "v4"}));
+    EXPECT_EQ(record.members_after, (std::vector<std::string>{"v1", "v2"}));
+}
+
+TEST(PlatoonManeuvers, SplitAtLeaderDissolves) {
+    ManeuverRig rig;
+    (void)rig.platoon.form({rig.member("v1"), rig.member("v2"), rig.member("v3")},
+                           rig.rng);
+    const auto detached = rig.platoon.split("v1", rig.rng);
+    EXPECT_EQ(detached.size(), 3u);
+    EXPECT_FALSE(rig.platoon.formed());
+    EXPECT_EQ(rig.platoon.history().back().kind, ManeuverKind::Dissolve);
+    // Splitting on a dissolved platoon is a recorded no-op.
+    const auto nothing = rig.platoon.split("v2", rig.rng);
+    EXPECT_TRUE(nothing.empty());
+    EXPECT_FALSE(rig.platoon.history().back().succeeded);
+}
+
+TEST(PlatoonManeuvers, UpdateMemberReRunsTheAgreement) {
+    ManeuverRig rig;
+    (void)rig.platoon.form({rig.member("lead", 26.0), rig.member("mid", 25.0)},
+                           rig.rng);
+    const double before = rig.platoon.agreement().common_speed_mps;
+    // mid's sensors degrade: its safe speed halves, the agreement follows.
+    (void)rig.platoon.update_member({"mid", 0.3, 12.0, 14.0, false}, rig.rng);
+    EXPECT_TRUE(rig.platoon.formed());
+    EXPECT_LE(rig.platoon.agreement().common_speed_mps, 12.0 + 0.5);
+    EXPECT_LT(rig.platoon.agreement().common_speed_mps, before);
+    EXPECT_THROW((void)rig.platoon.update_member({"ghost", 1.0, 20.0, 10.0, false},
+                                                 rig.rng),
+                 ContractViolation);
+}
+
+TEST(PlatoonManeuvers, ReentrantManeuverFromSignalSubscriberIsSafe) {
+    // A subscriber may react to a maneuver by triggering another one on the
+    // same platoon; the nested history_.push_back must not invalidate the
+    // record the outer emit handed out (ASan guards the dangle).
+    ManeuverRig rig;
+    (void)rig.platoon.form({rig.member("a"), rig.member("b"), rig.member("c"),
+                            rig.member("d")},
+                           rig.rng);
+    bool reacted = false;
+    std::string seen_subject;
+    rig.platoon.maneuver_performed().subscribe([&](const ManeuverRecord& record) {
+        if (record.kind == ManeuverKind::Leave && !reacted) {
+            reacted = true;
+            (void)rig.platoon.leave("d", rig.rng, "follow-up");
+            // The outer record must still be readable after the nested
+            // maneuver grew the history.
+            seen_subject = record.subject;
+        }
+    });
+    (void)rig.platoon.leave("c", rig.rng);
+    EXPECT_TRUE(reacted);
+    EXPECT_EQ(seen_subject, "c");
+    EXPECT_EQ(rig.platoon.member_names(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(PlatoonManeuvers, ManeuverSignalFires) {
+    ManeuverRig rig;
+    std::vector<ManeuverKind> seen;
+    rig.platoon.maneuver_performed().subscribe(
+        [&](const ManeuverRecord& record) { seen.push_back(record.kind); });
+    (void)rig.platoon.form({rig.member("a"), rig.member("b"), rig.member("c")},
+                           rig.rng);
+    (void)rig.platoon.leave("c", rig.rng);
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0], ManeuverKind::Form);
+    EXPECT_EQ(seen[1], ManeuverKind::Leave);
+}
+
 } // namespace

@@ -346,4 +346,321 @@ TEST(Scenario, WeatherAppliesToDrivingVehicles) {
     EXPECT_GT(ego.driving().weather().fog, 0.5);
 }
 
+// --- domain-partition contracts (regression: loud rejection, not partitioner UB) ----
+
+TEST(ScenarioBuilder, ZeroDomainsRejected) {
+    scenario::ScenarioBuilder builder(1);
+    EXPECT_THROW(builder.domains(0), ContractViolation);
+    // The builder stays usable after the rejected call.
+    builder.domains(2);
+    (void)builder.vehicle("ego").ecu(
+        {"ecu", 1.0, 0.75, model::Asil::D, "zone", "part"});
+    EXPECT_NO_THROW((void)builder.build());
+}
+
+TEST(ScenarioBuilder, OutOfRangeDomainPinRejectedAtBuild) {
+    // Pin beyond the declared partition.
+    scenario::ScenarioBuilder sharded(1);
+    sharded.domains(2);
+    sharded.vehicle("ego")
+        .ecu({"ecu", 1.0, 0.75, model::Asil::D, "zone", "part"})
+        .domain(2);
+    EXPECT_THROW((void)sharded.build(), ContractViolation);
+
+    // Pin on an unsharded scenario: only domain 0 exists.
+    scenario::ScenarioBuilder unsharded(1);
+    unsharded.vehicle("ego")
+        .ecu({"ecu", 1.0, 0.75, model::Asil::D, "zone", "part"})
+        .domain(1);
+    EXPECT_THROW((void)unsharded.build(), ContractViolation);
+
+    // The largest valid pin is fine.
+    scenario::ScenarioBuilder ok(1);
+    ok.domains(3);
+    ok.vehicle("ego")
+        .ecu({"ecu", 1.0, 0.75, model::Asil::D, "zone", "part"})
+        .domain(2);
+    EXPECT_NO_THROW((void)ok.build());
+}
+
+// --- declarative skills + unified degradation --------------------------------------
+
+TEST(VehicleBuilder, SkillGraphFromSpecAppliesSpecAggregations) {
+    sim::Simulator simulator(3);
+    scenario::VehicleBuilder builder("ego");
+    builder.skill_graph("platoon_follow");
+    auto vehicle = builder.build(simulator);
+    ASSERT_TRUE(vehicle->has_abilities());
+    EXPECT_EQ(vehicle->root_skill(), skills::caps::kPlatoonFollow);
+    // The spec's weighted tracking fusion is active: killing V2V leaves
+    // radar-dominant partial tracking (2/3), not min-collapse to 0.
+    vehicle->abilities().set_source_level(skills::caps::kV2vLink, 0.0);
+    vehicle->abilities().propagate();
+    EXPECT_NEAR(vehicle->abilities().level(skills::caps::kTrackLeadVehicle),
+                2.0 / 3.0, 1e-12);
+}
+
+TEST(VehicleBuilder, SpecWithoutRootRejected) {
+    skills::SkillGraphSpec spec("rootless");
+    spec.skill("s").sink("out").depends("s", {"out"});
+    scenario::VehicleBuilder builder("ego");
+    EXPECT_THROW(builder.skill_graph(spec), ContractViolation);
+}
+
+TEST(VehicleBuilder, DegradationPolicyRequiresSkillGraph) {
+    sim::Simulator simulator(3);
+    scenario::VehicleBuilder builder("ego");
+    builder.degradation_policy(skills::DegradationPolicy{});
+    EXPECT_THROW((void)builder.build(simulator), ContractViolation);
+}
+
+TEST(VehicleBuilder, DegradationPolicyRoutesAlarmsIntoAbilities) {
+    sim::Simulator simulator(3);
+    scenario::VehicleBuilder builder("ego");
+    vehicle::ScenarioConfig cfg;
+    cfg.control_period = Duration::ms(50);
+    monitor::SensorQualityConfig quality;
+    quality.expected_period = cfg.control_period;
+    builder.driving(cfg)
+        .sensor({vehicle::SensorType::Radar, "radar", 150.0, 0.3, 0.002}, quality)
+        .acc_skills()
+        .degradation_policy(skills::DegradationPolicy{})
+        .self_model(Duration::ms(100));
+    auto vehicle = builder.build(simulator);
+    ASSERT_TRUE(vehicle->has_degradation_policy());
+
+    // A synthetic sensor_failed alarm through the monitor stream maps onto
+    // the radar capability via the registry's alarm bindings.
+    monitor::Anomaly anomaly;
+    anomaly.at = simulator.now();
+    anomaly.domain = monitor::Domain::Sensor;
+    anomaly.severity = monitor::Severity::Critical;
+    anomaly.source = skills::acc::kRadar;
+    anomaly.kind = "sensor_failed";
+    vehicle->monitors().anomalies().emit(anomaly);
+    EXPECT_DOUBLE_EQ(vehicle->abilities().level(skills::acc::kRadar), 0.0);
+    EXPECT_EQ(vehicle->degradation_policy().history().size(), 1u);
+
+    // The self-model snapshot carries the degraded root ability.
+    simulator.run_until(Time(Duration::ms(250).count_ns()));
+    const auto& snap = vehicle->self_model().latest();
+    ASSERT_TRUE(snap.root_ability.has_value());
+    EXPECT_EQ(snap.root_skill, skills::acc::kAccDriving);
+    EXPECT_LT(*snap.root_ability, 1.0);
+}
+
+// --- managed platoon maneuvers -----------------------------------------------------
+
+TEST(Scenario, ManeuverEngineSplitsOnDegradedFollowSkill) {
+    scenario::ScenarioBuilder builder(11);
+    for (const char* name : {"lead", "mid", "tail"}) {
+        builder.vehicle(name).skill_graph("platoon_follow");
+        builder.trust(name, 12).platoon_candidate({name, 0.9, 24.0, 10.0, false});
+    }
+    platoon::ManeuverPolicy policy;
+    policy.check_period = Duration::ms(100);
+    policy.leave_below = 0.5;
+    policy.split_below = 0.15;
+    builder.platoon_maneuvers(policy);
+    builder.at(Duration::ms(50), [](scenario::Scenario& s) {
+        (void)s.form_managed_platoon();
+    });
+    // mid's V2V and radar both die: follow skill collapses -> split.
+    builder.at(Duration::ms(150), [](scenario::Scenario& s) {
+        auto& abilities = s.vehicle("mid").abilities();
+        abilities.set_source_level(skills::caps::kV2vLink, 0.0);
+        abilities.set_source_level(skills::acc::kRadar, 0.0);
+        abilities.propagate();
+    });
+    auto scenario = builder.build();
+    scenario->run(Duration::ms(500));
+
+    ASSERT_TRUE(scenario->has_platoon());
+    auto& platoon = scenario->platoon();
+    // Split at "mid": head platoon dissolved (only "lead" left), mid+tail
+    // detached.
+    ASSERT_EQ(scenario->detached_members().size(), 2u);
+    EXPECT_EQ(scenario->detached_members()[0].id, "mid");
+    EXPECT_EQ(scenario->detached_members()[1].id, "tail");
+    bool saw_split = false;
+    for (const auto& record : platoon.history()) {
+        if (record.kind == platoon::ManeuverKind::Split) {
+            saw_split = true;
+            EXPECT_EQ(record.subject, "mid");
+        }
+    }
+    EXPECT_TRUE(saw_split);
+}
+
+TEST(Scenario, ManeuverEngineLeavesOnModeratelyDegradedFollowSkill) {
+    scenario::ScenarioBuilder builder(11);
+    for (const char* name : {"lead", "mid", "tail"}) {
+        builder.vehicle(name).skill_graph("platoon_follow");
+        builder.trust(name, 12).platoon_candidate({name, 0.9, 24.0, 10.0, false});
+    }
+    platoon::ManeuverPolicy policy;
+    policy.check_period = Duration::ms(100);
+    builder.platoon_maneuvers(policy);
+    builder.at(Duration::ms(50), [](scenario::Scenario& s) {
+        (void)s.form_managed_platoon();
+    });
+    // tail's V2V link dims to 0.4: command reception caps the follow skill
+    // at 0.4 — between split_below and leave_below -> leave, no split.
+    builder.at(Duration::ms(150), [](scenario::Scenario& s) {
+        auto& abilities = s.vehicle("tail").abilities();
+        abilities.set_source_level(skills::caps::kV2vLink, 0.4);
+        abilities.propagate();
+    });
+    auto scenario = builder.build();
+    scenario->run(Duration::ms(500));
+
+    auto& platoon = scenario->platoon();
+    EXPECT_TRUE(platoon.formed());
+    EXPECT_EQ(platoon.member_names(), (std::vector<std::string>{"lead", "mid"}));
+    EXPECT_TRUE(scenario->detached_members().empty());
+    bool saw_leave = false;
+    for (const auto& record : platoon.history()) {
+        saw_leave |= record.kind == platoon::ManeuverKind::Leave;
+        EXPECT_NE(record.kind, platoon::ManeuverKind::Split);
+    }
+    EXPECT_TRUE(saw_leave);
+}
+
+TEST(Scenario, ManeuverEngineJoinsDegradedCandidate) {
+    scenario::ScenarioBuilder builder(11);
+    for (const char* name : {"lead", "mid", "straggler"}) {
+        builder.vehicle(name).skill_graph("platoon_follow");
+        builder.trust(name, 12).platoon_candidate({name, 0.9, 24.0, 10.0, false});
+    }
+    platoon::ManeuverPolicy policy;
+    policy.check_period = Duration::ms(100);
+    policy.join_below = 0.85; // degraded candidates seek the platoon's cover
+    builder.platoon_maneuvers(policy);
+    // Form from the two healthy vehicles only.
+    builder.at(Duration::ms(50), [](scenario::Scenario& s) {
+        (void)s.platoon().form({{"lead", 0.9, 24.0, 10.0, false},
+                                {"mid", 0.9, 24.0, 10.0, false}},
+                               s.rng());
+    });
+    // The straggler's own follow skill degrades below join_below.
+    builder.at(Duration::ms(150), [](scenario::Scenario& s) {
+        auto& abilities = s.vehicle("straggler").abilities();
+        abilities.set_source_level(skills::acc::kRadar, 0.4);
+        abilities.propagate();
+    });
+    auto scenario = builder.build();
+    scenario->run(Duration::ms(500));
+
+    auto& platoon = scenario->platoon();
+    ASSERT_TRUE(platoon.formed());
+    EXPECT_EQ(platoon.member_names(),
+              (std::vector<std::string>{"lead", "mid", "straggler"}));
+    const bool joined =
+        std::any_of(platoon.history().begin(), platoon.history().end(),
+                    [](const platoon::ManeuverRecord& record) {
+                        return record.kind == platoon::ManeuverKind::Join &&
+                               record.succeeded;
+                    });
+    EXPECT_TRUE(joined);
+}
+
+TEST(Scenario, ManeuverEngineDoesNotOscillateBetweenLeaveAndJoin) {
+    // A member whose follow skill sits below leave_below must leave once
+    // and stay out — not re-join on the next check just because join_below
+    // is higher (the hysteresis band is [leave_below, join_below)).
+    scenario::ScenarioBuilder builder(11);
+    for (const char* name : {"lead", "mid", "wobbly"}) {
+        builder.vehicle(name).skill_graph("platoon_follow");
+        builder.trust(name, 12).platoon_candidate({name, 0.9, 24.0, 10.0, false});
+    }
+    platoon::ManeuverPolicy policy;
+    policy.check_period = Duration::ms(100);
+    policy.leave_below = 0.5;
+    policy.split_below = 0.15;
+    policy.join_below = 0.85; // > leave_below: the oscillation trap
+    builder.platoon_maneuvers(policy);
+    builder.at(Duration::ms(50), [](scenario::Scenario& s) {
+        (void)s.form_managed_platoon();
+    });
+    builder.at(Duration::ms(150), [](scenario::Scenario& s) {
+        auto& abilities = s.vehicle("wobbly").abilities();
+        // follow ends at 0.45: below leave_below, above split_below.
+        abilities.set_source_level(skills::caps::kV2vLink, 0.45);
+        abilities.propagate();
+    });
+    auto scenario = builder.build();
+    scenario->run(Duration::sec(1));
+
+    auto& platoon = scenario->platoon();
+    EXPECT_EQ(platoon.member_names(), (std::vector<std::string>{"lead", "mid"}));
+    int leaves = 0;
+    int joins = 0;
+    for (const auto& record : platoon.history()) {
+        leaves += record.kind == platoon::ManeuverKind::Leave;
+        joins += record.kind == platoon::ManeuverKind::Join;
+    }
+    EXPECT_EQ(leaves, 1);
+    EXPECT_EQ(joins, 0);
+}
+
+TEST(Scenario, ManeuverEngineParksOnDissolveAndReArms) {
+    // 2-member platoon: one leave dissolves it; the parked engine must not
+    // act again until form_managed_platoon() re-arms it.
+    scenario::ScenarioBuilder builder(11);
+    for (const char* name : {"lead", "tail"}) {
+        builder.vehicle(name).skill_graph("platoon_follow");
+        builder.trust(name, 12).platoon_candidate({name, 0.9, 24.0, 10.0, false});
+    }
+    platoon::ManeuverPolicy policy;
+    policy.check_period = Duration::ms(100);
+    builder.platoon_maneuvers(policy);
+    builder.at(Duration::ms(50), [](scenario::Scenario& s) {
+        (void)s.form_managed_platoon();
+    });
+    builder.at(Duration::ms(150), [](scenario::Scenario& s) {
+        auto& abilities = s.vehicle("tail").abilities();
+        abilities.set_source_level(skills::caps::kV2vLink, 0.4);
+        abilities.propagate();
+    });
+    auto scenario = builder.build();
+    scenario->run(Duration::sec(1));
+    EXPECT_FALSE(scenario->platoon().formed());
+    const auto history_size = scenario->platoon().history().size();
+
+    // Recovery: the wobbly member heals, a re-form re-arms the engine, and
+    // a fresh degradation triggers a fresh leave.
+    scenario->vehicle("tail").abilities().set_source_level(skills::caps::kV2vLink,
+                                                           1.0);
+    scenario->vehicle("tail").abilities().propagate();
+    (void)scenario->form_managed_platoon();
+    EXPECT_TRUE(scenario->platoon().formed());
+    scenario->vehicle("tail").abilities().set_source_level(skills::caps::kV2vLink,
+                                                           0.4);
+    scenario->vehicle("tail").abilities().propagate();
+    scenario->run_for(Duration::ms(300));
+    EXPECT_FALSE(scenario->platoon().formed()); // left again -> dissolved again
+    EXPECT_GT(scenario->platoon().history().size(), history_size);
+}
+
+TEST(Scenario, PlatoonAccessorRequiresManeuversDeclaration) {
+    scenario::ScenarioBuilder builder(1);
+    (void)builder.vehicle("ego").ecu(
+        {"ecu", 1.0, 0.75, model::Asil::D, "zone", "part"});
+    auto scenario = builder.build();
+    EXPECT_FALSE(scenario->has_platoon());
+    EXPECT_THROW((void)scenario->platoon(), ContractViolation);
+    EXPECT_THROW((void)scenario->maneuver_policy(), ContractViolation);
+}
+
+TEST(ScenarioBuilder, ManeuverPolicyValidated) {
+    scenario::ScenarioBuilder builder(1);
+    platoon::ManeuverPolicy inverted;
+    inverted.leave_below = 0.1;
+    inverted.split_below = 0.5;
+    EXPECT_THROW(builder.platoon_maneuvers(inverted), ContractViolation);
+    platoon::ManeuverPolicy no_skill;
+    no_skill.follow_skill = "";
+    EXPECT_THROW(builder.platoon_maneuvers(no_skill), ContractViolation);
+}
+
 } // namespace

@@ -507,6 +507,88 @@ TEST(ShardedDeterminism, DomainCountDoesNotChangeTheResults) {
     EXPECT_EQ(one.v2v, four.v2v);
 }
 
+// --- determinism: degradation-triggered split across domain counts ------------------
+
+/// The platoon-maneuver workload: three dual-bus platoon_follow vehicles
+/// under the maneuver engine. A script degrades beta's radar+V2V
+/// capabilities mid-run; its follow skill collapses and the engine splits
+/// the platoon at beta — counters, CAN traces, platoon membership and the
+/// maneuver history must reproduce bit-for-bit across domain counts.
+RunFingerprint run_maneuver_platoon(std::size_t num_domains, std::uint64_t seed) {
+    scenario::ScenarioBuilder builder(seed);
+    builder.domains(num_domains);
+    for (const char* name : kPlatoonVehicles) {
+        scenario::presets::declare_platoon_follow_vehicle(builder, name);
+        builder.trust(name, 14).platoon_candidate({name, 0.9, 24.0, 10.0, false});
+    }
+    platoon::ManeuverPolicy policy;
+    // Off-grid check period: no collision with any periodic of the preset
+    // (20 ms tasks, 500 ms self-model), so script-barrier ordering vs.
+    // single-queue ordering cannot diverge at shared timestamps.
+    policy.check_period = Duration::ms(247);
+    builder.platoon_maneuvers(policy);
+    builder
+        .at(Duration::ms(100),
+            [](scenario::Scenario& s) { (void)s.form_managed_platoon(); })
+        .at(Duration::ms(600), [](scenario::Scenario& s) {
+            auto& abilities = s.vehicle("beta").abilities();
+            abilities.set_source_level(skills::caps::kV2vLink, 0.0);
+            abilities.set_source_level(skills::acc::kRadar, 0.0);
+            abilities.propagate();
+        });
+    auto scenario = builder.build();
+    scenario->run(Duration::sec(2), num_domains);
+
+    RunFingerprint fp;
+    for (const char* name : kPlatoonVehicles) {
+        auto& v = scenario->vehicle(name);
+        std::string s = v.report().str();
+        s += "| follow=" +
+             std::to_string(v.abilities().level(skills::caps::kPlatoonFollow));
+        s += "\n" + trace_fingerprint(v.rte().can_bus("can_sense").trace());
+        s += trace_fingerprint(v.rte().can_bus("can_act").trace());
+        fp.vehicles.push_back(std::move(s));
+    }
+    std::string platoon_state = "members:";
+    for (const auto& name : scenario->platoon().member_names()) {
+        platoon_state += " " + name;
+    }
+    platoon_state += " detached:";
+    for (const auto& m : scenario->detached_members()) {
+        platoon_state += " " + m.id;
+    }
+    for (const auto& record : scenario->platoon().history()) {
+        platoon_state += "\n" + record.str();
+    }
+    fp.v2v = std::move(platoon_state);
+    return fp;
+}
+
+TEST(ShardedDeterminism, ManeuverScenarioReproducesPerDomainCount) {
+    for (std::size_t domains : {1u, 2u, 4u}) {
+        const RunFingerprint first = run_maneuver_platoon(domains, 4242);
+        const RunFingerprint second = run_maneuver_platoon(domains, 4242);
+        EXPECT_EQ(first, second) << "non-reproducible at domains=" << domains;
+    }
+}
+
+TEST(ShardedDeterminism, ManeuverScenarioIdenticalAcrossDomainCounts) {
+    const RunFingerprint one = run_maneuver_platoon(1, 4242);
+    const RunFingerprint two = run_maneuver_platoon(2, 4242);
+    const RunFingerprint four = run_maneuver_platoon(4, 4242);
+    ASSERT_EQ(one.vehicles.size(), 3u);
+    for (std::size_t i = 0; i < one.vehicles.size(); ++i) {
+        EXPECT_EQ(one.vehicles[i], two.vehicles[i])
+            << kPlatoonVehicles[i] << " diverged between 1 and 2 domains";
+        EXPECT_EQ(one.vehicles[i], four.vehicles[i])
+            << kPlatoonVehicles[i] << " diverged between 1 and 4 domains";
+    }
+    EXPECT_EQ(one.v2v, two.v2v) << "platoon/maneuver state diverged (2 domains)";
+    EXPECT_EQ(one.v2v, four.v2v) << "platoon/maneuver state diverged (4 domains)";
+    // And the degradation actually triggered the maneuver we claim to test.
+    EXPECT_NE(one.v2v.find("split(beta)"), std::string::npos) << one.v2v;
+}
+
 TEST(ShardedDeterminism, PinnedVehiclesDoNotConsumeRoundRobinSlots) {
     scenario::ScenarioBuilder builder(7);
     builder.domains(2);

@@ -1,11 +1,15 @@
-// Tests for skill graphs, ability graphs, aggregation, degradation tactics
-// and the ACC example of §IV.
+// Tests for skill graphs, ability graphs, aggregation, degradation tactics,
+// the ACC example of §IV, and the declarative capability layer (specs,
+// registry, degradation policy).
 
 #include <gtest/gtest.h>
 
 #include "skills/ability_graph.hpp"
 #include "skills/acc_graph_factory.hpp"
+#include "skills/capability_registry.hpp"
 #include "skills/degradation.hpp"
+#include "skills/degradation_policy.hpp"
+#include "skills/skill_graph_spec.hpp"
 #include "util/assert.hpp"
 
 namespace {
@@ -352,6 +356,441 @@ TEST(AccGraph, FogScenarioDegradesPerception) {
     fused.set_source_level(acc::kRadar, 0.9);
     fused.propagate();
     EXPECT_GT(fused.level(acc::kPerceiveTrack), 0.5);
+}
+
+// --- SkillGraphSpec ----------------------------------------------------------------
+
+constexpr const char* kTinySpecText = R"(
+    // the tiny_graph() fixture, as a spec
+    graph tiny {
+      root drive;
+      skill drive "main";
+      skill perceive;
+      skill brake;
+      source radar "range sensor";
+      sink brake_hw;
+      drive -> perceive brake;
+      perceive -> radar;
+      brake -> brake_hw;
+      aggregate drive weighted_mean;
+      weight drive perceive 3.0;
+      weight drive brake 1.0;
+    }
+)";
+
+TEST(SkillGraphSpec, ParsesAndInstantiates) {
+    const auto spec = SkillGraphSpec::parse(kTinySpecText);
+    EXPECT_EQ(spec.name(), "tiny");
+    EXPECT_EQ(spec.root_skill(), "drive");
+    EXPECT_EQ(spec.node_count(), 5u);
+    EXPECT_EQ(spec.edge_count(), 4u);
+    const auto g = spec.instantiate();
+    EXPECT_NO_THROW(g.validate());
+    EXPECT_EQ(g.children("drive"), (std::vector<std::string>{"perceive", "brake"}));
+    EXPECT_EQ(g.node("radar").kind, SkillNodeKind::DataSource);
+    EXPECT_EQ(g.node("radar").description, "range sensor");
+    EXPECT_EQ(g.node("brake_hw").kind, SkillNodeKind::DataSink);
+}
+
+TEST(SkillGraphSpec, InstantiateAbilitiesAppliesAggregationAndWeights) {
+    const auto spec = SkillGraphSpec::parse(kTinySpecText);
+    auto abilities = spec.instantiate_abilities();
+    abilities.set_source_level("radar", 0.0);
+    abilities.propagate();
+    // weighted mean at drive: (perceive 0 * 3 + brake 1 * 1) / 4 = 0.25.
+    EXPECT_DOUBLE_EQ(abilities.level("drive"), 0.25);
+}
+
+TEST(SkillGraphSpec, StrRoundTrips) {
+    const auto spec = SkillGraphSpec::parse(kTinySpecText);
+    const auto reparsed = SkillGraphSpec::parse(spec.str());
+    EXPECT_EQ(reparsed.str(), spec.str());
+    EXPECT_EQ(reparsed.node_names(), spec.node_names());
+    EXPECT_EQ(reparsed.root_skill(), spec.root_skill());
+    // Same propagate behaviour after the round trip.
+    auto a = spec.instantiate_abilities();
+    auto b = reparsed.instantiate_abilities();
+    a.set_source_level("radar", 0.4);
+    b.set_source_level("radar", 0.4);
+    a.propagate();
+    b.propagate();
+    EXPECT_EQ(a.snapshot(), b.snapshot());
+}
+
+TEST(SkillGraphSpec, BuilderFormEqualsParsedForm) {
+    SkillGraphSpec built("tiny");
+    built.root("drive")
+        .skill("drive", "main")
+        .skill("perceive")
+        .skill("brake")
+        .source("radar", "range sensor")
+        .sink("brake_hw")
+        .depends("drive", {"perceive", "brake"})
+        .depends("perceive", {"radar"})
+        .depends("brake", {"brake_hw"})
+        .aggregate("drive", Aggregation::WeightedMean)
+        .weight("drive", "perceive", 3.0)
+        .weight("drive", "brake", 1.0);
+    EXPECT_EQ(built.str(), SkillGraphSpec::parse(kTinySpecText).str());
+}
+
+TEST(SkillGraphSpec, ParseErrorsCarryLineNumbers) {
+    EXPECT_THROW((void)SkillGraphSpec::parse("graph g { bogus x; }"), SpecParseError);
+    EXPECT_THROW((void)SkillGraphSpec::parse("graph g { skill s "), SpecParseError);
+    EXPECT_THROW((void)SkillGraphSpec::parse(
+                     "graph g { skill s; aggregate s median; s -> s; }"),
+                 SpecParseError);
+    EXPECT_THROW((void)SkillGraphSpec::parse("graph g { skill s \"unterminated; }"),
+                 SpecParseError);
+    // Malformed weight numbers surface as SpecParseError, not raw std::stod
+    // exceptions; partially-consumed tokens ("1.2.3") and non-positive
+    // weights are rejected the same way.
+    const char* const kWeightPrefix =
+        "graph g { skill a; sink b; a -> b; weight a b ";
+    for (const char* value : {".;", "1.2.3;", "0;"}) {
+        EXPECT_THROW((void)SkillGraphSpec::parse(std::string(kWeightPrefix) + value +
+                                                 " }"),
+                     SpecParseError)
+            << value;
+    }
+    try {
+        (void)SkillGraphSpec::parse("graph g {\n  skill a;\n  bogus x;\n}");
+        FAIL() << "expected SpecParseError";
+    } catch (const SpecParseError& err) {
+        EXPECT_EQ(err.line(), 3);
+    }
+}
+
+TEST(SkillGraphSpec, DuplicateNodesAndBadRootRejected) {
+    SkillGraphSpec spec("dup");
+    spec.skill("a");
+    EXPECT_THROW(spec.skill("a"), ContractViolation);
+    // Descriptions that cannot survive the quote-delimited text form are
+    // rejected at declaration (the round-trip promise stays honest).
+    EXPECT_THROW(spec.skill("q", "inner \" quote"), ContractViolation);
+    EXPECT_THROW(spec.source("n", "line\nbreak"), ContractViolation);
+    // Declared root that is not a root of the instantiated graph.
+    SkillGraphSpec bad("bad");
+    bad.root("child")
+        .skill("top")
+        .skill("child")
+        .sink("out")
+        .depends("top", {"child"})
+        .depends("child", {"out"});
+    EXPECT_THROW((void)bad.instantiate(), ContractViolation);
+}
+
+// --- ACC-as-spec parity -------------------------------------------------------------
+
+/// The retired hand-wired factory, reproduced verbatim: the spec-instantiated
+/// graph must match it node for node, edge for edge, and propagate for
+/// propagate.
+SkillGraph hand_wired_acc() {
+    using namespace acc;
+    SkillGraph g;
+    g.add_skill(kAccDriving);
+    g.add_skill(kControlDistance);
+    g.add_skill(kControlSpeed);
+    g.add_skill(kKeepControllable);
+    g.add_skill(kEstimateDriverIntent);
+    g.add_skill(kSelectTarget);
+    g.add_skill(kPerceiveTrack);
+    g.add_skill(kAccelerate);
+    g.add_skill(kDecelerate);
+    g.add_sink(kPowertrain);
+    g.add_sink(kBrakeSystem);
+    g.add_source(kHmi);
+    g.add_source(kRadar);
+    g.add_source(kCamera);
+    g.add_source(kLidar);
+    g.add_dependency(kAccDriving, kControlDistance);
+    g.add_dependency(kAccDriving, kControlSpeed);
+    g.add_dependency(kAccDriving, kKeepControllable);
+    g.add_dependency(kKeepControllable, kEstimateDriverIntent);
+    g.add_dependency(kKeepControllable, kDecelerate);
+    g.add_dependency(kControlDistance, kSelectTarget);
+    g.add_dependency(kControlDistance, kEstimateDriverIntent);
+    g.add_dependency(kControlDistance, kAccelerate);
+    g.add_dependency(kControlDistance, kDecelerate);
+    g.add_dependency(kControlSpeed, kSelectTarget);
+    g.add_dependency(kControlSpeed, kEstimateDriverIntent);
+    g.add_dependency(kControlSpeed, kAccelerate);
+    g.add_dependency(kControlSpeed, kDecelerate);
+    g.add_dependency(kSelectTarget, kPerceiveTrack);
+    g.add_dependency(kPerceiveTrack, kRadar);
+    g.add_dependency(kPerceiveTrack, kCamera);
+    g.add_dependency(kPerceiveTrack, kLidar);
+    g.add_dependency(kEstimateDriverIntent, kHmi);
+    g.add_dependency(kAccelerate, kPowertrain);
+    g.add_dependency(kDecelerate, kPowertrain);
+    g.add_dependency(kDecelerate, kBrakeSystem);
+    g.validate();
+    return g;
+}
+
+TEST(AccAsSpec, StructureIdenticalToHandWiredFactory) {
+    const SkillGraph reference = hand_wired_acc();
+    const SkillGraph from_spec = make_acc_skill_graph();
+    EXPECT_EQ(from_spec.node_names(), reference.node_names());
+    EXPECT_EQ(from_spec.edge_count(), reference.edge_count());
+    for (const auto& name : reference.node_names()) {
+        EXPECT_EQ(from_spec.node(name).kind, reference.node(name).kind) << name;
+        EXPECT_EQ(from_spec.children(name), reference.children(name)) << name;
+        EXPECT_EQ(from_spec.parents(name), reference.parents(name)) << name;
+    }
+    EXPECT_EQ(from_spec.topological_order(), reference.topological_order());
+}
+
+TEST(AccAsSpec, PropagateResultsIdenticalToHandWiredFactory) {
+    // Sweep a grid of source degradations (with the fog-style weighted
+    // perception fusion) through both graphs: every node level must match
+    // exactly, not approximately.
+    for (double camera : {1.0, 0.6, 0.1, 0.0}) {
+        for (double brake : {1.0, 0.35, 0.0}) {
+            AbilityGraph reference(hand_wired_acc());
+            AbilityGraph from_spec(make_acc_skill_graph());
+            for (AbilityGraph* ag : {&reference, &from_spec}) {
+                ag->set_aggregation(acc::kPerceiveTrack, Aggregation::WeightedMean);
+                ag->set_dependency_weight(acc::kPerceiveTrack, acc::kRadar, 3.0);
+                ag->set_dependency_weight(acc::kPerceiveTrack, acc::kCamera, 1.0);
+                ag->set_dependency_weight(acc::kPerceiveTrack, acc::kLidar, 1.0);
+                ag->set_source_level(acc::kCamera, camera);
+                ag->set_source_level(acc::kBrakeSystem, brake);
+            }
+            EXPECT_EQ(reference.propagate(), from_spec.propagate());
+            EXPECT_EQ(reference.snapshot(), from_spec.snapshot())
+                << "camera=" << camera << " brake=" << brake;
+        }
+    }
+}
+
+// --- CapabilityRegistry -------------------------------------------------------------
+
+TEST(CapabilityRegistry, BuiltinCatalogueIsComplete) {
+    const auto& registry = CapabilityRegistry::builtin();
+    EXPECT_EQ(registry.spec_names(),
+              (std::vector<std::string>{"acc", "acc_aggregate_sensors",
+                                        "emergency_stop", "lane_keep",
+                                        "platoon_follow"}));
+    for (const auto& name : registry.spec_names()) {
+        const auto g = registry.instantiate(name);
+        EXPECT_NO_THROW(g.validate()) << name;
+        const auto& spec = registry.spec(name);
+        EXPECT_FALSE(spec.root_skill().empty()) << name;
+        // Every spec node is a registered capability of the declared kind.
+        for (const auto& node : spec.node_names()) {
+            ASSERT_TRUE(registry.has_capability(node)) << name << "/" << node;
+            EXPECT_EQ(registry.capability(node).node_kind, g.node(node).kind)
+                << name << "/" << node;
+        }
+    }
+    EXPECT_GE(registry.capability_count(), 30u);
+}
+
+TEST(CapabilityRegistry, NewManeuverGraphsHaveExpectedRoots) {
+    const auto& registry = CapabilityRegistry::builtin();
+    EXPECT_EQ(registry.instantiate("lane_keep").roots(),
+              (std::vector<std::string>{caps::kLaneKeeping}));
+    EXPECT_EQ(registry.instantiate("emergency_stop").roots(),
+              (std::vector<std::string>{caps::kEmergencyStop}));
+    EXPECT_EQ(registry.instantiate("platoon_follow").roots(),
+              (std::vector<std::string>{caps::kPlatoonFollow}));
+
+    // platoon_follow: losing V2V degrades command reception hard but the
+    // radar-dominant tracking fusion keeps partial follow ability.
+    auto abilities = registry.instantiate_abilities("platoon_follow");
+    abilities.set_source_level(caps::kV2vLink, 0.0);
+    abilities.propagate();
+    EXPECT_DOUBLE_EQ(abilities.level(caps::kReceivePlatoonCommands), 0.0);
+    EXPECT_NEAR(abilities.level(caps::kTrackLeadVehicle), 2.0 / 3.0, 1e-12);
+    EXPECT_EQ(abilities.ability(caps::kPlatoonFollow), AbilityLevel::Unavailable);
+}
+
+TEST(CapabilityRegistry, RejectsSpecsReferencingUnknownCapabilities) {
+    CapabilityRegistry registry;
+    registry.register_capability(
+        Capability{"known", SkillNodeKind::Skill, "", {{QualityKind::Accuracy, 1.0}}});
+    SkillGraphSpec spec("bad");
+    spec.root("known").skill("known").source("ghost").depends("known", {"ghost"});
+    EXPECT_THROW(registry.register_spec(spec), ContractViolation);
+    // Kind mismatch is also a catalogue bug.
+    CapabilityRegistry mismatched;
+    mismatched.register_capability(Capability{
+        "node", SkillNodeKind::DataSink, "", {{QualityKind::Availability, 1.0}}});
+    SkillGraphSpec wrong_kind("bad2");
+    wrong_kind.skill("node");
+    EXPECT_THROW(mismatched.register_spec(wrong_kind), ContractViolation);
+}
+
+TEST(CapabilityRegistry, AlarmBindingsMatchAnomalies) {
+    const auto& registry = CapabilityRegistry::builtin();
+    monitor::Anomaly anomaly;
+    anomaly.domain = monitor::Domain::Sensor;
+    anomaly.kind = "sensor_failed";
+    anomaly.source = acc::kRadar;
+    const auto matched = registry.match(anomaly);
+    ASSERT_EQ(matched.size(), 1u);
+    EXPECT_EQ(matched[0]->capability_for(anomaly), acc::kRadar);
+    EXPECT_EQ(matched[0]->quality, QualityKind::Availability);
+    EXPECT_DOUBLE_EQ(matched[0]->degraded_value, 0.0);
+
+    anomaly.kind = "no_such_kind";
+    EXPECT_TRUE(registry.match(anomaly).empty());
+    anomaly.kind = "sensor_failed";
+    anomaly.domain = monitor::Domain::Network; // wrong domain
+    EXPECT_TRUE(registry.match(anomaly).empty());
+}
+
+// --- DegradationPolicy --------------------------------------------------------------
+
+monitor::Anomaly sensor_anomaly(const char* kind, const char* source) {
+    monitor::Anomaly anomaly;
+    anomaly.domain = monitor::Domain::Sensor;
+    anomaly.kind = kind;
+    anomaly.source = source;
+    return anomaly;
+}
+
+TEST(DegradationPolicy, MapsAlarmsOntoCapabilityDowngrades) {
+    auto abilities = CapabilityRegistry::builtin().instantiate_abilities("acc");
+    DegradationPolicy policy;
+    EXPECT_TRUE(policy.apply(sensor_anomaly("sensor_failed", acc::kCamera), abilities));
+    abilities.propagate();
+    EXPECT_DOUBLE_EQ(abilities.level(acc::kCamera), 0.0);
+    EXPECT_EQ(abilities.ability(acc::kPerceiveTrack), AbilityLevel::Unavailable);
+    ASSERT_EQ(policy.history().size(), 1u);
+    EXPECT_EQ(policy.history()[0].capability, acc::kCamera);
+    EXPECT_EQ(policy.history()[0].quality, QualityKind::Availability);
+    // Unmatched anomalies change nothing.
+    EXPECT_FALSE(policy.apply(sensor_anomaly("bogus", acc::kCamera), abilities));
+    // Re-applying the same downgrade is idempotent.
+    EXPECT_FALSE(policy.apply(sensor_anomaly("sensor_failed", acc::kCamera), abilities));
+    // ... but a re-asserted alarm wins over a direct graph write made since
+    // (e.g. a tactic refreshing a level from actuator state).
+    abilities.set_source_level(acc::kCamera, 0.8);
+    EXPECT_TRUE(policy.apply(sensor_anomaly("sensor_failed", acc::kCamera), abilities));
+    EXPECT_DOUBLE_EQ(abilities.level(acc::kCamera), 0.0);
+}
+
+TEST(DegradationPolicy, EffectiveLevelIsMinOverQualities) {
+    auto abilities = CapabilityRegistry::builtin().instantiate_abilities("acc");
+    DegradationPolicy policy;
+    // Degrade accuracy first, then availability harder.
+    EXPECT_TRUE(policy.apply(sensor_anomaly("sensor_degraded", acc::kRadar), abilities));
+    EXPECT_DOUBLE_EQ(abilities.level(acc::kRadar), 0.35);
+    EXPECT_TRUE(policy.apply(sensor_anomaly("sensor_failed", acc::kRadar), abilities));
+    EXPECT_DOUBLE_EQ(abilities.level(acc::kRadar), 0.0);
+    // Availability comes back (a relink rule), but the degraded accuracy
+    // still caps the effective level: min over tracked qualities.
+    AlarmBinding relink;
+    relink.anomaly_kind = "radar_relinked";
+    relink.capability = acc::kRadar;
+    relink.quality = QualityKind::Availability;
+    relink.degraded_value = 1.0;
+    policy.on_anomaly(relink);
+    monitor::Anomaly relinked;
+    relinked.kind = "radar_relinked";
+    EXPECT_TRUE(policy.apply(relinked, abilities));
+    EXPECT_DOUBLE_EQ(abilities.level(acc::kRadar), 0.35);
+    EXPECT_DOUBLE_EQ(policy.effective_level(acc::kRadar), 0.35);
+    // The builtin sensor_recovered binding restores the remaining quality.
+    EXPECT_TRUE(
+        policy.apply(sensor_anomaly("sensor_recovered", acc::kRadar), abilities));
+    EXPECT_DOUBLE_EQ(abilities.level(acc::kRadar), 1.0);
+    // restore() clears the tracked state entirely.
+    policy.restore(acc::kRadar, abilities);
+    EXPECT_DOUBLE_EQ(policy.effective_level(acc::kRadar), 1.0);
+}
+
+TEST(DegradationPolicy, ScenarioRulesExtendTheRegistry) {
+    auto abilities = CapabilityRegistry::builtin().instantiate_abilities("acc");
+    DegradationPolicy policy;
+    AlarmBinding rule;
+    rule.anomaly_kind = "component_contained";
+    rule.source = "brake_ctrl";
+    rule.capability = acc::kBrakeSystem;
+    rule.quality = QualityKind::Availability;
+    rule.degraded_value = 0.35;
+    policy.on_anomaly(rule);
+
+    monitor::Anomaly contained;
+    contained.domain = monitor::Domain::Security;
+    contained.kind = "component_contained";
+    contained.source = "brake_ctrl";
+    EXPECT_TRUE(policy.apply(contained, abilities));
+    abilities.propagate();
+    EXPECT_DOUBLE_EQ(abilities.level(acc::kBrakeSystem), 0.35);
+    EXPECT_EQ(abilities.ability(acc::kDecelerate), AbilityLevel::Marginal);
+    // A different source does not match the rule.
+    contained.source = "perception";
+    EXPECT_FALSE(policy.apply(contained, abilities));
+}
+
+TEST(DegradationPolicy, SkillDowngradesStayIdempotentWithDegradedChildren) {
+    // Idempotence must compare against what the policy wrote (the skill's
+    // intrinsic cap), not the propagated level, which also reflects the
+    // degraded children and never matches the imposed value.
+    auto abilities = CapabilityRegistry::builtin().instantiate_abilities("acc");
+    abilities.set_source_level(acc::kRadar, 0.0);
+    abilities.set_source_level(acc::kCamera, 0.0);
+    abilities.set_source_level(acc::kLidar, 0.0);
+    abilities.propagate();
+    DegradationPolicy policy;
+    AlarmBinding rule;
+    rule.anomaly_kind = "tracker_diverged";
+    rule.capability = acc::kPerceiveTrack;
+    rule.quality = QualityKind::Accuracy;
+    rule.degraded_value = 0.35;
+    policy.on_anomaly(rule);
+    monitor::Anomaly anomaly;
+    anomaly.kind = "tracker_diverged";
+    EXPECT_TRUE(policy.apply(anomaly, abilities));
+    ASSERT_EQ(policy.history().size(), 1u);
+    // Re-asserting the identical alarm (e.g. monitor stream + the ability
+    // layer hook both seeing it) is a recorded-once no-op.
+    EXPECT_FALSE(policy.apply(anomaly, abilities));
+    EXPECT_FALSE(policy.apply(anomaly, abilities));
+    EXPECT_EQ(policy.history().size(), 1u);
+    EXPECT_DOUBLE_EQ(abilities.intrinsic_level(acc::kPerceiveTrack), 0.35);
+}
+
+TEST(SkillGraphSpec, NonIdentifierNamesRejected) {
+    // Names that cannot lex as one identifier would break parse(str()).
+    EXPECT_THROW(SkillGraphSpec("bad name"), ContractViolation);
+    EXPECT_THROW(SkillGraphSpec("1st"), ContractViolation);
+    SkillGraphSpec spec("ok");
+    EXPECT_THROW(spec.skill("front radar"), ContractViolation);
+    EXPECT_THROW(spec.source("a-b"), ContractViolation);
+    EXPECT_NO_THROW(spec.skill("front_radar_2"));
+}
+
+TEST(DegradationPolicy, SkillCapabilitiesDowngradeIntrinsically) {
+    auto abilities = CapabilityRegistry::builtin().instantiate_abilities("acc");
+    DegradationPolicy policy;
+    AlarmBinding rule;
+    rule.anomaly_kind = "tracker_diverged";
+    rule.capability = acc::kPerceiveTrack;
+    rule.quality = QualityKind::Accuracy;
+    rule.degraded_value = 0.4;
+    policy.on_anomaly(rule);
+    monitor::Anomaly anomaly;
+    anomaly.kind = "tracker_diverged";
+    anomaly.source = "tracker";
+    EXPECT_TRUE(policy.apply(anomaly, abilities));
+    abilities.propagate();
+    // Intrinsic cap: sources are all nominal, the skill itself is degraded.
+    EXPECT_DOUBLE_EQ(abilities.level(acc::kPerceiveTrack), 0.4);
+    EXPECT_DOUBLE_EQ(abilities.level(acc::kRadar), 1.0);
+}
+
+TEST(DegradationPolicy, SkipsCapabilitiesOutsideTheGraph) {
+    // lane_keep has no radar: a radar alarm must be a no-op, not an error.
+    auto abilities = CapabilityRegistry::builtin().instantiate_abilities("lane_keep");
+    DegradationPolicy policy;
+    EXPECT_FALSE(policy.apply(sensor_anomaly("sensor_failed", acc::kRadar), abilities));
+    EXPECT_TRUE(policy.apply(sensor_anomaly("sensor_failed", acc::kCamera), abilities));
+    abilities.propagate();
+    EXPECT_EQ(abilities.ability(caps::kDetectLaneMarkings), AbilityLevel::Unavailable);
 }
 
 TEST(AccGraph, RearBrakeLossScenario) {
