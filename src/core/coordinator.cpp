@@ -16,12 +16,12 @@ CrossLayerCoordinator::CrossLayerCoordinator(sim::Simulator& simulator,
 
 void CrossLayerCoordinator::register_layer(std::unique_ptr<Layer> layer) {
     SA_REQUIRE(layer != nullptr, "layer must not be null");
-    SA_REQUIRE(layers_.count(layer->id()) == 0,
+    SA_REQUIRE(!layers_.contains(layer->id()),
                std::string("layer already registered: ") + to_string(layer->id()));
     layers_[layer->id()] = std::move(layer);
 }
 
-bool CrossLayerCoordinator::has_layer(LayerId id) const { return layers_.count(id) > 0; }
+bool CrossLayerCoordinator::has_layer(LayerId id) const { return layers_.contains(id); }
 
 Layer& CrossLayerCoordinator::layer(LayerId id) {
     auto it = layers_.find(id);

@@ -1,0 +1,252 @@
+#include "lint/model_rules.hpp"
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "util/string_util.hpp"
+
+namespace sa::lint {
+namespace {
+
+using model::Contract;
+
+std::string component_subject(const std::string& component,
+                              const std::string& what) {
+    return "component " + component + " / " + what;
+}
+
+} // namespace
+
+LintReport lint_contracts(const std::vector<Contract>& contracts) {
+    LintReport report;
+
+    // Index services and messages in one pass.
+    std::map<std::string, std::vector<std::string>> providers; // service -> comps
+    std::set<std::string> required;
+    std::set<std::string> components;
+    std::map<std::string, std::string> message_owner; // message -> component
+    for (const Contract& contract : contracts) {
+        components.insert(contract.component);
+        for (const auto& provided : contract.provides) {
+            providers[provided.name].push_back(contract.component);
+        }
+        for (const auto& req : contract.requires_) {
+            required.insert(req.name);
+        }
+    }
+
+    for (const Contract& contract : contracts) {
+        // MDL001: requires with no provider anywhere.
+        for (const auto& req : contract.requires_) {
+            if (!providers.contains(req.name)) {
+                report.add("MDL001",
+                           component_subject(contract.component,
+                                             "requires " + req.name),
+                           "no component provides service '" + req.name + "'");
+            }
+        }
+        // MDL007: redundancy partner must exist.
+        if (contract.redundant_with.has_value() &&
+            !components.contains(*contract.redundant_with)) {
+            report.add("MDL007", component_subject(contract.component,
+                                                   "redundant_with"),
+                       "names unknown component '" + *contract.redundant_with +
+                           "'");
+        }
+        // MDL004 (names): message names are global mapping keys — a second
+        // declaration would silently alias the first in Mapping's maps.
+        for (const auto& message : contract.messages) {
+            auto [it, inserted] =
+                message_owner.emplace(message.name, contract.component);
+            if (!inserted) {
+                report.add("MDL004",
+                           component_subject(contract.component,
+                                             "message " + message.name),
+                           "duplicate message name (also declared by '" +
+                               it->second + "'); mapping keys would alias");
+            }
+        }
+    }
+
+    // MDL002 / MDL008: unused and ambiguous services.
+    for (const auto& [service, provided_by] : providers) {
+        if (!required.contains(service)) {
+            report.add("MDL002", "service " + service,
+                       "provided by '" + provided_by.front() +
+                           "' but never required");
+        }
+        if (provided_by.size() > 1) {
+            std::string list = provided_by.front();
+            for (std::size_t i = 1; i < provided_by.size(); ++i) {
+                list += ", " + provided_by[i];
+            }
+            report.add("MDL008", "service " + service,
+                       "multiple providers (" + list +
+                           "); provider_of() resolves to none");
+        }
+    }
+
+    // MDL004 (ids): explicit CAN ids colliding on the same declared bus. The
+    // mapper keeps explicit ids verbatim, so this collision survives into
+    // the technical architecture.
+    std::map<std::pair<std::string, std::uint32_t>, std::string> explicit_ids;
+    for (const Contract& contract : contracts) {
+        for (const auto& message : contract.messages) {
+            if (message.can_id == 0) {
+                continue;
+            }
+            auto [it, inserted] = explicit_ids.emplace(
+                std::make_pair(message.bus, message.can_id), message.name);
+            if (!inserted && it->second != message.name) {
+                report.add(
+                    "MDL004",
+                    component_subject(contract.component,
+                                      "message " + message.name),
+                    format("explicit CAN id 0x%x collides with message '%s'%s",
+                           message.can_id, it->second.c_str(),
+                           message.bus.empty() ? "" :
+                               (" on bus '" + message.bus + "'").c_str()));
+            }
+        }
+    }
+
+    return report;
+}
+
+LintReport lint_system(const model::FunctionModel& functions,
+                       const model::PlatformModel& platform,
+                       const model::Mapping* mapping) {
+    LintReport report = lint_contracts(functions.contracts());
+
+    // MDL005: contract references to platform elements.
+    for (const Contract& contract : functions.contracts()) {
+        if (contract.pinned_ecu.has_value() &&
+            platform.find_ecu(*contract.pinned_ecu) == nullptr) {
+            report.add("MDL005", component_subject(contract.component, "pin"),
+                       "pinned to unknown ECU '" + *contract.pinned_ecu + "'");
+        }
+        for (const auto& message : contract.messages) {
+            if (!message.bus.empty() &&
+                platform.find_bus(message.bus) == nullptr) {
+                report.add("MDL005",
+                           component_subject(contract.component,
+                                             "message " + message.name),
+                           "declares unknown bus '" + message.bus + "'");
+            }
+        }
+    }
+
+    if (mapping == nullptr) {
+        return report;
+    }
+
+    // MDL005: mapping targets must exist on the platform.
+    for (const auto& [component, ecu] : mapping->component_to_ecu) {
+        if (platform.find_ecu(ecu) == nullptr) {
+            report.add("MDL005", component_subject(component, "mapping"),
+                       "mapped to unknown ECU '" + ecu + "'");
+        }
+    }
+    for (const auto& [message, bus] : mapping->message_to_bus) {
+        if (platform.find_bus(bus) == nullptr) {
+            report.add("MDL005", "message " + message,
+                       "mapped to unknown bus '" + bus + "'");
+        }
+    }
+
+    // MDL003: CpuWcrtAnalysis requires unique priorities per ECU.
+    std::map<std::pair<std::string, int>, std::string> priorities;
+    for (const auto& [qualified, priority] : mapping->task_priority) {
+        const auto dot = qualified.find('.');
+        const std::string component = qualified.substr(0, dot);
+        const std::string ecu = mapping->ecu_of(component);
+        if (ecu.empty()) {
+            continue; // unplaced component: nothing to collide with
+        }
+        auto [it, inserted] =
+            priorities.emplace(std::make_pair(ecu, priority), qualified);
+        if (!inserted) {
+            report.add("MDL003", "task " + qualified,
+                       format("priority %d on ECU '%s' already used by '%s'",
+                              priority, ecu.c_str(), it->second.c_str()));
+        }
+    }
+
+    // MDL004: CanWcrtAnalysis requires unique CAN ids per bus.
+    std::map<std::pair<std::string, std::uint32_t>, std::string> bus_ids;
+    for (const auto& [message, id] : mapping->message_id) {
+        auto bus_it = mapping->message_to_bus.find(message);
+        const std::string bus =
+            bus_it == mapping->message_to_bus.end() ? std::string{} : bus_it->second;
+        auto [it, inserted] =
+            bus_ids.emplace(std::make_pair(bus, id), message);
+        if (!inserted) {
+            report.add("MDL004", "message " + message,
+                       format("assigned CAN id 0x%x on bus '%s' already used "
+                              "by message '%s'",
+                              id, bus.c_str(), it->second.c_str()));
+        }
+    }
+
+    return report;
+}
+
+LintReport lint_chain(const std::string& chain_name,
+                      const std::vector<analysis::ChainStage>& stages,
+                      const model::FunctionModel& functions,
+                      const model::PlatformModel& platform,
+                      const model::Mapping& mapping) {
+    LintReport report;
+    const std::string subject = "chain " + chain_name;
+
+    // Message names across all contracts (stage entities for CanMessage).
+    std::set<std::string> messages;
+    for (const Contract& contract : functions.contracts()) {
+        for (const auto& message : contract.messages) {
+            messages.insert(message.name);
+        }
+    }
+
+    std::size_t index = 0;
+    for (const auto& stage : stages) {
+        const std::string where = format("%s / stage %zu", subject.c_str(), index);
+        ++index;
+        if (stage.kind == analysis::ChainStage::Kind::CpuTask) {
+            if (platform.find_ecu(stage.resource) == nullptr) {
+                report.add("MDL006", where,
+                           "names unknown ECU '" + stage.resource + "'");
+            }
+            const auto dot = stage.entity.find('.');
+            const std::string component = stage.entity.substr(0, dot);
+            const std::string task =
+                dot == std::string::npos ? std::string{}
+                                         : stage.entity.substr(dot + 1);
+            const Contract* contract = functions.find(component);
+            if (contract == nullptr || contract->find_task(task) == nullptr) {
+                report.add("MDL006", where,
+                           "names unknown task '" + stage.entity + "'");
+            } else {
+                const std::string placed = mapping.ecu_of(component);
+                if (!placed.empty() && placed != stage.resource) {
+                    report.add("MDL006", where,
+                               "task '" + stage.entity + "' is mapped to '" +
+                                   placed + "', not '" + stage.resource + "'");
+                }
+            }
+        } else {
+            if (platform.find_bus(stage.resource) == nullptr) {
+                report.add("MDL006", where,
+                           "names unknown bus '" + stage.resource + "'");
+            }
+            if (!messages.contains(stage.entity)) {
+                report.add("MDL006", where,
+                           "names unknown message '" + stage.entity + "'");
+            }
+        }
+    }
+    return report;
+}
+
+} // namespace sa::lint

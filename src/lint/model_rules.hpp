@@ -1,0 +1,44 @@
+#pragma once
+// Model-layer lint rules (MDL001-MDL008): structural consistency of the
+// contract set, the platform references inside it, and — when a mapping is
+// available — the undocumented preconditions of the WCRT analyses (unique
+// task priorities per ECU, unique CAN ids per bus). These are the checks
+// Mcc::integrate() runs as its pre-analysis structural gate: cheap set/map
+// passes, no fixed-point iteration.
+
+#include <string>
+#include <vector>
+
+#include "analysis/chain_latency.hpp"
+#include "lint/diagnostics.hpp"
+#include "model/function_model.hpp"
+#include "model/mapping.hpp"
+#include "model/platform_model.hpp"
+
+namespace sa::lint {
+
+/// Platform-free checks over a raw contract set: dangling requires (MDL001),
+/// unused provides (MDL002), duplicate message names / explicit CAN ids on
+/// one declared bus (MDL004), unknown redundancy partners (MDL007) and
+/// ambiguous providers (MDL008). This is what tools/sa_lint runs on parsed
+/// contract files, where no platform exists yet.
+[[nodiscard]] LintReport
+lint_contracts(const std::vector<model::Contract>& contracts);
+
+/// Everything lint_contracts() checks, plus platform-reference validation
+/// (MDL005) and — when `mapping` is non-null — duplicate task priorities per
+/// ECU (MDL003) and duplicate assigned CAN ids per bus (MDL004).
+[[nodiscard]] LintReport lint_system(const model::FunctionModel& functions,
+                                     const model::PlatformModel& platform,
+                                     const model::Mapping* mapping = nullptr);
+
+/// Validate a cause-effect chain definition against the mapped system
+/// (MDL006): every stage must name a known task/message on a known, matching
+/// resource.
+[[nodiscard]] LintReport
+lint_chain(const std::string& chain_name,
+           const std::vector<analysis::ChainStage>& stages,
+           const model::FunctionModel& functions,
+           const model::PlatformModel& platform, const model::Mapping& mapping);
+
+} // namespace sa::lint

@@ -1,0 +1,63 @@
+#pragma once
+// Plain-data description of a scenario topology for the scenario-layer lint
+// rules. ScenarioBuilder/VehicleBuilder fill these shapes from their private
+// declaration state (VehicleBuilder::describe()); keeping the shapes
+// std-only avoids a scenario <-> lint include cycle and lets tests fabricate
+// broken topologies without touching a builder.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sa::lint {
+
+/// One directional forwarding rule. `from`/`to` are node keys: the plain bus
+/// name inside a vehicle's gateway, "vehicle:bus" in a scenario bridge.
+struct RouteShape {
+    std::string from;
+    std::string to;
+    std::uint32_t id = 0;
+    std::uint32_t mask = 0; ///< 0 forwards every frame
+};
+
+struct GatewayShape {
+    std::string name;
+    std::vector<RouteShape> routes;
+    long long forward_latency_ns = 0;
+};
+
+/// An ECU-bound monitor declaration ("thermal_guard", "deadline_monitor",
+/// "budget_monitor", "monitor_overhead").
+struct MonitorRefShape {
+    std::string kind;
+    std::string ecu;
+};
+
+struct VehicleShape {
+    std::string name;
+    std::optional<std::size_t> domain_pin;
+    std::vector<std::string> ecus;
+    std::vector<std::string> buses;
+    std::vector<std::string> sensors;
+    std::vector<std::string> raw_tasks;
+    std::vector<std::string> components; ///< parsed contract components
+    std::vector<GatewayShape> gateways;
+    std::vector<MonitorRefShape> ecu_monitors;
+    std::vector<std::string> heartbeat_watches;
+    bool has_skill_graph = false;
+    std::vector<std::string> skill_nodes;
+    /// (sensor name, bound skill node) for sensors with a non-empty binding.
+    std::vector<std::pair<std::string, std::string>> sensor_skill_bindings;
+};
+
+struct ScenarioShape {
+    std::size_t num_domains = 1;
+    std::vector<VehicleShape> vehicles; ///< declaration order (round-robin order)
+    std::vector<GatewayShape> bridges;  ///< routes use "vehicle:bus" keys
+    bool v2v_enabled = false;
+    long long v2v_latency_ns = 0;
+};
+
+} // namespace sa::lint

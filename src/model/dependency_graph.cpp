@@ -46,7 +46,7 @@ void DependencyGraph::add_edge(DepNodeId from, DepNodeId to, DepEdgeKind kind) {
     edges_.push_back(DepEdge{std::move(from), std::move(to), kind});
 }
 
-bool DependencyGraph::has_node(const DepNodeId& node) const { return nodes_.count(node) > 0; }
+bool DependencyGraph::has_node(const DepNodeId& node) const { return nodes_.contains(node); }
 
 std::vector<DepNodeId> DependencyGraph::nodes() const {
     return {nodes_.begin(), nodes_.end()};

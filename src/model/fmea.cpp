@@ -90,7 +90,7 @@ FmeaEntry FmeaEngine::analyze(const DepNodeId& failed, FailureMode mode) const {
             if (!pair) {
                 continue;
             }
-            if (lost.count(other.component) == 0) {
+            if (!lost.contains(other.component)) {
                 entry.mitigations.push_back(other.component + " covers " + name);
                 mitigated = true;
             }

@@ -210,7 +210,7 @@ MappingResult Mapper::map(const FunctionModel& functions, const PlatformModel& p
             if (m.spec->can_id != 0) {
                 mapping.message_id[m.spec->name] = m.spec->can_id;
             } else {
-                while (used.count(next_id) > 0) {
+                while (used.contains(next_id)) {
                     ++next_id;
                 }
                 mapping.message_id[m.spec->name] = next_id;

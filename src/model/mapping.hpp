@@ -28,7 +28,7 @@ struct Mapping {
 
     [[nodiscard]] std::string ecu_of(const std::string& component) const;
     [[nodiscard]] bool placed(const std::string& component) const {
-        return component_to_ecu.count(component) > 0;
+        return component_to_ecu.contains(component);
     }
 };
 

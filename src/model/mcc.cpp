@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "lint/model_rules.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 #include "util/string_util.hpp"
@@ -86,7 +87,31 @@ IntegrationReport Mcc::integrate(const ChangeRequest& change) {
     }
     report.mapping = mapped.mapping;
 
-    // Step 3: viewpoint acceptance tests.
+    // Step 3: structural lint gate. The WCRT viewpoints assume unique
+    // priorities per ECU and unique CAN ids per bus; a structurally broken
+    // candidate must be rejected *here*, with findings, not silently
+    // mis-analyzed two steps later.
+    if (options_.run_lint) {
+        report.lint = lint::lint_system(candidate, platform_, &mapped.mapping);
+        for (const auto& finding : report.lint.findings()) {
+            report.steps.push_back(IntegrationStep{
+                "lint:" + finding.rule,
+                finding.severity != lint::Severity::Error,
+                finding.subject + ": " + finding.message});
+        }
+        if (!report.lint.ok()) {
+            std::string reason = "structural lint failed:";
+            for (const auto& finding : report.lint.findings()) {
+                if (finding.severity == lint::Severity::Error) {
+                    reason += " [" + finding.rule + "] " + finding.subject;
+                }
+            }
+            report.rejection_reason = reason;
+            return report;
+        }
+    }
+
+    // Step 4: viewpoint acceptance tests.
     const SystemModel system{candidate, platform_, mapped.mapping};
     bool all_passed = true;
     for (auto& vp : viewpoints_) {
@@ -114,7 +139,7 @@ IntegrationReport Mcc::integrate(const ChangeRequest& change) {
         return report;
     }
 
-    // Step 4: commit.
+    // Step 5: commit.
     functions_ = std::move(candidate);
     mapping_ = mapped.mapping;
     rebuild_committed_artifacts();

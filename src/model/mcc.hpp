@@ -6,8 +6,10 @@
 //
 //   1. merge the change into a candidate function model
 //   2. map the candidate onto the platform (technical architecture)
-//   3. run every viewpoint analysis as acceptance tests
-//   4. on success: commit the candidate, derive the executable RteConfig and
+//   3. run the sa::lint structural gate (cheap consistency checks; reject
+//      with findings before the expensive analyses see a broken model)
+//   4. run every viewpoint analysis as acceptance tests
+//   5. on success: commit the candidate, derive the executable RteConfig and
 //      the monitor configuration; on failure: reject, keep the old model
 //
 // At run time the MCC ingests monitoring metrics (Fig. 1 "metrics" arrow),
@@ -19,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "lint/diagnostics.hpp"
 #include "model/dependency_graph.hpp"
 #include "model/fmea.hpp"
 #include "model/latency_viewpoint.hpp"
@@ -50,12 +53,18 @@ struct IntegrationReport {
     std::vector<IntegrationStep> steps;
     std::vector<ViewpointReport> viewpoints;
     Mapping mapping; ///< candidate mapping (committed only if accepted)
+    /// Findings of the structural gate (one "lint:<RULE>" step each).
+    lint::LintReport lint;
 
     [[nodiscard]] const ViewpointReport* viewpoint(const std::string& name) const;
 };
 
 struct MccOptions {
     bool run_fmea = true; ///< include the automated FMEA sweep as evidence
+    /// Run the sa::lint structural gate between mapping and the viewpoint
+    /// acceptance tests: any Error-severity finding rejects the change before
+    /// the expensive WCRT analyses see a model they silently mis-handle.
+    bool run_lint = true;
 };
 
 class Mcc {

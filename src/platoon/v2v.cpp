@@ -38,7 +38,7 @@ void V2vChannel::join(const std::string& name, Receiver receiver) {
 void V2vChannel::join(const std::string& name, sim::Simulator& home,
                       Receiver receiver) {
     SA_REQUIRE(static_cast<bool>(receiver), "receiver must be callable");
-    SA_REQUIRE(members_.count(name) == 0, "duplicate channel member: " + name);
+    SA_REQUIRE(!members_.contains(name), "duplicate channel member: " + name);
     SA_REQUIRE(&home == &simulator_ || (simulator_.shard() != nullptr &&
                                         home.shard() == simulator_.shard()),
                "member home must be the channel's simulator or a domain of "

@@ -21,7 +21,7 @@ void AccessControl::revoke_all(const std::string& client) {
 }
 
 bool AccessControl::allowed(const std::string& client, const std::string& service) const {
-    const bool ok = rules_.count({client, service}) > 0;
+    const bool ok = rules_.contains({client, service});
     if (!ok) {
         denied_.emit(client, service);
     }

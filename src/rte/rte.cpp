@@ -10,7 +10,7 @@ Rte::Rte(sim::Simulator& simulator, Duration ipc_latency)
 
 Ecu& Rte::add_ecu(EcuConfig config) {
     SA_REQUIRE(!config.name.empty(), "ECU needs a name");
-    SA_REQUIRE(ecus_.count(config.name) == 0, "duplicate ECU name: " + config.name);
+    SA_REQUIRE(!ecus_.contains(config.name), "duplicate ECU name: " + config.name);
     auto ecu = std::make_unique<Ecu>(simulator_, config);
     Ecu& ref = *ecu;
     ecus_[config.name] = std::move(ecu);
@@ -23,7 +23,7 @@ Ecu& Rte::ecu(const std::string& name) {
     return *it->second;
 }
 
-bool Rte::has_ecu(const std::string& name) const { return ecus_.count(name) > 0; }
+bool Rte::has_ecu(const std::string& name) const { return ecus_.contains(name); }
 
 std::vector<std::string> Rte::ecu_names() const {
     std::vector<std::string> names;
@@ -35,7 +35,7 @@ std::vector<std::string> Rte::ecu_names() const {
 }
 
 can::CanBus& Rte::add_can_bus(const std::string& name, can::CanBusConfig config) {
-    SA_REQUIRE(buses_.count(name) == 0, "duplicate bus name: " + name);
+    SA_REQUIRE(!buses_.contains(name), "duplicate bus name: " + name);
     auto bus = std::make_unique<can::CanBus>(simulator_, name, config);
     can::CanBus& ref = *bus;
     buses_[name] = std::move(bus);
@@ -54,9 +54,9 @@ void Rte::apply(const RteConfig& config) {
         access_.grant(client, service);
     }
     for (const auto& spec : config.components) {
-        SA_REQUIRE(ecus_.count(spec.ecu) > 0,
+        SA_REQUIRE(ecus_.contains(spec.ecu),
                    "component " + spec.name + " bound to unknown ECU " + spec.ecu);
-        if (components_.count(spec.name) > 0) {
+        if (components_.contains(spec.name)) {
             // Update: replace the component (stop old, start new spec).
             components_[spec.name]->stop();
             components_.erase(spec.name);
@@ -85,7 +85,7 @@ Component& Rte::component(const std::string& name) {
 }
 
 bool Rte::has_component(const std::string& name) const {
-    return components_.count(name) > 0;
+    return components_.contains(name);
 }
 
 std::vector<std::string> Rte::component_names() const {

@@ -94,7 +94,7 @@ void FixedPriorityScheduler::stop() {
 }
 
 void FixedPriorityScheduler::release(TaskId id) {
-    SA_REQUIRE(tasks_.count(id) > 0, "release of unknown task");
+    SA_REQUIRE(tasks_.contains(id), "release of unknown task");
     release_job(id);
 }
 

@@ -69,7 +69,7 @@ public:
     /// Remove a task; pending jobs of that task are discarded.
     void remove_task(TaskId id);
 
-    [[nodiscard]] bool has_task(TaskId id) const { return tasks_.count(id) > 0; }
+    [[nodiscard]] bool has_task(TaskId id) const { return tasks_.contains(id); }
     [[nodiscard]] const RtTaskConfig* task_config(TaskId id) const;
 
     void start();

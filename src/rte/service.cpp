@@ -13,7 +13,7 @@ ServiceRegistry::ServiceRegistry(sim::Simulator& simulator, AccessControl& acces
 void ServiceRegistry::provide(const std::string& provider, const std::string& service,
                               ServiceHandler handler) {
     SA_REQUIRE(static_cast<bool>(handler), "service needs a handler: " + service);
-    SA_REQUIRE(services_.count(service) == 0 || !services_.at(service).active,
+    SA_REQUIRE(!services_.contains(service) || !services_.at(service).active,
                "service already provided: " + service);
     services_[service] = ServiceEntry{provider, std::move(handler), true};
 }

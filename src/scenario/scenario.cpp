@@ -42,7 +42,7 @@ std::size_t Scenario::run_for(sim::Duration span) {
 }
 
 bool Scenario::has_vehicle(const std::string& name) const {
-    return vehicles_.count(name) > 0;
+    return vehicles_.contains(name);
 }
 
 Vehicle& Scenario::vehicle(const std::string& name) {
@@ -69,7 +69,7 @@ void Scenario::join_v2v(const std::string& vehicle_name,
 }
 
 bool Scenario::has_bridge(const std::string& name) const {
-    return bridges_.count(name) > 0;
+    return bridges_.contains(name);
 }
 
 can::BusGateway& Scenario::bridge(const std::string& name) {

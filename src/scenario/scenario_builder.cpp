@@ -2,7 +2,12 @@
 
 #include <algorithm>
 
+#include "lint/model_rules.hpp"
+#include "lint/scenario_rules.hpp"
+#include "lint/skills_rules.hpp"
+#include "model/contract_parser.hpp"
 #include "util/assert.hpp"
+#include "util/string_util.hpp"
 
 namespace sa::scenario {
 
@@ -77,7 +82,76 @@ ScenarioBuilder& ScenarioBuilder::at(sim::Duration when,
     return *this;
 }
 
+lint::LintReport
+ScenarioBuilder::lint(const skills::CapabilityRegistry& registry) const {
+    lint::LintReport report;
+
+    // Scenario-layer topology rules (SCN*).
+    lint::ScenarioShape shape;
+    shape.num_domains = num_domains_;
+    shape.v2v_enabled = v2v_enabled_;
+    shape.v2v_latency_ns = v2v_latency_.count_ns();
+    for (const auto& name : order_) {
+        auto it = std::find_if(builders_.begin(), builders_.end(),
+                               [&](const VehicleBuilder& b) {
+                                   return b.name() == name;
+                               });
+        SA_ASSERT(it != builders_.end(), "builder list out of sync");
+        lint::VehicleShape vehicle;
+        it->describe(vehicle);
+        shape.vehicles.push_back(std::move(vehicle));
+    }
+    for (const auto& spec : bridges_) {
+        lint::GatewayShape bridge;
+        bridge.name = spec.name;
+        bridge.forward_latency_ns = spec.forward_latency.count_ns();
+        for (const auto& route : spec.routes) {
+            bridge.routes.push_back(lint::RouteShape{
+                route.from_vehicle + ":" + route.from_bus,
+                route.to_vehicle + ":" + route.to_bus, route.id, route.mask});
+        }
+        shape.bridges.push_back(std::move(bridge));
+    }
+    report.merge(lint::lint_scenario(shape));
+
+    // Model- and skills-layer rules per vehicle.
+    for (const auto& builder : builders_) {
+        try {
+            const model::ChangeRequest change = builder.change_request();
+            if (!change.contracts.empty()) {
+                const model::FunctionModel functions{change.contracts};
+                report.merge(
+                    lint::lint_system(functions, builder.platform_model()));
+            }
+        } catch (const model::ParseError& error) {
+            report.add("TXT001",
+                       "vehicle " + builder.name() + " / contracts",
+                       format("line %d: %s", error.line(), error.what()));
+        }
+        if (builder.skill_spec().has_value()) {
+            report.merge(lint::lint_spec(*builder.skill_spec(), &registry));
+        }
+        if (builder.declared_degradation_policy().has_value()) {
+            const auto& policy = *builder.declared_degradation_policy();
+            for (const auto& rule : policy.extra_rules()) {
+                report.merge(lint::lint_binding(rule, policy.registry()));
+            }
+        }
+    }
+    return report;
+}
+
+ScenarioBuilder& ScenarioBuilder::strict(bool enabled) {
+    strict_ = enabled;
+    return *this;
+}
+
 std::unique_ptr<Scenario> ScenarioBuilder::build() {
+    if (strict_) {
+        const lint::LintReport report = lint();
+        SA_REQUIRE(report.error_count() + report.warning_count() == 0,
+                   "strict scenario lint failed:\n" + report.str());
+    }
     auto scenario = std::unique_ptr<Scenario>(new Scenario(seed_, num_domains_));
     std::size_t round_robin = 0;
     for (const auto& name : order_) {
@@ -100,7 +174,7 @@ std::unique_ptr<Scenario> ScenarioBuilder::build() {
         scenario->order_.push_back(name);
     }
     for (const auto& spec : bridges_) {
-        SA_REQUIRE(scenario->bridges_.count(spec.name) == 0,
+        SA_REQUIRE(!scenario->bridges_.contains(spec.name),
                    "duplicate bridge: " + spec.name);
         auto gateway =
             std::make_unique<can::BusGateway>(spec.name, spec.forward_latency);

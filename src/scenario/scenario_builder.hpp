@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "lint/diagnostics.hpp"
 #include "scenario/vehicle_builder.hpp"
 
 namespace sa::scenario {
@@ -69,6 +70,21 @@ public:
     /// Run `action` at absolute simulation time `when`.
     ScenarioBuilder& at(sim::Duration when, std::function<void(Scenario&)> action);
 
+    // --- static analysis ----------------------------------------------------
+    /// Lint the declared topology without building anything: scenario rules
+    /// (SCN*) over every vehicle and bridge, model rules (MDL*) over each
+    /// vehicle's contracts and platform, skills rules (SKL*) over each
+    /// vehicle's spec and degradation-policy rules against `registry`.
+    /// Contract text that fails to parse becomes a TXT001 finding instead of
+    /// an exception.
+    [[nodiscard]] lint::LintReport
+    lint(const skills::CapabilityRegistry& registry =
+             skills::CapabilityRegistry::builtin()) const;
+
+    /// Strict build mode: build() first runs lint() and requires zero
+    /// errors AND zero warnings (Info findings are allowed).
+    ScenarioBuilder& strict(bool enabled = true);
+
     /// Build every declared vehicle (in declaration order), seed trust,
     /// create the V2V channel, then schedule the scripts.
     [[nodiscard]] std::unique_ptr<Scenario> build();
@@ -85,6 +101,7 @@ private:
     };
 
     std::uint64_t seed_;
+    bool strict_ = false;
     std::size_t num_domains_ = 1;
     std::vector<std::string> order_;
     std::list<VehicleBuilder> builders_; ///< list: stable references

@@ -52,7 +52,7 @@ model::IntegrationReport Vehicle::integrate(const model::ChangeRequest& change) 
 }
 
 bool Vehicle::has_bus_gateway(const std::string& name) const {
-    return bus_gateways_.count(name) > 0;
+    return bus_gateways_.contains(name);
 }
 
 can::BusGateway& Vehicle::bus_gateway(const std::string& name) {

@@ -281,6 +281,75 @@ model::ChangeRequest VehicleBuilder::change_request() const {
     return change;
 }
 
+void VehicleBuilder::describe(lint::VehicleShape& shape) const {
+    shape.name = name_;
+    shape.domain_pin = domain_;
+    for (const auto& spec : ecus_) {
+        shape.ecus.push_back(spec.model.name);
+    }
+    for (const auto& spec : buses_) {
+        shape.buses.push_back(spec.model.name);
+    }
+    for (const auto& spec : sensors_) {
+        shape.sensors.push_back(spec.config.name);
+        if (!spec.skill_node.empty()) {
+            shape.sensor_skill_bindings.emplace_back(spec.config.name,
+                                                     spec.skill_node);
+        }
+    }
+    for (const auto& spec : raw_tasks_) {
+        shape.raw_tasks.push_back(spec.task.name);
+    }
+    for (const auto& gateway : gateways_) {
+        lint::GatewayShape out;
+        out.name = gateway.name;
+        out.forward_latency_ns = gateway.forward_latency.count_ns();
+        for (const auto& route : gateway.routes) {
+            out.routes.push_back(lint::RouteShape{route.from_bus, route.to_bus,
+                                                  route.id, route.mask});
+        }
+        shape.gateways.push_back(std::move(out));
+    }
+    for (const auto& decl : monitor_decls_) {
+        std::visit(
+            overloaded{
+                [&](const RateIdsDecl&) {},
+                [&](const ThermalGuardDecl& d) {
+                    shape.ecu_monitors.push_back({"thermal_guard", d.ecu});
+                },
+                [&](const DeadlineDecl& d) {
+                    shape.ecu_monitors.push_back({"deadline_monitor", d.ecu});
+                },
+                [&](const BudgetDecl& d) {
+                    shape.ecu_monitors.push_back({"budget_monitor", d.ecu});
+                },
+                [&](const HeartbeatDecl& d) {
+                    shape.heartbeat_watches.push_back(d.watched);
+                },
+                [&](const OverheadDecl& d) {
+                    shape.ecu_monitors.push_back({"monitor_overhead", d.ecu});
+                },
+            },
+            decl);
+    }
+    if (skill_spec_.has_value()) {
+        shape.has_skill_graph = true;
+        shape.skill_nodes = skill_spec_->node_names();
+    } else if (skill_graph_.has_value()) {
+        shape.has_skill_graph = true;
+        shape.skill_nodes = skill_graph_->node_names();
+    }
+    // Parse failures surface as TXT001 via ScenarioBuilder::lint(); here
+    // they only mean the component list stays unknown.
+    try {
+        for (const auto& contract : change_request().contracts) {
+            shape.components.push_back(contract.component);
+        }
+    } catch (const model::ParseError&) {
+        // Swallowed deliberately — see the comment above the try.
+    }
+}
+
 void VehicleBuilder::build_monitors(Vehicle& v) const {
     for (const auto& decl : monitor_decls_) {
         std::visit(
@@ -386,7 +455,7 @@ std::unique_ptr<Vehicle> VehicleBuilder::build(sim::Simulator& simulator) const 
         v.rte_->add_can_bus(spec.model.name, config);
     }
     for (const auto& spec : gateways_) {
-        SA_REQUIRE(v.bus_gateways_.count(spec.name) == 0,
+        SA_REQUIRE(!v.bus_gateways_.contains(spec.name),
                    "duplicate gateway name: " + spec.name);
         auto gateway = std::make_unique<can::BusGateway>(name_ + "." + spec.name,
                                                          spec.forward_latency);

@@ -14,6 +14,7 @@
 #include <variant>
 #include <vector>
 
+#include "lint/scenario_shape.hpp"
 #include "monitor/budget_monitor.hpp"
 #include "scenario/scenario.hpp"
 #include "skills/acc_graph_factory.hpp"
@@ -184,6 +185,23 @@ public:
     [[nodiscard]] model::PlatformModel platform_model() const;
     /// The declared contracts as the initial change request.
     [[nodiscard]] model::ChangeRequest change_request() const;
+
+    // --- lint surface -------------------------------------------------------
+    /// Fill `shape` with this vehicle's declared topology for the
+    /// scenario-layer lint rules. Contract text that fails to parse leaves
+    /// `shape.components` empty — ScenarioBuilder::lint() reports the parse
+    /// error itself (TXT001).
+    void describe(lint::VehicleShape& shape) const;
+    /// The declarative skill-graph spec, when one was configured.
+    [[nodiscard]] const std::optional<skills::SkillGraphSpec>&
+    skill_spec() const noexcept {
+        return skill_spec_;
+    }
+    /// The configured degradation policy, when one was declared.
+    [[nodiscard]] const std::optional<skills::DegradationPolicy>&
+    declared_degradation_policy() const noexcept {
+        return degradation_policy_;
+    }
 
     /// Compose the vehicle on `simulator`. Canonical assembly order:
     ///   1. model domain: MCC + integration of the declared contracts

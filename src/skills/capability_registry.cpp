@@ -57,7 +57,7 @@ CapabilityRegistry& CapabilityRegistry::register_capability(Capability capabilit
 }
 
 bool CapabilityRegistry::has_capability(const std::string& name) const {
-    return capabilities_.count(name) > 0;
+    return capabilities_.contains(name);
 }
 
 const Capability& CapabilityRegistry::capability(const std::string& name) const {
@@ -79,7 +79,7 @@ std::vector<std::string> CapabilityRegistry::capability_names() const {
 
 CapabilityRegistry& CapabilityRegistry::register_spec(SkillGraphSpec spec) {
     SA_REQUIRE(!spec.name().empty(), "spec needs a name");
-    SA_REQUIRE(specs_.count(spec.name()) == 0, "duplicate spec: " + spec.name());
+    SA_REQUIRE(!specs_.contains(spec.name()), "duplicate spec: " + spec.name());
     for (const auto& node : spec.node_names()) {
         SA_REQUIRE(has_capability(node),
                    "spec '" + spec.name() + "' references unregistered capability: " +
@@ -96,7 +96,7 @@ CapabilityRegistry& CapabilityRegistry::register_spec(SkillGraphSpec spec) {
 }
 
 bool CapabilityRegistry::has_spec(const std::string& name) const {
-    return specs_.count(name) > 0;
+    return specs_.contains(name);
 }
 
 const SkillGraphSpec& CapabilityRegistry::spec(const std::string& name) const {
@@ -136,6 +136,19 @@ CapabilityRegistry& CapabilityRegistry::bind_alarm(AlarmBinding binding) {
         SA_REQUIRE(capability(binding.capability).has_quality(binding.quality),
                    "capability '" + binding.capability + "' has no " +
                        std::string(to_string(binding.quality)) + " quality");
+    }
+    // Re-registering an identical binding is always a composition bug (the
+    // rule would silently fire twice); fail loudly like duplicate
+    // capabilities and specs do.
+    for (const AlarmBinding& existing : bindings_) {
+        SA_REQUIRE(!(existing.anomaly_kind == binding.anomaly_kind &&
+                     existing.capability == binding.capability &&
+                     existing.quality == binding.quality &&
+                     existing.degraded_value == binding.degraded_value &&
+                     existing.domain == binding.domain &&
+                     existing.source == binding.source),
+                   "duplicate alarm binding for anomaly kind '" +
+                       binding.anomaly_kind + "'");
     }
     bindings_.push_back(std::move(binding));
     return *this;

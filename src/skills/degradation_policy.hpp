@@ -63,6 +63,13 @@ public:
         return *registry_;
     }
 
+    /// Scenario-specific rules added via on_anomaly(). Unlike the registry's
+    /// bindings these are NOT validated at insertion — sa::lint checks them
+    /// against the registry (rule SKL006).
+    [[nodiscard]] const std::vector<AlarmBinding>& extra_rules() const noexcept {
+        return extra_rules_;
+    }
+
 private:
     void push_level(const std::string& capability, double level,
                     AbilityGraph& abilities) const;

@@ -17,7 +17,7 @@ const char* to_string(SkillNodeKind kind) noexcept {
 
 void SkillGraph::add_node(SkillNode node) {
     SA_REQUIRE(!node.name.empty(), "skill-graph node needs a name");
-    SA_REQUIRE(nodes_.count(node.name) == 0, "duplicate node: " + node.name);
+    SA_REQUIRE(!nodes_.contains(node.name), "duplicate node: " + node.name);
     nodes_[node.name] = std::move(node);
 }
 
@@ -34,8 +34,8 @@ void SkillGraph::add_sink(const std::string& name, const std::string& descriptio
 }
 
 void SkillGraph::add_dependency(const std::string& parent, const std::string& child) {
-    SA_REQUIRE(nodes_.count(parent) > 0, "unknown parent node: " + parent);
-    SA_REQUIRE(nodes_.count(child) > 0, "unknown child node: " + child);
+    SA_REQUIRE(nodes_.contains(parent), "unknown parent node: " + parent);
+    SA_REQUIRE(nodes_.contains(child), "unknown child node: " + child);
     SA_REQUIRE(nodes_.at(parent).kind == SkillNodeKind::Skill,
                "only skills can have dependencies: " + parent);
     auto& kids = children_[parent];
@@ -45,7 +45,7 @@ void SkillGraph::add_dependency(const std::string& parent, const std::string& ch
     parents_[child].push_back(parent);
 }
 
-bool SkillGraph::has_node(const std::string& name) const { return nodes_.count(name) > 0; }
+bool SkillGraph::has_node(const std::string& name) const { return nodes_.contains(name); }
 
 const SkillNode& SkillGraph::node(const std::string& name) const {
     auto it = nodes_.find(name);
@@ -84,7 +84,7 @@ std::vector<std::string> SkillGraph::roots() const {
     std::vector<std::string> out;
     for (const auto& [name, node] : nodes_) {
         if (node.kind == SkillNodeKind::Skill &&
-            (parents_.count(name) == 0 || parents_.at(name).empty())) {
+            (!parents_.contains(name) || parents_.at(name).empty())) {
             out.push_back(name);
         }
     }
@@ -96,7 +96,7 @@ void SkillGraph::validate() const {
     // add_dependency) and every skill has at least one child.
     for (const auto& [name, node] : nodes_) {
         if (node.kind == SkillNodeKind::Skill) {
-            if (children_.count(name) == 0 || children_.at(name).empty()) {
+            if (!children_.contains(name) || children_.at(name).empty()) {
                 throw SkillGraphError("skill has no dependencies (dangling path): " + name);
             }
         }
@@ -110,7 +110,7 @@ void SkillGraph::validate() const {
     std::function<void(const std::string&)> visit = [&](const std::string& name) {
         color[name] = Color::Gray;
         for (const auto& child : children(name)) {
-            auto c = color.count(child) ? color[child] : Color::White;
+            auto c = color.contains(child) ? color[child] : Color::White;
             if (c == Color::Gray) {
                 throw SkillGraphError("cycle through: " + child);
             }
@@ -121,7 +121,7 @@ void SkillGraph::validate() const {
         color[name] = Color::Black;
     };
     for (const auto& [name, _] : nodes_) {
-        auto c = color.count(name) ? color[name] : Color::White;
+        auto c = color.contains(name) ? color[name] : Color::White;
         if (c == Color::White) {
             visit(name);
         }

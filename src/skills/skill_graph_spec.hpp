@@ -45,6 +45,25 @@ private:
 
 class SkillGraphSpec {
 public:
+    struct NodeDecl {
+        std::string name;
+        SkillNodeKind kind = SkillNodeKind::Skill;
+        std::string description;
+    };
+    struct EdgeDecl {
+        std::string parent;
+        std::string child;
+    };
+    struct AggregateDecl {
+        std::string skill;
+        Aggregation aggregation;
+    };
+    struct WeightDecl {
+        std::string skill;
+        std::string child;
+        double weight;
+    };
+
     SkillGraphSpec() = default;
     /// `name` must be an identifier ([A-Za-z_][A-Za-z0-9_]*), like every
     /// node name: anything else could not round-trip through the text form.
@@ -72,6 +91,21 @@ public:
     [[nodiscard]] bool declares_node(const std::string& name) const;
     [[nodiscard]] std::vector<std::string> node_names() const;
     [[nodiscard]] SkillNodeKind node_kind(const std::string& name) const;
+    /// Raw declarations in declaration order — what sa::lint inspects
+    /// without instantiating (instantiate() throws on the defects lint is
+    /// supposed to *report*).
+    [[nodiscard]] const std::vector<NodeDecl>& nodes() const noexcept {
+        return nodes_;
+    }
+    [[nodiscard]] const std::vector<EdgeDecl>& edges() const noexcept {
+        return edges_;
+    }
+    [[nodiscard]] const std::vector<AggregateDecl>& aggregations() const noexcept {
+        return aggregates_;
+    }
+    [[nodiscard]] const std::vector<WeightDecl>& weights() const noexcept {
+        return weights_;
+    }
 
     /// Serialize to the text grammar above; parse(str()) reproduces the spec.
     [[nodiscard]] std::string str() const;
@@ -88,25 +122,6 @@ public:
     instantiate_abilities(AbilityThresholds thresholds = {}) const;
 
 private:
-    struct NodeDecl {
-        std::string name;
-        SkillNodeKind kind = SkillNodeKind::Skill;
-        std::string description;
-    };
-    struct EdgeDecl {
-        std::string parent;
-        std::string child;
-    };
-    struct AggregateDecl {
-        std::string skill;
-        Aggregation aggregation;
-    };
-    struct WeightDecl {
-        std::string skill;
-        std::string child;
-        double weight;
-    };
-
     SkillGraphSpec& add_node(NodeDecl decl);
     [[nodiscard]] const NodeDecl* find_node(const std::string& name) const;
 

@@ -109,7 +109,7 @@ Route RoutePlanner::plan(const std::string& from, const std::string& to,
         }
     }
 
-    if (dist.find(to) == dist.end()) {
+    if (!dist.contains(to)) {
         return route; // unreachable
     }
 
