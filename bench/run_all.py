@@ -13,8 +13,11 @@ Modes shared by CI and the local workflow:
   --diff BASELINE    after aggregating, compare wall times (real_time)
                      entry-by-entry against BASELINE and exit non-zero when
                      any entry regressed beyond --tolerance (default 0.25,
-                     i.e. +25%). Entries new in this run or missing from the
-                     baseline are reported but do not fail the gate. With
+                     i.e. +25%). Entries new in this run are reported but do
+                     not fail the gate; baseline entries MISSING from this
+                     run DO fail it (a crashed or removed bench binary must
+                     not silently shrink coverage) unless --allow-missing is
+                     passed for a deliberate bench removal. With
                      --quick, flagged binaries are re-run with 3 repetitions
                      at the full measurement time and each entry is judged on
                      the best observation — wall-time noise (preemption, VM
@@ -155,13 +158,16 @@ def update_baseline(merged, baseline_path):
         print(f"\nno new entries for {baseline_path} (rewritten sorted)")
 
 
-def diff_against_baseline(merged, baseline_path, tolerance):
+def diff_against_baseline(merged, baseline_path, tolerance, allow_missing):
     """Compare wall times against a baseline report.
 
-    Returns the list of regressed entry keys (entries slower than baseline
-    by more than `tolerance`, as a fraction). Prints a human-readable table
-    of regressions, improvements beyond the tolerance, new entries and
-    entries missing from this run.
+    Returns (regressed_keys, missing_keys): entries slower than baseline by
+    more than `tolerance` (as a fraction), and baseline entries absent from
+    this run. Missing entries mean a bench binary crashed mid-run, dropped a
+    benchmark, or was removed from the build — all of which silently shrink
+    the gate's coverage, so they FAIL the gate unless `allow_missing` is
+    set. Prints a human-readable table of regressions, improvements beyond
+    the tolerance, new entries and missing entries.
     """
     with open(baseline_path) as fh:
         baseline = json.load(fh)
@@ -201,15 +207,18 @@ def diff_against_baseline(merged, baseline_path, tolerance):
         for binary, name in new:
             print(f"  + {binary}:{name}")
     if missing:
-        print(f"\nWARNING: entries in the baseline but not in this run "
-              f"(removed bench? update the baseline):")
+        label = ("WARNING (--allow-missing)" if allow_missing
+                 else "GATE FAILURE")
+        print(f"\n{label}: entries in the baseline but not in this run "
+              f"(crashed bench binary? removed bench? update the baseline "
+              f"deliberately):", file=sys.stderr)
         for binary, name in missing:
-            print(f"  - {binary}:{name}")
+            print(f"  - {binary}:{name}", file=sys.stderr)
     print(f"\ndiff vs {baseline_path}: {len(regressions)} regression(s), "
           f"{len(improvements)} improvement(s), {len(new)} new, "
           f"{len(missing)} missing "
           f"({len(current)} entries compared at ±{tolerance * 100:.0f}%)")
-    return [key for key, *_ in regressions]
+    return [key for key, *_ in regressions], missing
 
 
 def main():
@@ -232,6 +241,11 @@ def main():
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed wall-time regression as a fraction "
                              "(default 0.25 = +25%%)")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="with --diff: demote baseline entries missing "
+                             "from this run to a warning (default: they fail "
+                             "the gate, because a crashed or removed bench "
+                             "binary silently shrinks gate coverage)")
     args = parser.parse_args()
 
     if not os.path.isdir(args.bin_dir):
@@ -292,7 +306,9 @@ def main():
         if not os.path.isfile(args.diff):
             print(f"--diff baseline {args.diff} not found", file=sys.stderr)
             return 1
-        regressed = diff_against_baseline(merged, args.diff, args.tolerance)
+        regressed, missing = diff_against_baseline(merged, args.diff,
+                                                   args.tolerance,
+                                                   args.allow_missing)
         if regressed and args.quick:
             # A quick pass is noisy: confirm the flagged binaries with three
             # repetitions at the full measurement time and judge each entry
@@ -322,9 +338,19 @@ def main():
                 json.dump(merged, fh, indent=2)
                 fh.write("\n")
             os.replace(tmp_out, args.out)
-            regressed = diff_against_baseline(merged, args.diff,
-                                              args.tolerance)
-        if regressed:
+            regressed, missing = diff_against_baseline(merged, args.diff,
+                                                       args.tolerance,
+                                                       args.allow_missing)
+        if regressed or (missing and not args.allow_missing):
+            causes = []
+            if regressed:
+                causes.append(f"{len(regressed)} regression(s)")
+            if missing and not args.allow_missing:
+                causes.append(f"{len(missing)} baseline entr"
+                              f"{'y' if len(missing) == 1 else 'ies'} "
+                              f"missing from this run")
+            print(f"\nbench gate FAILED: {', '.join(causes)}",
+                  file=sys.stderr)
             return 2
     return 0
 

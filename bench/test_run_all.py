@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Regression tests for the run_all.py bench gate.
+
+These run as a plain ctest (label `bench`) and need neither Google Benchmark
+nor any real bench binary: fake "benchmark binaries" are tiny shell scripts
+that print canned --benchmark_format=json output. What is under test is the
+gate logic itself:
+
+  * a bench binary that crashes mid-run fails the run (exit 1, no report
+    written) instead of silently shrinking the diff,
+  * baseline entries missing from a run fail the --diff gate (exit 2)
+    unless --allow-missing is passed,
+  * regressions beyond --tolerance fail the gate, matching runs pass.
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import unittest
+
+RUN_ALL = os.path.join(os.path.dirname(os.path.abspath(__file__)), "run_all.py")
+
+
+def bench_json(entries):
+    return json.dumps({
+        "context": {"host_name": "test"},
+        "benchmarks": [
+            {"name": name, "run_type": "iteration", "real_time": real_time,
+             "time_unit": "ns"}
+            for name, real_time in entries
+        ],
+    })
+
+
+class RunAllGateTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.mkdtemp(prefix="sa_bench_gate_")
+        self.addCleanup(shutil.rmtree, self.tmp, ignore_errors=True)
+        self.bin_dir = os.path.join(self.tmp, "bin")
+        os.mkdir(self.bin_dir)
+
+    def fake_binary(self, name, stdout_json=None, exit_code=0):
+        """A shell script that stands in for a Google Benchmark binary."""
+        path = os.path.join(self.bin_dir, name)
+        body = "#!/bin/sh\n"
+        if stdout_json is not None:
+            body += f"cat <<'EOF'\n{stdout_json}\nEOF\n"
+        body += f"exit {exit_code}\n"
+        with open(path, "w") as fh:
+            fh.write(body)
+        os.chmod(path, 0o755)
+        return path
+
+    def baseline(self, entries):
+        """entries: list of (binary, name, real_time)."""
+        path = os.path.join(self.tmp, "baseline.json")
+        with open(path, "w") as fh:
+            json.dump({"benchmarks": [
+                {"binary": binary, "name": name, "run_type": "iteration",
+                 "real_time": real_time, "time_unit": "ns"}
+                for binary, name, real_time in entries
+            ]}, fh)
+        return path
+
+    def run_gate(self, *extra):
+        out = os.path.join(self.tmp, "report.json")
+        proc = subprocess.run(
+            [sys.executable, RUN_ALL, "--bin-dir", self.bin_dir,
+             "--out", out, *extra],
+            capture_output=True, text=True, timeout=120)
+        return proc, out
+
+    def test_matching_run_passes(self):
+        self.fake_binary("bench_a", bench_json([("bm_alpha", 100.0)]))
+        base = self.baseline([("bench_a", "bm_alpha", 100.0)])
+        proc, out = self.run_gate("--diff", base)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertTrue(os.path.isfile(out))
+
+    def test_crashing_binary_fails_run_and_writes_nothing(self):
+        self.fake_binary("bench_a", bench_json([("bm_alpha", 100.0)]))
+        self.fake_binary("bench_b", exit_code=3)
+        base = self.baseline([("bench_a", "bm_alpha", 100.0)])
+        proc, out = self.run_gate("--diff", base)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("bench_b", proc.stderr)
+        self.assertFalse(os.path.exists(out),
+                         "a partial run must not write the report")
+
+    def test_missing_baseline_entry_fails_gate(self):
+        # bench_a still runs fine but no longer emits bm_beta, and bench_gone
+        # is not in the bin dir at all — both shrink gate coverage.
+        self.fake_binary("bench_a", bench_json([("bm_alpha", 100.0)]))
+        base = self.baseline([("bench_a", "bm_alpha", 100.0),
+                              ("bench_a", "bm_beta", 50.0),
+                              ("bench_gone", "bm_gamma", 10.0)])
+        proc, _ = self.run_gate("--diff", base)
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+        self.assertIn("GATE FAILURE", proc.stderr)
+        self.assertIn("bench gate FAILED", proc.stderr)
+        self.assertIn("2 baseline entries missing", proc.stderr)
+
+    def test_allow_missing_demotes_to_warning(self):
+        self.fake_binary("bench_a", bench_json([("bm_alpha", 100.0)]))
+        base = self.baseline([("bench_a", "bm_alpha", 100.0),
+                              ("bench_gone", "bm_gamma", 10.0)])
+        proc, _ = self.run_gate("--diff", base, "--allow-missing")
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("WARNING (--allow-missing)", proc.stderr)
+
+    def test_regression_fails_gate(self):
+        self.fake_binary("bench_a", bench_json([("bm_alpha", 200.0)]))
+        base = self.baseline([("bench_a", "bm_alpha", 100.0)])
+        proc, _ = self.run_gate("--diff", base, "--tolerance", "0.25")
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+        self.assertIn("REGRESSIONS", proc.stdout)
+        self.assertIn("bench gate FAILED", proc.stderr)
+
+    def test_new_entries_do_not_fail_gate(self):
+        self.fake_binary("bench_a", bench_json([("bm_alpha", 100.0),
+                                                ("bm_new", 42.0)]))
+        base = self.baseline([("bench_a", "bm_alpha", 100.0)])
+        proc, _ = self.run_gate("--diff", base)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("new entries", proc.stdout)
+
+    def test_update_baseline_merges_only_new_keys(self):
+        self.fake_binary("bench_a", bench_json([("bm_alpha", 999.0),
+                                                ("bm_new", 42.0)]))
+        base = self.baseline([("bench_a", "bm_alpha", 100.0)])
+        proc, _ = self.run_gate("--update-baseline", base)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        with open(base) as fh:
+            merged = json.load(fh)
+        rows = {(e["binary"], e["name"]): e["real_time"]
+                for e in merged["benchmarks"]}
+        self.assertEqual(rows[("bench_a", "bm_alpha")], 100.0,
+                         "existing baseline timings must stay untouched")
+        self.assertEqual(rows[("bench_a", "bm_new")], 42.0)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,588 @@
+#include "campaign/campaign_spec.hpp"
+
+#include <algorithm>
+
+#include "campaign/lexer.hpp"
+#include "util/assert.hpp"
+#include "util/string_util.hpp"
+
+namespace sa::campaign {
+
+CampaignParseError::CampaignParseError(int line, const std::string& message)
+    : std::runtime_error(message), line_(line) {}
+
+// --- axis names --------------------------------------------------------------------
+
+const char* to_string(Weather weather) noexcept {
+    switch (weather) {
+    case Weather::Clear: return "clear";
+    case Weather::Fog: return "fog";
+    case Weather::Rain: return "rain";
+    case Weather::Winter: return "winter";
+    }
+    return "?";
+}
+
+const char* to_string(Fault fault) noexcept {
+    switch (fault) {
+    case Fault::None: return "none";
+    case Fault::FogBlind: return "fog_blind";
+    case Fault::V2vBlackout: return "v2v_blackout";
+    case Fault::Storm: return "storm";
+    case Fault::Overrun: return "overrun";
+    case Fault::Misuse: return "misuse";
+    case Fault::Crash: return "crash";
+    }
+    return "?";
+}
+
+const char* to_string(PolicyKind policy) noexcept {
+    switch (policy) {
+    case PolicyKind::Steady: return "steady";
+    case PolicyKind::Cautious: return "cautious";
+    case PolicyKind::Eager: return "eager";
+    }
+    return "?";
+}
+
+const char* to_string(Topology topology) noexcept {
+    switch (topology) {
+    case Topology::DualBus: return "dual_bus";
+    case Topology::Bridged: return "bridged";
+    }
+    return "?";
+}
+
+namespace {
+
+template <typename Enum>
+bool enum_from_string(const std::string& text, Enum& out,
+                      std::initializer_list<Enum> all) {
+    for (Enum value : all) {
+        if (text == to_string(value)) {
+            out = value;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+bool weather_from_string(const std::string& text, Weather& out) {
+    return enum_from_string(text, out,
+                            {Weather::Clear, Weather::Fog, Weather::Rain,
+                             Weather::Winter});
+}
+
+bool fault_from_string(const std::string& text, Fault& out) {
+    return enum_from_string(text, out,
+                            {Fault::None, Fault::FogBlind, Fault::V2vBlackout,
+                             Fault::Storm, Fault::Overrun, Fault::Misuse,
+                             Fault::Crash});
+}
+
+bool policy_from_string(const std::string& text, PolicyKind& out) {
+    return enum_from_string(
+        text, out, {PolicyKind::Steady, PolicyKind::Cautious, PolicyKind::Eager});
+}
+
+bool topology_from_string(const std::string& text, Topology& out) {
+    return enum_from_string(text, out, {Topology::DualBus, Topology::Bridged});
+}
+
+bool fault_is_harness_probe(Fault fault) noexcept {
+    return fault == Fault::Misuse || fault == Fault::Crash;
+}
+
+std::string duration_str(sim::Duration duration) {
+    const std::int64_t ns = duration.count_ns();
+    if (ns % 1'000'000'000 == 0) {
+        return format("%llds", static_cast<long long>(ns / 1'000'000'000));
+    }
+    if (ns % 1'000'000 == 0) {
+        return format("%lldms", static_cast<long long>(ns / 1'000'000));
+    }
+    if (ns % 1'000 == 0) {
+        return format("%lldus", static_cast<long long>(ns / 1'000));
+    }
+    return format("%lldns", static_cast<long long>(ns));
+}
+
+namespace detail {
+
+sim::Duration take_duration(Lexer& lexer) {
+    const Token number = lexer.take();
+    if (number.kind != TokKind::Number) {
+        throw CampaignParseError(number.line,
+                                 "expected a duration like '400ms', got '" +
+                                     number.text + "'");
+    }
+    const std::int64_t value = std::stoll(number.text);
+    const Token unit = lexer.take();
+    if (unit.kind != TokKind::Ident) {
+        throw CampaignParseError(unit.line,
+                                 "expected a duration unit (ns/us/ms/s) after '" +
+                                     number.text + "'");
+    }
+    if (unit.text == "ns") {
+        return sim::Duration::ns(value);
+    }
+    if (unit.text == "us") {
+        return sim::Duration::us(value);
+    }
+    if (unit.text == "ms") {
+        return sim::Duration::ms(value);
+    }
+    if (unit.text == "s") {
+        return sim::Duration::sec(value);
+    }
+    throw CampaignParseError(unit.line,
+                             "unknown duration unit '" + unit.text + "'");
+}
+
+} // namespace detail
+
+// --- CellConfig --------------------------------------------------------------------
+
+std::string CellConfig::id() const {
+    std::string out = campaign;
+    out += " vehicles=" + std::to_string(vehicles);
+    out += " duration=" + duration_str(duration);
+    if (!spec_file.empty()) {
+        out += " spec=" + spec_file;
+    }
+    out += " weather=" + std::string(to_string(weather));
+    out += " fault=" + std::string(to_string(fault));
+    out += " policy=" + std::string(to_string(policy));
+    out += " topology=" + std::string(to_string(topology));
+    out += " domains=" + std::to_string(domains);
+    out += " seed=" + std::to_string(seed);
+    return out;
+}
+
+std::string CellConfig::str() const {
+    std::string out = "cell {\n";
+    out += "  campaign " + campaign + ";\n";
+    out += "  template " + scenario_template + ";\n";
+    out += "  vehicles " + std::to_string(vehicles) + ";\n";
+    out += "  duration " + duration_str(duration) + ";\n";
+    if (!spec_file.empty()) {
+        out += "  spec \"" + spec_file + "\";\n";
+    }
+    out += "  weather " + std::string(to_string(weather)) + ";\n";
+    out += "  fault " + std::string(to_string(fault)) + ";\n";
+    out += "  policy " + std::string(to_string(policy)) + ";\n";
+    out += "  topology " + std::string(to_string(topology)) + ";\n";
+    out += "  domains " + std::to_string(domains) + ";\n";
+    out += "  seed " + std::to_string(seed) + ";\n";
+    out += "}\n";
+    return out;
+}
+
+namespace {
+
+void check_vehicles(std::size_t count, int line) {
+    if (count < 2 || count > 8) {
+        throw CampaignParseError(line, "vehicles must be in [2, 8], got " +
+                                           std::to_string(count));
+    }
+}
+
+void check_domains(std::size_t count, int line) {
+    if (count < 1 || count > 8) {
+        throw CampaignParseError(line, "domains must be in [1, 8], got " +
+                                           std::to_string(count));
+    }
+}
+
+void check_duration(sim::Duration duration, int line) {
+    if (duration.count_ns() < sim::Duration::ms(1).count_ns()) {
+        throw CampaignParseError(line, "duration must be at least 1ms");
+    }
+}
+
+/// Parse one cell statement into `cell`. Returns false when `keyword` is not
+/// a cell statement (so CampaignSpec::parse can report axis keywords with a
+/// campaign-specific message).
+bool parse_cell_statement(detail::Lexer& lexer, const std::string& keyword, int line,
+                          CellConfig& cell) {
+    using detail::TokKind;
+    if (keyword == "campaign") {
+        cell.campaign = lexer.take_ident("a campaign name");
+    } else if (keyword == "template") {
+        cell.scenario_template = lexer.take_ident("a template name");
+    } else if (keyword == "vehicles") {
+        cell.vehicles =
+            static_cast<std::size_t>(lexer.take_number("a vehicle count"));
+        check_vehicles(cell.vehicles, line);
+    } else if (keyword == "duration") {
+        cell.duration = detail::take_duration(lexer);
+        check_duration(cell.duration, line);
+    } else if (keyword == "spec") {
+        const detail::Token token = lexer.take();
+        if (token.kind != TokKind::String) {
+            throw CampaignParseError(token.line,
+                                     "expected a quoted spec file path");
+        }
+        cell.spec_file = token.text;
+    } else if (keyword == "weather") {
+        const std::string value = lexer.take_ident("a weather value");
+        if (!weather_from_string(value, cell.weather)) {
+            throw CampaignParseError(line, "unknown weather '" + value + "'");
+        }
+    } else if (keyword == "fault") {
+        const std::string value = lexer.take_ident("a fault value");
+        if (!fault_from_string(value, cell.fault)) {
+            throw CampaignParseError(line, "unknown fault '" + value + "'");
+        }
+    } else if (keyword == "policy") {
+        const std::string value = lexer.take_ident("a policy value");
+        if (!policy_from_string(value, cell.policy)) {
+            throw CampaignParseError(line, "unknown policy '" + value + "'");
+        }
+    } else if (keyword == "topology") {
+        const std::string value = lexer.take_ident("a topology value");
+        if (!topology_from_string(value, cell.topology)) {
+            throw CampaignParseError(line, "unknown topology '" + value + "'");
+        }
+    } else if (keyword == "domains") {
+        cell.domains = static_cast<std::size_t>(lexer.take_number("a domain count"));
+        check_domains(cell.domains, line);
+    } else if (keyword == "seed") {
+        cell.seed = lexer.take_number("a seed");
+    } else {
+        return false;
+    }
+    lexer.expect_punct(";");
+    return true;
+}
+
+} // namespace
+
+CellConfig CellConfig::parse(const std::string& text) {
+    detail::Lexer lexer(text);
+    lexer.expect_ident("cell");
+    lexer.expect_punct("{");
+    CellConfig cell;
+    for (;;) {
+        const detail::Token token = lexer.take();
+        if (token.kind == detail::TokKind::Punct && token.text == "}") {
+            break;
+        }
+        if (token.kind != detail::TokKind::Ident) {
+            throw CampaignParseError(token.line, "expected a cell statement, got '" +
+                                                     token.text + "'");
+        }
+        if (!parse_cell_statement(lexer, token.text, token.line, cell)) {
+            throw CampaignParseError(token.line,
+                                     "unknown cell statement '" + token.text + "'");
+        }
+    }
+    return cell;
+}
+
+// --- CampaignSpec ------------------------------------------------------------------
+
+CampaignSpec::CampaignSpec(std::string name) : name_(std::move(name)) {}
+
+CampaignSpec& CampaignSpec::scenario_template(std::string name) {
+    template_ = std::move(name);
+    return *this;
+}
+
+CampaignSpec& CampaignSpec::vehicles(std::vector<std::size_t> counts) {
+    SA_REQUIRE(!counts.empty(), "vehicles axis needs at least one value");
+    vehicles_ = std::move(counts);
+    return *this;
+}
+
+CampaignSpec& CampaignSpec::duration(sim::Duration duration) {
+    SA_REQUIRE(duration.count_ns() >= sim::Duration::ms(1).count_ns(),
+               "campaign duration must be at least 1ms");
+    duration_ = duration;
+    return *this;
+}
+
+CampaignSpec& CampaignSpec::spec_file(std::string path) {
+    spec_file_ = std::move(path);
+    return *this;
+}
+
+CampaignSpec& CampaignSpec::weathers(std::vector<Weather> values) {
+    SA_REQUIRE(!values.empty(), "weather axis needs at least one value");
+    weathers_ = std::move(values);
+    return *this;
+}
+
+CampaignSpec& CampaignSpec::faults(std::vector<Fault> values) {
+    SA_REQUIRE(!values.empty(), "fault axis needs at least one value");
+    faults_ = std::move(values);
+    return *this;
+}
+
+CampaignSpec& CampaignSpec::policies(std::vector<PolicyKind> values) {
+    SA_REQUIRE(!values.empty(), "policy axis needs at least one value");
+    policies_ = std::move(values);
+    return *this;
+}
+
+CampaignSpec& CampaignSpec::topologies(std::vector<Topology> values) {
+    SA_REQUIRE(!values.empty(), "topology axis needs at least one value");
+    topologies_ = std::move(values);
+    return *this;
+}
+
+CampaignSpec& CampaignSpec::domains(std::vector<std::size_t> counts) {
+    SA_REQUIRE(!counts.empty(), "domains axis needs at least one value");
+    domains_ = std::move(counts);
+    return *this;
+}
+
+CampaignSpec& CampaignSpec::seeds(std::uint64_t lo, std::uint64_t hi) {
+    seeds_ = SeedRange{lo, hi};
+    return *this;
+}
+
+std::uint64_t CampaignSpec::cell_count() const noexcept {
+    std::uint64_t count = seeds_.count();
+    count *= weathers_.size();
+    count *= faults_.size();
+    count *= policies_.size();
+    count *= topologies_.size();
+    count *= domains_.size();
+    count *= vehicles_.size();
+    return count;
+}
+
+std::vector<CellConfig> CampaignSpec::expand() const {
+    std::vector<CellConfig> cells;
+    cells.reserve(static_cast<std::size_t>(cell_count()));
+    for (const Weather weather : weathers_) {
+        for (const Fault fault : faults_) {
+            for (const PolicyKind policy : policies_) {
+                for (const Topology topology : topologies_) {
+                    for (const std::size_t domains : domains_) {
+                        for (const std::size_t vehicles : vehicles_) {
+                            for (std::uint64_t seed = seeds_.lo;
+                                 seed <= seeds_.hi && seeds_.count() > 0; ++seed) {
+                                CellConfig cell;
+                                cell.campaign = name_;
+                                cell.scenario_template = template_;
+                                cell.vehicles = vehicles;
+                                cell.duration = duration_;
+                                cell.spec_file = spec_file_;
+                                cell.weather = weather;
+                                cell.fault = fault;
+                                cell.policy = policy;
+                                cell.topology = topology;
+                                cell.domains = domains;
+                                cell.seed = seed;
+                                cells.push_back(std::move(cell));
+                                if (seed == seeds_.hi) {
+                                    break; // avoid overflow at UINT64_MAX
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return cells;
+}
+
+std::string CampaignSpec::str() const {
+    std::string out = "campaign " + name_ + " {\n";
+    out += "  template " + template_ + ";\n";
+    out += "  vehicles";
+    for (const std::size_t count : vehicles_) {
+        out += " " + std::to_string(count);
+    }
+    out += ";\n";
+    out += "  duration " + duration_str(duration_) + ";\n";
+    if (!spec_file_.empty()) {
+        out += "  spec \"" + spec_file_ + "\";\n";
+    }
+    out += "  weather";
+    for (const Weather weather : weathers_) {
+        out += " " + std::string(to_string(weather));
+    }
+    out += ";\n";
+    out += "  fault";
+    for (const Fault fault : faults_) {
+        out += " " + std::string(to_string(fault));
+    }
+    out += ";\n";
+    out += "  policy";
+    for (const PolicyKind policy : policies_) {
+        out += " " + std::string(to_string(policy));
+    }
+    out += ";\n";
+    out += "  topology";
+    for (const Topology topology : topologies_) {
+        out += " " + std::string(to_string(topology));
+    }
+    out += ";\n";
+    out += "  domains";
+    for (const std::size_t count : domains_) {
+        out += " " + std::to_string(count);
+    }
+    out += ";\n";
+    out += "  seeds " + std::to_string(seeds_.lo) + ".." + std::to_string(seeds_.hi) +
+           ";\n";
+    out += "}\n";
+    return out;
+}
+
+namespace {
+
+/// Values of a multi-valued axis statement: one or more tokens before ';',
+/// each converted by `convert` (which throws on an unknown value).
+template <typename Value, typename Convert>
+std::vector<Value> parse_axis_values(detail::Lexer& lexer, Convert convert) {
+    std::vector<Value> values;
+    while (lexer.peek().kind == detail::TokKind::Ident ||
+           lexer.peek().kind == detail::TokKind::Number) {
+        values.push_back(convert(lexer.take()));
+    }
+    if (values.empty()) {
+        throw CampaignParseError(lexer.peek().line,
+                                 "axis statement needs at least one value");
+    }
+    lexer.expect_punct(";");
+    return values;
+}
+
+} // namespace
+
+CampaignSpec CampaignSpec::parse(const std::string& text) {
+    using detail::Token;
+    using detail::TokKind;
+    detail::Lexer lexer(text);
+    lexer.expect_ident("campaign");
+    CampaignSpec spec(lexer.take_ident("a campaign name"));
+    lexer.expect_punct("{");
+
+    auto ident_value = [](const Token& token) {
+        if (token.kind != TokKind::Ident) {
+            throw CampaignParseError(token.line,
+                                     "expected an axis value, got '" + token.text +
+                                         "'");
+        }
+        return token;
+    };
+    auto count_value = [](const Token& token) {
+        if (token.kind != TokKind::Number) {
+            throw CampaignParseError(token.line, "expected a count, got '" +
+                                                     token.text + "'");
+        }
+        return token;
+    };
+
+    for (;;) {
+        const Token token = lexer.take();
+        if (token.kind == TokKind::Punct && token.text == "}") {
+            break;
+        }
+        if (token.kind != TokKind::Ident) {
+            throw CampaignParseError(token.line,
+                                     "expected a campaign statement, got '" +
+                                         token.text + "'");
+        }
+        const std::string& keyword = token.text;
+        if (keyword == "template") {
+            spec.template_ = lexer.take_ident("a template name");
+            lexer.expect_punct(";");
+        } else if (keyword == "vehicles") {
+            spec.vehicles_ = parse_axis_values<std::size_t>(
+                lexer, [&](const Token& t) {
+                    const Token checked = count_value(t);
+                    const auto count =
+                        static_cast<std::size_t>(std::stoull(checked.text));
+                    check_vehicles(count, checked.line);
+                    return count;
+                });
+        } else if (keyword == "duration") {
+            spec.duration_ = detail::take_duration(lexer);
+            check_duration(spec.duration_, token.line);
+            lexer.expect_punct(";");
+        } else if (keyword == "spec") {
+            const Token path = lexer.take();
+            if (path.kind != TokKind::String) {
+                throw CampaignParseError(path.line,
+                                         "expected a quoted spec file path");
+            }
+            spec.spec_file_ = path.text;
+            lexer.expect_punct(";");
+        } else if (keyword == "weather") {
+            spec.weathers_ = parse_axis_values<Weather>(lexer, [&](const Token& t) {
+                Weather value{};
+                const Token checked = ident_value(t);
+                if (!weather_from_string(checked.text, value)) {
+                    throw CampaignParseError(checked.line, "unknown weather '" +
+                                                               checked.text + "'");
+                }
+                return value;
+            });
+        } else if (keyword == "fault") {
+            spec.faults_ = parse_axis_values<Fault>(lexer, [&](const Token& t) {
+                Fault value{};
+                const Token checked = ident_value(t);
+                if (!fault_from_string(checked.text, value)) {
+                    throw CampaignParseError(checked.line, "unknown fault '" +
+                                                               checked.text + "'");
+                }
+                return value;
+            });
+        } else if (keyword == "policy") {
+            spec.policies_ =
+                parse_axis_values<PolicyKind>(lexer, [&](const Token& t) {
+                    PolicyKind value{};
+                    const Token checked = ident_value(t);
+                    if (!policy_from_string(checked.text, value)) {
+                        throw CampaignParseError(
+                            checked.line, "unknown policy '" + checked.text + "'");
+                    }
+                    return value;
+                });
+        } else if (keyword == "topology") {
+            spec.topologies_ =
+                parse_axis_values<Topology>(lexer, [&](const Token& t) {
+                    Topology value{};
+                    const Token checked = ident_value(t);
+                    if (!topology_from_string(checked.text, value)) {
+                        throw CampaignParseError(
+                            checked.line, "unknown topology '" + checked.text + "'");
+                    }
+                    return value;
+                });
+        } else if (keyword == "domains") {
+            spec.domains_ = parse_axis_values<std::size_t>(
+                lexer, [&](const Token& t) {
+                    const Token checked = count_value(t);
+                    const auto count =
+                        static_cast<std::size_t>(std::stoull(checked.text));
+                    check_domains(count, checked.line);
+                    return count;
+                });
+        } else if (keyword == "seeds") {
+            spec.seeds_.lo = lexer.take_number("a seed range low bound");
+            lexer.expect_punct("..");
+            spec.seeds_.hi = lexer.take_number("a seed range high bound");
+            lexer.expect_punct(";");
+        } else {
+            throw CampaignParseError(token.line, "unknown campaign axis '" +
+                                                     keyword + "'");
+        }
+    }
+    const Token tail = lexer.take();
+    if (tail.kind != TokKind::End) {
+        throw CampaignParseError(tail.line, "trailing input after the campaign "
+                                            "block: '" +
+                                                tail.text + "'");
+    }
+    return spec;
+}
+
+} // namespace sa::campaign

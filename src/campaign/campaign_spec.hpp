@@ -1,0 +1,199 @@
+#pragma once
+// sa::campaign — deterministic scenario-campaign descriptions. A campaign is
+// a parameterized matrix over the canonical platoon scenario template:
+// weather and fault injections × maneuver policies × topologies × domain
+// counts × platoon sizes × a seed range, declared in a compact text form
+// (parsed like skills::SkillGraphSpec) so campaigns are data, not
+// recompiles. expand() enumerates the matrix into CellConfigs in a fixed
+// nested-loop order; every cell is fully described by its own text block
+// (CellConfig::str()/parse() round-trip), which is what the worker protocol
+// and the failing-seed corpus exchange.
+//
+// Campaign grammar (comments: // to end of line; statements ';'-terminated):
+//
+//   campaign <name> {
+//     template platoon;             // scenario template (only "platoon")
+//     vehicles <n> [<n> ...];       // axis: platoon sizes, each in [2, 8]
+//     duration <n><unit>;           // simulated time per cell (ns/us/ms/s)
+//     spec "<path>";                // optional skill-graph spec file
+//     weather <w> [<w> ...];        // axis: clear fog rain winter
+//     fault <f> [<f> ...];          // axis: none fog_blind v2v_blackout
+//                                   //       storm overrun misuse crash
+//     policy <p> [<p> ...];         // axis: steady cautious eager
+//     topology <t> [<t> ...];       // axis: dual_bus bridged
+//     domains <n> [<n> ...];        // axis: ECU domain counts, each in [1, 8]
+//     seeds <lo>..<hi>;             // inclusive seed range
+//   }
+//
+// A cell block uses the same statements with singular values plus
+// `campaign <name>;` and `seed <n>;`:
+//
+//   cell { campaign smoke; template platoon; vehicles 3; duration 800ms;
+//          weather fog; fault misuse; policy steady; topology dual_bus;
+//          domains 2; seed 7; }
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace sa::campaign {
+
+/// Thrown by CampaignSpec/CellConfig/corpus parsing on malformed text.
+class CampaignParseError : public std::runtime_error {
+public:
+    CampaignParseError(int line, const std::string& message);
+    [[nodiscard]] int line() const noexcept { return line_; }
+
+private:
+    int line_;
+};
+
+/// Weather axis: applied to *every* vehicle as capability-quality downgrades
+/// (radar / v2v_link source levels) at duration/4 — the preset vehicles have
+/// no closed driving loop, so weather acts where the maneuver engine looks.
+enum class Weather { Clear, Fog, Rain, Winter };
+
+/// Fault axis: injected on the second vehicle ("beta") at duration/2.
+/// Misuse and Crash are harness probes: Misuse raises a deterministic
+/// ContractViolation inside a script (exercising violation capture), Crash
+/// calls abort() (exercising worker-process isolation).
+enum class Fault { None, FogBlind, V2vBlackout, Storm, Overrun, Misuse, Crash };
+
+/// Maneuver-policy axis: three ManeuverPolicy presets (thresholds and
+/// check periods) — see campaign::maneuver_policy_for().
+enum class PolicyKind { Steady, Cautious, Eager };
+
+/// Topology axis: the dual-bus zonal preset alone, or with a scenario-level
+/// backbone bridge forwarding object frames from the first vehicle's sense
+/// bus into the second vehicle's sense bus.
+enum class Topology { DualBus, Bridged };
+
+[[nodiscard]] const char* to_string(Weather weather) noexcept;
+[[nodiscard]] const char* to_string(Fault fault) noexcept;
+[[nodiscard]] const char* to_string(PolicyKind policy) noexcept;
+[[nodiscard]] const char* to_string(Topology topology) noexcept;
+[[nodiscard]] bool weather_from_string(const std::string& text, Weather& out);
+[[nodiscard]] bool fault_from_string(const std::string& text, Fault& out);
+[[nodiscard]] bool policy_from_string(const std::string& text, PolicyKind& out);
+[[nodiscard]] bool topology_from_string(const std::string& text, Topology& out);
+
+/// True for fault axes that probe the harness itself rather than the
+/// modelled system (Misuse throws, Crash aborts the worker process).
+[[nodiscard]] bool fault_is_harness_probe(Fault fault) noexcept;
+
+/// Render a duration with the largest exact unit ("400ms", "250us", "2s").
+[[nodiscard]] std::string duration_str(sim::Duration duration);
+
+/// One fully instantiated campaign cell. Everything a run needs is here;
+/// str() serializes the canonical `cell { ... }` block and parse() reads it
+/// back (the worker protocol and corpus entries exchange exactly this).
+struct CellConfig {
+    std::string campaign = "adhoc";
+    std::string scenario_template = "platoon";
+    std::size_t vehicles = 3;
+    sim::Duration duration = sim::Duration::ms(400);
+    std::string spec_file; ///< empty: the builtin platoon_follow spec
+    Weather weather = Weather::Clear;
+    Fault fault = Fault::None;
+    PolicyKind policy = PolicyKind::Steady;
+    Topology topology = Topology::DualBus;
+    std::size_t domains = 1;
+    std::uint64_t seed = 1;
+
+    bool operator==(const CellConfig&) const = default;
+
+    /// One-line identity, e.g. "smoke vehicles=3 duration=800ms weather=fog
+    /// fault=misuse policy=steady topology=dual_bus domains=2 seed=7".
+    [[nodiscard]] std::string id() const;
+    /// Canonical multi-line `cell { ... }` block; parse(str()) round-trips.
+    [[nodiscard]] std::string str() const;
+    /// Parse exactly one `cell { ... }` block.
+    [[nodiscard]] static CellConfig parse(const std::string& text);
+};
+
+/// Inclusive seed range of a campaign ("seeds 1..16;").
+struct SeedRange {
+    std::uint64_t lo = 1;
+    std::uint64_t hi = 1;
+
+    [[nodiscard]] std::uint64_t count() const noexcept {
+        return hi >= lo ? hi - lo + 1 : 0;
+    }
+};
+
+/// A parsed (or programmatically built) campaign matrix.
+class CampaignSpec {
+public:
+    CampaignSpec() = default;
+    explicit CampaignSpec(std::string name);
+
+    /// Parse exactly one `campaign <name> { ... }` block.
+    [[nodiscard]] static CampaignSpec parse(const std::string& text);
+
+    // --- builder-style declaration ------------------------------------------
+    CampaignSpec& scenario_template(std::string name);
+    CampaignSpec& vehicles(std::vector<std::size_t> counts);
+    CampaignSpec& duration(sim::Duration duration);
+    CampaignSpec& spec_file(std::string path);
+    CampaignSpec& weathers(std::vector<Weather> values);
+    CampaignSpec& faults(std::vector<Fault> values);
+    CampaignSpec& policies(std::vector<PolicyKind> values);
+    CampaignSpec& topologies(std::vector<Topology> values);
+    CampaignSpec& domains(std::vector<std::size_t> counts);
+    CampaignSpec& seeds(std::uint64_t lo, std::uint64_t hi);
+
+    // --- introspection ------------------------------------------------------
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] const std::string& scenario_template() const noexcept {
+        return template_;
+    }
+    [[nodiscard]] const std::vector<std::size_t>& vehicles() const noexcept {
+        return vehicles_;
+    }
+    [[nodiscard]] sim::Duration duration() const noexcept { return duration_; }
+    [[nodiscard]] const std::string& spec_file() const noexcept { return spec_file_; }
+    [[nodiscard]] const std::vector<Weather>& weathers() const noexcept {
+        return weathers_;
+    }
+    [[nodiscard]] const std::vector<Fault>& faults() const noexcept { return faults_; }
+    [[nodiscard]] const std::vector<PolicyKind>& policies() const noexcept {
+        return policies_;
+    }
+    [[nodiscard]] const std::vector<Topology>& topologies() const noexcept {
+        return topologies_;
+    }
+    [[nodiscard]] const std::vector<std::size_t>& domains() const noexcept {
+        return domains_;
+    }
+    [[nodiscard]] SeedRange seed_range() const noexcept { return seeds_; }
+
+    /// Matrix size: the product of every axis (0 when the seed range is
+    /// empty — lint flags that as CMP002).
+    [[nodiscard]] std::uint64_t cell_count() const noexcept;
+
+    /// Enumerate the matrix in the fixed nested-loop order weather → fault →
+    /// policy → topology → domains → vehicles → seed (seed innermost), so
+    /// cell indices are stable across runs and machines.
+    [[nodiscard]] std::vector<CellConfig> expand() const;
+
+    /// Serialize to the campaign grammar; parse(str()) round-trips.
+    [[nodiscard]] std::string str() const;
+
+private:
+    std::string name_ = "adhoc";
+    std::string template_ = "platoon";
+    std::vector<std::size_t> vehicles_{3};
+    sim::Duration duration_ = sim::Duration::ms(400);
+    std::string spec_file_;
+    std::vector<Weather> weathers_{Weather::Clear};
+    std::vector<Fault> faults_{Fault::None};
+    std::vector<PolicyKind> policies_{PolicyKind::Steady};
+    std::vector<Topology> topologies_{Topology::DualBus};
+    std::vector<std::size_t> domains_{1};
+    SeedRange seeds_{};
+};
+
+} // namespace sa::campaign

@@ -1,0 +1,424 @@
+#include "campaign/driver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <map>
+#include <set>
+#include <utility>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "campaign/runner.hpp"
+#include "util/assert.hpp"
+#include "util/string_util.hpp"
+
+namespace sa::campaign {
+namespace {
+
+/// Write the whole buffer (cell blocks are far below PIPE_BUF, but be
+/// correct anyway). Returns false on a broken pipe (worker died early).
+bool write_all(int fd, const std::string& text) {
+    std::size_t done = 0;
+    while (done < text.size()) {
+        const ssize_t n = ::write(fd, text.data() + done, text.size() - done);
+        if (n <= 0) {
+            return false;
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+std::string read_all(int fd) {
+    std::string out;
+    char buf[4096];
+    while (true) {
+        const ssize_t n = ::read(fd, buf, sizeof buf);
+        if (n <= 0) {
+            break;
+        }
+        out.append(buf, static_cast<std::size_t>(n));
+    }
+    return out;
+}
+
+/// The last non-empty line that looks like a verdict object.
+std::string last_json_line(const std::string& text) {
+    std::size_t end = text.size();
+    while (end > 0) {
+        std::size_t start = text.rfind('\n', end - 1);
+        start = (start == std::string::npos) ? 0 : start + 1;
+        const std::string line = text.substr(start, end - start);
+        if (!line.empty() && line.front() == '{') {
+            return line;
+        }
+        if (start == 0) {
+            break;
+        }
+        end = start - 1;
+    }
+    return {};
+}
+
+/// One in-flight worker process.
+struct Worker {
+    pid_t pid = -1;
+    int out_fd = -1;
+    std::size_t index = 0;
+};
+
+CellResult make_result(const CellConfig& cell, std::string verdict_json) {
+    CellResult result;
+    result.cell = cell;
+    result.status = json_string_field(verdict_json, "status");
+    result.reason = json_string_field(verdict_json, "reason");
+    result.signal = static_cast<int>(json_int_field(verdict_json, "signal", 0));
+    result.verdict_json = std::move(verdict_json);
+    return result;
+}
+
+} // namespace
+
+std::string CellResult::signature() const {
+    if (status == "crash") {
+        return format("crash signal=%d", signal);
+    }
+    return status + " reason=" + reason;
+}
+
+CampaignDriver::CampaignDriver(DriverOptions options)
+    : options_(std::move(options)) {
+    SA_REQUIRE(options_.jobs >= 1, "the driver needs at least one job slot");
+    if (!options_.worker_exe.empty()) {
+        // A worker that aborts before draining stdin must not take the
+        // driver down with SIGPIPE; write_all() reports the failure instead.
+        std::signal(SIGPIPE, SIG_IGN);
+    }
+}
+
+CellResult CampaignDriver::run_single(const CellConfig& cell) {
+    if (options_.worker_exe.empty()) {
+        SA_REQUIRE(!cell_may_crash_process(cell),
+                   "crash cells need worker-process mode (in-process mode "
+                   "would take the driver down)");
+        return make_result(cell, run_cell(cell).json());
+    }
+
+    int in_pipe[2];
+    int out_pipe[2];
+    SA_REQUIRE(::pipe(in_pipe) == 0 && ::pipe(out_pipe) == 0,
+               "cannot create worker pipes");
+    const pid_t pid = ::fork();
+    SA_REQUIRE(pid >= 0, "cannot fork a campaign worker");
+    if (pid == 0) {
+        ::dup2(in_pipe[0], STDIN_FILENO);
+        ::dup2(out_pipe[1], STDOUT_FILENO);
+        ::close(in_pipe[0]);
+        ::close(in_pipe[1]);
+        ::close(out_pipe[0]);
+        ::close(out_pipe[1]);
+        ::execl(options_.worker_exe.c_str(), options_.worker_exe.c_str(),
+                "cell", "-", static_cast<char*>(nullptr));
+        ::_exit(127);
+    }
+    ::close(in_pipe[0]);
+    ::close(out_pipe[1]);
+    (void)write_all(in_pipe[1], cell.str());
+    ::close(in_pipe[1]);
+
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    const std::string output = read_all(out_pipe[0]);
+    ::close(out_pipe[0]);
+
+    if (WIFSIGNALED(status)) {
+        return make_result(cell, CellVerdict::crash(WTERMSIG(status)).json());
+    }
+    const std::string line = last_json_line(output);
+    if (line.empty() || WEXITSTATUS(status) != 0) {
+        return make_result(
+            cell, CellVerdict::worker_error(
+                      format("worker exited with status %d and no verdict",
+                             WEXITSTATUS(status)))
+                      .json());
+    }
+    return make_result(cell, line);
+}
+
+CorpusEntry CampaignDriver::shrink(const CellResult& failure,
+                                   std::uint64_t seed_floor) {
+    const std::string signature = failure.signature();
+    CellConfig current = failure.cell;
+    std::string current_json = failure.verdict_json;
+
+    const auto try_reset = [&](CellConfig candidate) {
+        if (candidate == current) {
+            return;
+        }
+        CellResult replay = run_single(candidate);
+        if (replay.signature() == signature) {
+            current = std::move(candidate);
+            current_json = std::move(replay.verdict_json);
+        }
+    };
+
+    // Axis-dropping order: partitioning first (never part of the verdict),
+    // then environment, then size, then the seed toward the range floor.
+    CellConfig candidate = current;
+    candidate.domains = 1;
+    try_reset(candidate);
+    candidate = current;
+    candidate.topology = Topology::DualBus;
+    try_reset(candidate);
+    candidate = current;
+    candidate.weather = Weather::Clear;
+    try_reset(candidate);
+    candidate = current;
+    candidate.policy = PolicyKind::Steady;
+    try_reset(candidate);
+    candidate = current;
+    candidate.vehicles = 2;
+    try_reset(candidate);
+    candidate = current;
+    candidate.spec_file.clear();
+    try_reset(candidate);
+    candidate = current;
+    candidate.seed = seed_floor;
+    try_reset(candidate);
+
+    CorpusEntry entry;
+    entry.cell = current;
+    entry.status = failure.status;
+    entry.reason = failure.reason;
+    entry.signal = failure.signal;
+    entry.fingerprint = fingerprint_hex(fnv1a64(current_json));
+    return entry;
+}
+
+CampaignReport CampaignDriver::run(const CampaignSpec& spec) {
+    const std::vector<CellConfig> cells = spec.expand();
+    const bool needs_workers =
+        std::any_of(cells.begin(), cells.end(),
+                    [](const CellConfig& cell) { return cell_may_crash_process(cell); });
+    SA_REQUIRE(!needs_workers || !options_.worker_exe.empty(),
+               "the matrix contains crash cells; run with a worker executable");
+
+    const auto start = std::chrono::steady_clock::now();
+    const auto in_budget = [&] {
+        if (options_.budget_seconds == 0) {
+            return true;
+        }
+        const auto elapsed = std::chrono::steady_clock::now() - start;
+        return elapsed < std::chrono::seconds(options_.budget_seconds);
+    };
+
+    CampaignReport report;
+    report.campaign = spec.name();
+    report.cells = cells.size();
+    std::map<std::size_t, CellResult> by_index;
+
+    if (options_.worker_exe.empty()) {
+        std::size_t index = 0;
+        for (; index < cells.size() && in_budget(); ++index) {
+            by_index.emplace(index, run_single(cells[index]));
+        }
+        report.skipped = cells.size() - index;
+    } else {
+        std::map<pid_t, Worker> running;
+        std::size_t next = 0;
+        const auto launch = [&](std::size_t index) {
+            int in_pipe[2];
+            int out_pipe[2];
+            SA_REQUIRE(::pipe(in_pipe) == 0 && ::pipe(out_pipe) == 0,
+                       "cannot create worker pipes");
+            const pid_t pid = ::fork();
+            SA_REQUIRE(pid >= 0, "cannot fork a campaign worker");
+            if (pid == 0) {
+                ::dup2(in_pipe[0], STDIN_FILENO);
+                ::dup2(out_pipe[1], STDOUT_FILENO);
+                ::close(in_pipe[0]);
+                ::close(in_pipe[1]);
+                ::close(out_pipe[0]);
+                ::close(out_pipe[1]);
+                for (const auto& [other_pid, other] : running) {
+                    ::close(other.out_fd);
+                }
+                ::execl(options_.worker_exe.c_str(),
+                        options_.worker_exe.c_str(), "cell", "-",
+                        static_cast<char*>(nullptr));
+                ::_exit(127);
+            }
+            ::close(in_pipe[0]);
+            ::close(out_pipe[1]);
+            (void)write_all(in_pipe[1], cells[index].str());
+            ::close(in_pipe[1]);
+            running.emplace(pid, Worker{pid, out_pipe[0], index});
+        };
+
+        while (next < cells.size() || !running.empty()) {
+            while (next < cells.size() && running.size() < options_.jobs &&
+                   in_budget()) {
+                launch(next++);
+            }
+            if (running.empty()) {
+                break; // budget expired with nothing in flight
+            }
+            int status = 0;
+            const pid_t pid = ::waitpid(-1, &status, 0);
+            const auto it = running.find(pid);
+            if (it == running.end()) {
+                continue;
+            }
+            const Worker worker = it->second;
+            running.erase(it);
+            const std::string output = read_all(worker.out_fd);
+            ::close(worker.out_fd);
+            const CellConfig& cell = cells[worker.index];
+            if (WIFSIGNALED(status)) {
+                by_index.emplace(worker.index,
+                                 make_result(cell, CellVerdict::crash(
+                                                       WTERMSIG(status))
+                                                       .json()));
+            } else {
+                const std::string line = last_json_line(output);
+                if (line.empty() || WEXITSTATUS(status) != 0) {
+                    by_index.emplace(
+                        worker.index,
+                        make_result(cell,
+                                    CellVerdict::worker_error(
+                                        format("worker exited with status %d "
+                                               "and no verdict",
+                                               WEXITSTATUS(status)))
+                                        .json()));
+                } else {
+                    by_index.emplace(worker.index, make_result(cell, line));
+                }
+            }
+        }
+        report.skipped = cells.size() - by_index.size();
+    }
+
+    // Aggregate in cell-index order: the report is deterministic in the
+    // verdicts alone, not in worker completion order.
+    std::set<std::string> known(options_.known_signatures.begin(),
+                                options_.known_signatures.end());
+    std::set<std::string> seen_new;
+    for (auto& [index, result] : by_index) {
+        report.executed++;
+        if (result.status == "ok") {
+            report.ok++;
+        } else if (result.status == "crash") {
+            report.crashes++;
+        } else {
+            report.violations++;
+        }
+        report.total_jobs += static_cast<std::uint64_t>(
+            json_int_field(result.verdict_json, "total_jobs"));
+        report.total_misses += static_cast<std::uint64_t>(
+            json_int_field(result.verdict_json, "total_misses"));
+        report.total_anomalies += static_cast<std::uint64_t>(
+            json_int_field(result.verdict_json, "total_anomalies"));
+        report.total_maneuvers += static_cast<std::uint64_t>(
+            json_int_field(result.verdict_json, "total_maneuvers"));
+        report.worst_p99_ns = std::max(
+            report.worst_p99_ns,
+            json_int_field(result.verdict_json, "p99_ns", -1));
+        if (result.failed()) {
+            const std::string signature = result.signature();
+            if (known.contains(signature)) {
+                report.known_failures++;
+            } else if (seen_new.insert(signature).second) {
+                if (options_.shrink) {
+                    report.new_entries.push_back(
+                        shrink(result, spec.seed_range().lo));
+                } else {
+                    CorpusEntry entry;
+                    entry.cell = result.cell;
+                    entry.status = result.status;
+                    entry.reason = result.reason;
+                    entry.signal = result.signal;
+                    entry.fingerprint =
+                        fingerprint_hex(fnv1a64(result.verdict_json));
+                    report.new_entries.push_back(std::move(entry));
+                }
+            }
+        }
+        report.results.push_back(std::move(result));
+    }
+    return report;
+}
+
+std::string CampaignReport::json() const {
+    std::string out = "{\"version\":1";
+    out += ",\"campaign\":\"" + campaign + "\"";
+    out += format(",\"cells\":%llu", static_cast<unsigned long long>(cells));
+    out += format(",\"executed\":%llu",
+                  static_cast<unsigned long long>(executed));
+    out += format(",\"skipped\":%llu", static_cast<unsigned long long>(skipped));
+    out += format(",\"ok\":%llu", static_cast<unsigned long long>(ok));
+    out += format(",\"violations\":%llu",
+                  static_cast<unsigned long long>(violations));
+    out += format(",\"crashes\":%llu", static_cast<unsigned long long>(crashes));
+    out += format(",\"known_failures\":%llu",
+                  static_cast<unsigned long long>(known_failures));
+    out += ",\"new_failures\":[";
+    for (std::size_t i = 0; i < new_entries.size(); ++i) {
+        const CorpusEntry& entry = new_entries[i];
+        if (i > 0) {
+            out += ",";
+        }
+        out += "{\"cell\":\"" + entry.cell.id() + "\"";
+        out += ",\"status\":\"" + entry.status + "\"";
+        out += ",\"reason\":\"" + entry.reason + "\"";
+        out += format(",\"signal\":%d", entry.signal);
+        out += ",\"fingerprint\":\"" + entry.fingerprint + "\"";
+        out += ",\"file\":\"" + entry.suggested_filename() + "\"}";
+    }
+    out += "]";
+    out += format(",\"totals\":{\"total_jobs\":%llu",
+                  static_cast<unsigned long long>(total_jobs));
+    out += format(",\"total_misses\":%llu",
+                  static_cast<unsigned long long>(total_misses));
+    out += format(",\"total_anomalies\":%llu",
+                  static_cast<unsigned long long>(total_anomalies));
+    out += format(",\"total_maneuvers\":%llu}",
+                  static_cast<unsigned long long>(total_maneuvers));
+    out += format(",\"worst_p99_ns\":%lld}",
+                  static_cast<long long>(worst_p99_ns));
+    return out;
+}
+
+std::string CampaignReport::str() const {
+    std::string out = "campaign '" + campaign + "': ";
+    out += format("%llu cells, %llu executed (%llu skipped)\n",
+                  static_cast<unsigned long long>(cells),
+                  static_cast<unsigned long long>(executed),
+                  static_cast<unsigned long long>(skipped));
+    out += format("  ok %llu · violations %llu · crashes %llu · known %llu\n",
+                  static_cast<unsigned long long>(ok),
+                  static_cast<unsigned long long>(violations),
+                  static_cast<unsigned long long>(crashes),
+                  static_cast<unsigned long long>(known_failures));
+    out += format("  totals: jobs %llu, misses %llu, anomalies %llu, "
+                  "maneuvers %llu, worst p99 %lld ns\n",
+                  static_cast<unsigned long long>(total_jobs),
+                  static_cast<unsigned long long>(total_misses),
+                  static_cast<unsigned long long>(total_anomalies),
+                  static_cast<unsigned long long>(total_maneuvers),
+                  static_cast<long long>(worst_p99_ns));
+    if (new_entries.empty()) {
+        out += "  no new failures\n";
+    } else {
+        out += format("  NEW FAILURES: %llu\n",
+                      static_cast<unsigned long long>(new_entries.size()));
+        for (const CorpusEntry& entry : new_entries) {
+            out += "    " + entry.signature() + "\n";
+            out += "      minimal cell: " + entry.cell.id() + "\n";
+        }
+    }
+    return out;
+}
+
+} // namespace sa::campaign

@@ -1,0 +1,161 @@
+#pragma once
+// Internal token stream shared by the campaign-grammar parsers
+// (campaign_spec.cpp, corpus.cpp). Mirrors the lexer style of
+// skills/skill_graph_spec.cpp but keeps '.' out of numbers so seed ranges
+// ("1..16") lex as Number '..' Number.
+
+#include <cctype>
+#include <cstdint>
+#include <string>
+
+#include "campaign/campaign_spec.hpp"
+
+namespace sa::campaign::detail {
+
+enum class TokKind { Ident, Number, String, Punct, End };
+
+struct Token {
+    TokKind kind = TokKind::End;
+    std::string text;
+    int line = 0;
+};
+
+class Lexer {
+public:
+    explicit Lexer(const std::string& text) : text_(text) { advance(); }
+
+    [[nodiscard]] const Token& peek() const noexcept { return current_; }
+
+    Token take() {
+        Token token = current_;
+        advance();
+        return token;
+    }
+
+    /// Take a token and require it to be the punctuation `punct`.
+    Token expect_punct(const std::string& punct) {
+        Token token = take();
+        if (token.kind != TokKind::Punct || token.text != punct) {
+            throw CampaignParseError(token.line, "expected '" + punct + "'" +
+                                                     describe(token));
+        }
+        return token;
+    }
+
+    /// Take a token and require it to be the identifier `ident`.
+    Token expect_ident(const std::string& ident) {
+        Token token = take();
+        if (token.kind != TokKind::Ident || token.text != ident) {
+            throw CampaignParseError(token.line,
+                                     "expected '" + ident + "'" + describe(token));
+        }
+        return token;
+    }
+
+    /// Take a token and require an identifier (any); returns its text.
+    std::string take_ident(const char* what) {
+        Token token = take();
+        if (token.kind != TokKind::Ident) {
+            throw CampaignParseError(token.line, "expected " + std::string(what) +
+                                                     describe(token));
+        }
+        return token.text;
+    }
+
+    /// Take a token and require an unsigned number; returns its value.
+    std::uint64_t take_number(const char* what) {
+        Token token = take();
+        if (token.kind != TokKind::Number) {
+            throw CampaignParseError(token.line, "expected " + std::string(what) +
+                                                     describe(token));
+        }
+        return std::stoull(token.text);
+    }
+
+private:
+    static std::string describe(const Token& token) {
+        if (token.kind == TokKind::End) {
+            return ", got end of input";
+        }
+        return ", got '" + token.text + "'";
+    }
+
+    void advance() {
+        skip_space_and_comments();
+        current_.line = line_;
+        if (pos_ >= text_.size()) {
+            current_ = Token{TokKind::End, "", line_};
+            return;
+        }
+        const char c = text_[pos_];
+        if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+            const std::size_t start = pos_;
+            while (pos_ < text_.size() &&
+                   (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0 ||
+                    text_[pos_] == '_')) {
+                ++pos_;
+            }
+            current_ = Token{TokKind::Ident, text_.substr(start, pos_ - start), line_};
+            return;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+            const std::size_t start = pos_;
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+                ++pos_;
+            }
+            current_ = Token{TokKind::Number, text_.substr(start, pos_ - start),
+                             line_};
+            return;
+        }
+        if (c == '"') {
+            const std::size_t start = ++pos_;
+            while (pos_ < text_.size() && text_[pos_] != '"' && text_[pos_] != '\n') {
+                ++pos_;
+            }
+            if (pos_ >= text_.size() || text_[pos_] != '"') {
+                throw CampaignParseError(line_, "unterminated string literal");
+            }
+            current_ = Token{TokKind::String, text_.substr(start, pos_ - start),
+                             line_};
+            ++pos_;
+            return;
+        }
+        if (c == '.' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '.') {
+            pos_ += 2;
+            current_ = Token{TokKind::Punct, "..", line_};
+            return;
+        }
+        ++pos_;
+        current_ = Token{TokKind::Punct, std::string(1, c), line_};
+    }
+
+    void skip_space_and_comments() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '\n') {
+                ++line_;
+                ++pos_;
+            } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+                ++pos_;
+            } else if (c == '/' && pos_ + 1 < text_.size() &&
+                       text_[pos_ + 1] == '/') {
+                while (pos_ < text_.size() && text_[pos_] != '\n') {
+                    ++pos_;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    Token current_;
+};
+
+/// Parse "<number><unit>" where the unit identifier is ns/us/ms/s.
+[[nodiscard]] sim::Duration take_duration(Lexer& lexer);
+
+} // namespace sa::campaign::detail

@@ -1,0 +1,21 @@
+#pragma once
+// Campaign-layer lint rules (CMP001-CMP006): a campaign file is linted
+// before the driver fans out thousands of cells, so a typo'd template, an
+// empty seed range or a broken skill-graph spec fails in milliseconds, not
+// after a worker fleet burned through half the matrix. CMP005 builds ONE
+// representative cell declaration (first value of every axis, seed lo) and
+// runs the full ScenarioBuilder::lint() stack over it — the cells of a
+// matrix differ only along the declared axes, so one cell's topology
+// findings speak for all of them.
+
+#include "campaign/campaign_spec.hpp"
+#include "lint/diagnostics.hpp"
+
+namespace sa::lint {
+
+/// Lint one campaign matrix. Spec-file paths inside `spec` must already be
+/// resolved (the CLI resolves them relative to the campaign file's
+/// directory at load time).
+[[nodiscard]] LintReport lint_campaign(const campaign::CampaignSpec& spec);
+
+} // namespace sa::lint

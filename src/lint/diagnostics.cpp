@@ -22,6 +22,7 @@ const char* to_string(Layer layer) noexcept {
     case Layer::Skills: return "skills";
     case Layer::Model: return "model";
     case Layer::Scenario: return "scenario";
+    case Layer::Campaign: return "campaign";
     }
     return "?";
 }
@@ -83,6 +84,19 @@ const std::vector<RuleInfo>& rule_catalogue() {
          "heartbeat watches a source nothing publishes"},
         {"SCN007", Severity::Warning, Layer::Scenario,
          "sensor bound to a skill node the vehicle's graph lacks"},
+        // --- campaign layer -------------------------------------------------
+        {"CMP001", Severity::Error, Layer::Campaign,
+         "campaign names an unknown scenario template"},
+        {"CMP002", Severity::Error, Layer::Campaign,
+         "campaign matrix is empty (seed range lo > hi)"},
+        {"CMP003", Severity::Warning, Layer::Campaign,
+         "campaign matrix is very large (> 100000 cells)"},
+        {"CMP004", Severity::Error, Layer::Campaign,
+         "referenced skill-graph spec file is missing or rejected by lint"},
+        {"CMP005", Severity::Error, Layer::Campaign,
+         "representative cell fails scenario lint"},
+        {"CMP006", Severity::Info, Layer::Campaign,
+         "matrix contains harness-probe faults (misuse/crash)"},
     };
     return kCatalogue;
 }

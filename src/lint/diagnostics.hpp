@@ -32,6 +32,7 @@ enum class Layer {
     Skills,   ///< SkillGraphSpec / CapabilityRegistry / alarm bindings
     Model,    ///< contracts, function model, mapping
     Scenario, ///< builder topology: gateways, domains, monitors
+    Campaign, ///< campaign matrices: axes, seed ranges, referenced specs
 };
 
 const char* to_string(Layer layer) noexcept;

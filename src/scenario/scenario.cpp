@@ -211,7 +211,10 @@ void Scenario::set_weather(const vehicle::WeatherCondition& weather) {
 
 ScenarioReport Scenario::report() const {
     ScenarioReport report;
-    report.at = kernel_ ? kernel_->now() : simulator_.now();
+    // progress(), not now(): after stop() or a window exception the sharded
+    // coordinator's barrier time lags the domain clocks, and a partial
+    // report must reflect how far the run actually got.
+    report.at = kernel_ ? kernel_->progress() : simulator_.now();
     report.vehicles.reserve(order_.size());
     for (const auto& name : order_) {
         report.vehicles.push_back(vehicles_.at(name)->report());

@@ -276,6 +276,11 @@ public:
     /// coordinator, at its next barrier) returns, leaving events queued.
     void stop() noexcept { kernel_ ? kernel_->stop() : simulator_.stop(); }
 
+    /// Aggregate counters at the current point of the run. Valid after a
+    /// completed run(), after stop(), and after a run() that threw (a
+    /// scripted fault injection raising a contract violation): the report
+    /// then covers the partial run up to the failure, with `at` at the
+    /// furthest domain clock.
     [[nodiscard]] ScenarioReport report() const;
 
 private:

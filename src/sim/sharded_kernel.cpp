@@ -87,6 +87,14 @@ void ShardedKernel::schedule_script(Time at, std::function<void()> action) {
     scripts_.insert({at, std::move(action)});
 }
 
+Time ShardedKernel::progress() const noexcept {
+    Time furthest = now_;
+    for (const auto& domain : domains_) {
+        furthest = std::max(furthest, domain->simulator_.now());
+    }
+    return furthest;
+}
+
 std::uint64_t ShardedKernel::executed_events() const noexcept {
     std::uint64_t total = 0;
     for (const auto& domain : domains_) {

@@ -143,6 +143,14 @@ public:
 
     /// Barrier time: the coordinator's lower bound on global progress.
     [[nodiscard]] Time now() const noexcept { return now_; }
+    /// Actual global progress: the furthest any domain clock has advanced,
+    /// never below now(). Unlike now() this stays meaningful when a window
+    /// threw (now() is only updated after a window completes) — partial
+    /// reports after a mid-run violation read this. Call from the
+    /// coordinator context with the kernel quiescent (between runs, after a
+    /// caught window exception, or inside a script): the workers' clock
+    /// writes happened-before the barrier handshake completed.
+    [[nodiscard]] Time progress() const noexcept;
     /// Events executed across all domains since construction.
     [[nodiscard]] std::uint64_t executed_events() const noexcept;
     /// Parallel windows executed (diagnostic: work per barrier).

@@ -14,6 +14,15 @@ std::string format_message(const char* kind, const char* expr, const char* file,
     }
     return os.str();
 }
+
+std::string stable_message(const char* kind, const char* expr, const std::string& msg) {
+    std::ostringstream os;
+    os << kind << " failed: (" << expr << ")";
+    if (!msg.empty()) {
+        os << " — " << msg;
+    }
+    return os.str();
+}
 } // namespace
 
 ContractViolation::ContractViolation(const char* kind, const char* expr, const char* file,
@@ -21,7 +30,8 @@ ContractViolation::ContractViolation(const char* kind, const char* expr, const c
     : std::logic_error(format_message(kind, expr, file, line, msg)),
       expr_(expr),
       file_(file),
-      line_(line) {}
+      line_(line),
+      message_(stable_message(kind, expr, msg)) {}
 
 namespace detail {
 

@@ -20,11 +20,16 @@ public:
     [[nodiscard]] const char* expression() const noexcept { return expr_; }
     [[nodiscard]] const char* file() const noexcept { return file_; }
     [[nodiscard]] int line() const noexcept { return line_; }
+    /// The violation without the file:line suffix of what() — a stable form
+    /// for reports and reproducer corpora that must not churn when code
+    /// moves (e.g. sa::campaign verdicts).
+    [[nodiscard]] const std::string& message() const noexcept { return message_; }
 
 private:
     const char* expr_;
     const char* file_;
     int line_;
+    std::string message_;
 };
 
 namespace detail {

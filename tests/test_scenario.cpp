@@ -652,6 +652,67 @@ TEST(Scenario, PlatoonAccessorRequiresManeuversDeclaration) {
     EXPECT_THROW((void)scenario->maneuver_policy(), ContractViolation);
 }
 
+// --- report() after stop() / after a throwing window -------------------------------
+
+TEST(Scenario, ReportAfterStopReflectsPartialProgress) {
+    scenario::ScenarioBuilder builder(23);
+    builder.vehicle("ego")
+        .ecu({"ecu0", 1.0, 0.75, model::Asil::D, "cabin", "main"})
+        .contracts(kMiniContracts);
+    builder.at(Duration::ms(300), [](scenario::Scenario& s) { s.stop(); });
+    auto scenario = builder.build();
+    scenario->run(Duration::sec(2));
+
+    const auto report = scenario->report();
+    EXPECT_GE(report.at.ns(), Duration::ms(300).count_ns());
+    EXPECT_LT(report.at.ns(), Duration::sec(2).count_ns());
+    ASSERT_EQ(report.vehicles.size(), 1u);
+    EXPECT_GT(report.vehicle("ego").jobs_completed, 0u);
+}
+
+TEST(Scenario, ReportAfterThrowingScriptReturnsPartialReport) {
+    // Regression: a window exception used to leave report().at at the time
+    // of the last COMPLETED window (zero if the first window threw), hiding
+    // how far the run actually got. It must now reflect the furthest clock.
+    scenario::ScenarioBuilder builder(23);
+    builder.vehicle("ego")
+        .ecu({"ecu0", 1.0, 0.75, model::Asil::D, "cabin", "main"})
+        .contracts(kMiniContracts);
+    builder.at(Duration::ms(300), [](scenario::Scenario&) {
+        throw std::runtime_error("scripted fault");
+    });
+    auto scenario = builder.build();
+    EXPECT_THROW(scenario->run(Duration::sec(2)), std::runtime_error);
+
+    const auto report = scenario->report();
+    EXPECT_GE(report.at.ns(), Duration::ms(300).count_ns());
+    ASSERT_EQ(report.vehicles.size(), 1u);
+    EXPECT_GT(report.vehicle("ego").jobs_completed, 0u);
+}
+
+TEST(Scenario, ReportAfterThrowingWindowUnderShardedKernel) {
+    // Same regression one layer down: with a multi-domain kernel the throw
+    // happens inside a worker window; report() must read the furthest
+    // domain clock (ShardedKernel::progress()), not the pre-window now().
+    scenario::ScenarioBuilder builder(23);
+    builder.domains(2);
+    for (const char* name : {"lead", "follow"}) {
+        builder.vehicle(name)
+            .ecu({"ecu0", 1.0, 0.75, model::Asil::D, "cabin", "main"})
+            .contracts(kMiniContracts);
+    }
+    builder.at(Duration::ms(300), [](scenario::Scenario&) {
+        throw std::runtime_error("scripted fault");
+    });
+    auto scenario = builder.build();
+    EXPECT_THROW(scenario->run(Duration::sec(2)), std::runtime_error);
+
+    const auto report = scenario->report();
+    EXPECT_GE(report.at.ns(), Duration::ms(300).count_ns());
+    ASSERT_EQ(report.vehicles.size(), 2u);
+    EXPECT_GT(report.vehicle("lead").jobs_completed, 0u);
+}
+
 TEST(ScenarioBuilder, ManeuverPolicyValidated) {
     scenario::ScenarioBuilder builder(1);
     platoon::ManeuverPolicy inverted;
