@@ -16,6 +16,7 @@
 
 #include <cstdio>
 
+#include "monitor/anomaly_kinds.hpp"
 #include "scenario/scenario_builder.hpp"
 
 using namespace sa;
@@ -83,7 +84,7 @@ int main() {
             fault.domain = monitor::Domain::Sensor;
             fault.severity = monitor::Severity::Critical;
             fault.source = skills::caps::kV2vLink;
-            fault.kind = "sensor_failed";
+            fault.kind = sa::monitor::kinds::kSensorFailed;
             mid.monitors().anomalies().emit(fault);
         });
 

@@ -30,6 +30,7 @@ const char* to_string(Fault fault) noexcept {
     case Fault::V2vBlackout: return "v2v_blackout";
     case Fault::Storm: return "storm";
     case Fault::Overrun: return "overrun";
+    case Fault::SensorDrift: return "sensor_drift";
     case Fault::Misuse: return "misuse";
     case Fault::Crash: return "crash";
     }
@@ -78,8 +79,8 @@ bool weather_from_string(const std::string& text, Weather& out) {
 bool fault_from_string(const std::string& text, Fault& out) {
     return enum_from_string(text, out,
                             {Fault::None, Fault::FogBlind, Fault::V2vBlackout,
-                             Fault::Storm, Fault::Overrun, Fault::Misuse,
-                             Fault::Crash});
+                             Fault::Storm, Fault::Overrun, Fault::SensorDrift,
+                             Fault::Misuse, Fault::Crash});
 }
 
 bool policy_from_string(const std::string& text, PolicyKind& out) {
@@ -158,6 +159,12 @@ std::string CellConfig::id() const {
     out += " topology=" + std::string(to_string(topology));
     out += " domains=" + std::to_string(domains);
     out += " seed=" + std::to_string(seed);
+    if (learned_warmup.count_ns() > 0) {
+        out += " learned=" + duration_str(learned_warmup);
+        if (learned_no_metrics) {
+            out += "/none";
+        }
+    }
     return out;
 }
 
@@ -176,6 +183,10 @@ std::string CellConfig::str() const {
     out += "  topology " + std::string(to_string(topology)) + ";\n";
     out += "  domains " + std::to_string(domains) + ";\n";
     out += "  seed " + std::to_string(seed) + ";\n";
+    if (learned_warmup.count_ns() > 0) {
+        out += "  learned " + duration_str(learned_warmup) +
+               (learned_no_metrics ? " none" : "") + ";\n";
+    }
     out += "}\n";
     return out;
 }
@@ -199,6 +210,25 @@ void check_domains(std::size_t count, int line) {
 void check_duration(sim::Duration duration, int line) {
     if (duration.count_ns() < sim::Duration::ms(1).count_ns()) {
         throw CampaignParseError(line, "duration must be at least 1ms");
+    }
+}
+
+/// Parse the tail of a `learned <dur> [none];` statement (after the keyword;
+/// the caller consumes the terminating ';').
+void parse_learned(detail::Lexer& lexer, int line, sim::Duration& warmup,
+                   bool& no_metrics) {
+    warmup = detail::take_duration(lexer);
+    if (warmup.count_ns() <= 0) {
+        throw CampaignParseError(line, "learned warm-up must be positive");
+    }
+    no_metrics = false;
+    if (lexer.peek().kind == detail::TokKind::Ident) {
+        const std::string flag = lexer.take_ident("'none'");
+        if (flag != "none") {
+            throw CampaignParseError(line,
+                                     "unknown learned flag '" + flag + "'");
+        }
+        no_metrics = true;
     }
 }
 
@@ -251,6 +281,8 @@ bool parse_cell_statement(detail::Lexer& lexer, const std::string& keyword, int 
         check_domains(cell.domains, line);
     } else if (keyword == "seed") {
         cell.seed = lexer.take_number("a seed");
+    } else if (keyword == "learned") {
+        parse_learned(lexer, line, cell.learned_warmup, cell.learned_no_metrics);
     } else {
         return false;
     }
@@ -344,6 +376,13 @@ CampaignSpec& CampaignSpec::seeds(std::uint64_t lo, std::uint64_t hi) {
     return *this;
 }
 
+CampaignSpec& CampaignSpec::learned(sim::Duration warmup, bool no_metrics) {
+    SA_REQUIRE(warmup.count_ns() >= 0, "learned warm-up must not be negative");
+    learned_warmup_ = warmup;
+    learned_no_metrics_ = no_metrics;
+    return *this;
+}
+
 std::uint64_t CampaignSpec::cell_count() const noexcept {
     std::uint64_t count = seeds_.count();
     count *= weathers_.size();
@@ -378,6 +417,8 @@ std::vector<CellConfig> CampaignSpec::expand() const {
                                 cell.topology = topology;
                                 cell.domains = domains;
                                 cell.seed = seed;
+                                cell.learned_warmup = learned_warmup_;
+                                cell.learned_no_metrics = learned_no_metrics_;
                                 cells.push_back(std::move(cell));
                                 if (seed == seeds_.hi) {
                                     break; // avoid overflow at UINT64_MAX
@@ -431,6 +472,10 @@ std::string CampaignSpec::str() const {
     out += ";\n";
     out += "  seeds " + std::to_string(seeds_.lo) + ".." + std::to_string(seeds_.hi) +
            ";\n";
+    if (learned_warmup_.count_ns() > 0) {
+        out += "  learned " + duration_str(learned_warmup_) +
+               (learned_no_metrics_ ? " none" : "") + ";\n";
+    }
     out += "}\n";
     return out;
 }
@@ -570,6 +615,10 @@ CampaignSpec CampaignSpec::parse(const std::string& text) {
             spec.seeds_.lo = lexer.take_number("a seed range low bound");
             lexer.expect_punct("..");
             spec.seeds_.hi = lexer.take_number("a seed range high bound");
+            lexer.expect_punct(";");
+        } else if (keyword == "learned") {
+            parse_learned(lexer, token.line, spec.learned_warmup_,
+                          spec.learned_no_metrics_);
             lexer.expect_punct(";");
         } else {
             throw CampaignParseError(token.line, "unknown campaign axis '" +

@@ -18,11 +18,15 @@
 //     spec "<path>";                // optional skill-graph spec file
 //     weather <w> [<w> ...];        // axis: clear fog rain winter
 //     fault <f> [<f> ...];          // axis: none fog_blind v2v_blackout
-//                                   //       storm overrun misuse crash
+//                                   //       storm overrun sensor_drift
+//                                   //       misuse crash
 //     policy <p> [<p> ...];         // axis: steady cautious eager
 //     topology <t> [<t> ...];       // axis: dual_bus bridged
 //     domains <n> [<n> ...];        // axis: ECU domain counts, each in [1, 8]
 //     seeds <lo>..<hi>;             // inclusive seed range
+//     learned <n><unit> [none];     // optional: learned monitor on every
+//                                   // vehicle, with this warm-up; "none"
+//                                   // disables metric auto-resolution
 //   }
 //
 // A cell block uses the same statements with singular values plus
@@ -57,10 +61,14 @@ private:
 enum class Weather { Clear, Fog, Rain, Winter };
 
 /// Fault axis: injected on the second vehicle ("beta") at duration/2.
-/// Misuse and Crash are harness probes: Misuse raises a deterministic
-/// ContractViolation inside a script (exercising violation capture), Crash
-/// calls abort() (exercising worker-process isolation).
-enum class Fault { None, FogBlind, V2vBlackout, Storm, Overrun, Misuse, Crash };
+/// SensorDrift is a slow stepwise radar-capability decay that never crosses
+/// a maneuver threshold — the axis only matters to cells with a learned
+/// monitor. Misuse and Crash are harness probes: Misuse raises a
+/// deterministic ContractViolation inside a script (exercising violation
+/// capture), Crash calls abort() (exercising worker-process isolation).
+enum class Fault {
+    None, FogBlind, V2vBlackout, Storm, Overrun, SensorDrift, Misuse, Crash
+};
 
 /// Maneuver-policy axis: three ManeuverPolicy presets (thresholds and
 /// check periods) — see campaign::maneuver_policy_for().
@@ -102,6 +110,13 @@ struct CellConfig {
     Topology topology = Topology::DualBus;
     std::size_t domains = 1;
     std::uint64_t seed = 1;
+    /// Learned monitor on every vehicle when positive (zero = off). Only
+    /// serialized when enabled, so pre-existing cell blocks stay
+    /// byte-identical.
+    sim::Duration learned_warmup = sim::Duration::zero();
+    /// Disable metric auto-resolution (`learned ... none;` — a deliberately
+    /// broken configuration surfaced by lint rule LRN001).
+    bool learned_no_metrics = false;
 
     bool operator==(const CellConfig&) const = default;
 
@@ -144,6 +159,8 @@ public:
     CampaignSpec& topologies(std::vector<Topology> values);
     CampaignSpec& domains(std::vector<std::size_t> counts);
     CampaignSpec& seeds(std::uint64_t lo, std::uint64_t hi);
+    /// Learned monitor on every vehicle of every cell (zero warm-up = off).
+    CampaignSpec& learned(sim::Duration warmup, bool no_metrics = false);
 
     // --- introspection ------------------------------------------------------
     [[nodiscard]] const std::string& name() const noexcept { return name_; }
@@ -169,6 +186,12 @@ public:
         return domains_;
     }
     [[nodiscard]] SeedRange seed_range() const noexcept { return seeds_; }
+    [[nodiscard]] sim::Duration learned_warmup() const noexcept {
+        return learned_warmup_;
+    }
+    [[nodiscard]] bool learned_no_metrics() const noexcept {
+        return learned_no_metrics_;
+    }
 
     /// Matrix size: the product of every axis (0 when the seed range is
     /// empty — lint flags that as CMP002).
@@ -194,6 +217,8 @@ private:
     std::vector<Topology> topologies_{Topology::DualBus};
     std::vector<std::size_t> domains_{1};
     SeedRange seeds_{};
+    sim::Duration learned_warmup_ = sim::Duration::zero();
+    bool learned_no_metrics_ = false;
 };
 
 } // namespace sa::campaign

@@ -2,10 +2,12 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <memory>
 #include <sstream>
 #include <utility>
 
+#include "learn/anomaly_model_monitor.hpp"
 #include "scenario/presets.hpp"
 #include "scenario/scenario.hpp"
 #include "sim/trace.hpp"
@@ -84,6 +86,10 @@ void apply_fault(scenario::Scenario& scenario,
     case Fault::Overrun:
         scenario.vehicle(target).faults().inject_wcet_violation(
             "perception", 0, sim::Duration::ms(15));
+        return;
+    case Fault::SensorDrift:
+        // Scripted as a stepwise ramp in declare_cell_scenario (the drift
+        // needs several scheduled points, not a single injection instant).
         return;
     case Fault::Misuse:
         // Deterministic SA_REQUIRE violation: probes that the harness
@@ -233,10 +239,18 @@ void declare_cell_scenario(scenario::ScenarioBuilder& builder,
             load_spec_file(cell.spec_file));
     }
     builder.domains(cell.domains);
+    builder.duration_hint(cell.duration);
     for (const std::string& name : names) {
         scenario::presets::declare_platoon_follow_vehicle(builder, name);
         if (spec) {
             builder.vehicle(name).skill_graph(*spec);
+        }
+        if (cell.learned_warmup.count_ns() > 0) {
+            learn::LearnedMonitorConfig learned;
+            learned.warmup = cell.learned_warmup;
+            learned.auto_metrics = !cell.learned_no_metrics;
+            learned.seed = cell.seed;
+            builder.vehicle(name).learned_monitor(learned);
         }
         builder.trust(name, 14).platoon_candidate({name, 0.9, 24.0, 10.0, false});
     }
@@ -265,7 +279,25 @@ void declare_cell_scenario(scenario::ScenarioBuilder& builder,
             apply_weather(s, names, weather);
         });
     }
-    if (cell.fault != Fault::None) {
+    if (cell.fault == Fault::SensorDrift) {
+        // Slow stepwise radar-capability decay on the fault target. Every
+        // level stays above all maneuver-policy thresholds (Cautious leaves
+        // below 0.65), so nothing hand-written reacts — only a learned
+        // monitor watching skill levels sees the joint state walk away from
+        // its baseline.
+        static constexpr double kDriftLevels[] = {0.94, 0.88, 0.82, 0.76};
+        for (std::size_t step = 0; step < std::size(kDriftLevels); ++step) {
+            const auto step_at = sim::Duration::ns(
+                total / 2 + (total / 16) * static_cast<std::int64_t>(step) +
+                17'000);
+            builder.at(step_at, [target = names[1], level = kDriftLevels[step]](
+                                    scenario::Scenario& s) {
+                auto& abilities = s.vehicle(target).abilities();
+                abilities.set_source_level(skills::acc::kRadar, level);
+                abilities.propagate();
+            });
+        }
+    } else if (cell.fault != Fault::None) {
         builder.at(fault_at, [names, fault = cell.fault](scenario::Scenario& s) {
             apply_fault(s, names, fault);
         });

@@ -1,13 +1,17 @@
 #include "core/network_layer.hpp"
 
+#include "monitor/anomaly_kinds.hpp"
+
 namespace sa::core {
+
+namespace kinds = sa::monitor::kinds;
 
 NetworkLayer::NetworkLayer(rte::Rte& rte) : Layer(LayerId::Network, "network"), rte_(rte) {}
 
 std::vector<Proposal> NetworkLayer::propose(const Problem& problem) {
     std::vector<Proposal> out;
     const auto& a = problem.anomaly;
-    if (a.kind != "rate_excess" && a.kind != "access_probe") {
+    if (a.kind != kinds::kRateExcess && a.kind != kinds::kAccessProbe) {
         return out;
     }
     const std::string component = a.source; // IDS names the offending client
@@ -25,7 +29,7 @@ std::vector<Proposal> NetworkLayer::propose(const Problem& problem) {
         p.target = component + "/access";
         p.scope = 0.05;
         p.cost = 0.05;
-        p.adequacy = a.kind == "access_probe" ? 0.85 : 0.35;
+        p.adequacy = a.kind == kinds::kAccessProbe ? 0.85 : 0.35;
         p.execute = [this, component] {
             rte_.access().revoke_all(component);
             ++revocations_;
@@ -53,7 +57,7 @@ std::vector<Proposal> NetworkLayer::propose(const Problem& problem) {
                                        monitor::Domain::Function,
                                        monitor::Severity::Critical,
                                        component,
-                                       "component_contained",
+                                       kinds::kComponentContained,
                                        "security containment removed " + component,
                                        1.0};
         out.push_back(std::move(p));

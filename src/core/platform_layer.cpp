@@ -1,10 +1,14 @@
 #include "core/platform_layer.hpp"
 
+#include "monitor/anomaly_kinds.hpp"
+
 #include <algorithm>
 
 #include "util/string_util.hpp"
 
 namespace sa::core {
+
+namespace kinds = sa::monitor::kinds;
 
 PlatformLayer::PlatformLayer(rte::Rte& rte, model::Mcc& mcc, PlatformLayerConfig config)
     : Layer(LayerId::Platform, "platform"), rte_(rte), mcc_(mcc), config_(config) {}
@@ -24,7 +28,7 @@ std::vector<Proposal> PlatformLayer::propose(const Problem& problem) {
     // Thermal stress: propose stepping DVFS down, but only with adequacy if
     // the timing model still holds at the reduced speed (self-awareness of
     // the consequence, not just the local fix).
-    if (a.kind == "range_violation" && starts_with(a.source, "temp.")) {
+    if (a.kind == kinds::kRangeViolation && starts_with(a.source, "temp.")) {
         const std::string ecu_name = ecu_from_source(a.source);
         if (rte_.has_ecu(ecu_name)) {
             rte::Ecu& ecu = rte_.ecu(ecu_name);
@@ -63,7 +67,7 @@ std::vector<Proposal> PlatformLayer::propose(const Problem& problem) {
 
     // Execution-budget violation: restart the offending component (transient
     // fault hypothesis). Low cost, small scope.
-    if (a.kind == "budget_violation" || a.kind == "miss_ratio_high") {
+    if (a.kind == kinds::kBudgetViolation || a.kind == kinds::kMissRatioHigh) {
         // source is "component.task" for budget violations; take the prefix.
         std::string component = a.source;
         if (auto dot = component.find('.'); dot != std::string::npos) {
@@ -76,7 +80,7 @@ std::vector<Proposal> PlatformLayer::propose(const Problem& problem) {
             p.target = component;
             p.scope = 0.1;
             p.cost = 0.15;
-            p.adequacy = a.kind == "budget_violation" ? 0.7 : 0.4;
+            p.adequacy = a.kind == kinds::kBudgetViolation ? 0.7 : 0.4;
             p.execute = [this, component] {
                 rte_.component(component).restart();
                 ++restarts_;

@@ -1,6 +1,10 @@
 #include "core/safety_layer.hpp"
 
+#include "monitor/anomaly_kinds.hpp"
+
 namespace sa::core {
+
+namespace kinds = sa::monitor::kinds;
 
 SafetyLayer::SafetyLayer(rte::Rte& rte, model::Mcc& mcc)
     : Layer(LayerId::Safety, "safety"), rte_(rte), mcc_(mcc) {}
@@ -29,9 +33,9 @@ std::string SafetyLayer::find_partner(const std::string& component) const {
 std::vector<Proposal> SafetyLayer::propose(const Problem& problem) {
     std::vector<Proposal> out;
     const auto& a = problem.anomaly;
-    const bool component_loss = a.kind == "component_contained" ||
-                                a.kind == "heartbeat_loss" ||
-                                a.kind == "component_failed";
+    const bool component_loss = a.kind == kinds::kComponentContained ||
+                                a.kind == kinds::kHeartbeatLoss ||
+                                a.kind == kinds::kComponentFailed;
     if (!component_loss) {
         return out;
     }
@@ -69,7 +73,7 @@ std::vector<Proposal> SafetyLayer::propose(const Problem& problem) {
         p.target = component;
         p.scope = 0.1;
         p.cost = 0.2;
-        p.adequacy = (a.kind == "component_contained" ||
+        p.adequacy = (a.kind == kinds::kComponentContained ||
                       state == rte::ComponentState::Contained)
                          ? 0.05
                          : 0.75;

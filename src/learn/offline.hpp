@@ -1,0 +1,55 @@
+#pragma once
+// Offline fit/score over recorded traces — the sa_learn CLI's engine. Runs
+// the exact online algorithm (MetricModel + StateModel with the same
+// round-closing rule as AnomalyModelMonitor) over a Trace, so offline scores
+// reproduce what the in-sim monitor would have raised on the same stream.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "learn/anomaly_model_monitor.hpp"
+#include "learn/trace.hpp"
+
+namespace sa::learn {
+
+/// An alarm-state transition produced by scoring a trace.
+struct ScoredEvent {
+    std::int64_t at_ns = 0;
+    std::size_t state = 0;
+    double score = 0.0;  ///< surprise in bits at the transition
+    bool abnormal = false;  ///< true: learned_abnormality; false: recovered
+
+    bool operator==(const ScoredEvent&) const = default;
+};
+
+/// Frozen per-metric baseline after a fit.
+struct MetricBaseline {
+    std::string name;
+    std::size_t samples = 0;
+    bool warmed_up = false;
+    double mean = 0.0;
+    double sigma = 0.0;
+    double ewma = 0.0;
+    double drift_z = 0.0;
+};
+
+struct OfflineResult {
+    std::vector<MetricBaseline> metrics;
+    std::size_t state_count = 0;
+    std::uint64_t evaluations = 0;
+    double max_score = 0.0;
+    std::vector<ScoredEvent> events;
+};
+
+/// Tracked metric names for `trace` under `config`: the configured list, or
+/// (auto_metrics) every distinct metric in first-appearance order.
+[[nodiscard]] std::vector<std::string>
+resolve_trace_metrics(const Trace& trace, const LearnedMonitorConfig& config);
+
+/// Fit + score `trace` under `config` in one pass (the algorithm is fully
+/// incremental, so fitting IS scoring with the events kept).
+[[nodiscard]] OfflineResult run_offline(const Trace& trace,
+                                        const LearnedMonitorConfig& config);
+
+} // namespace sa::learn

@@ -1,0 +1,123 @@
+#include "learn/state_model.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace sa::learn {
+
+namespace {
+
+/// splitmix64: cheap, well-mixed 64-bit hash for the clustering tie-break.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+double l1_distance(const std::vector<int>& a, const std::vector<int>& b) noexcept {
+    double d = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        d += std::abs(a[i] - b[i]);
+    }
+    return d;
+}
+
+} // namespace
+
+StateModel::StateModel(StateModelConfig config) : config_(config) {
+    SA_REQUIRE(config_.band_width > 0.0, "band_width must be positive");
+    SA_REQUIRE(config_.band_limit > 0, "band_limit must be positive");
+    SA_REQUIRE(config_.max_states > 0, "max_states must be positive");
+    SA_REQUIRE(config_.laplace > 0.0, "laplace pseudo-count must be positive");
+}
+
+int StateModel::band(double drift_z) const noexcept {
+    const double raw = drift_z / config_.band_width;
+    const int b = static_cast<int>(std::lround(raw));
+    return std::max(-config_.band_limit, std::min(config_.band_limit, b));
+}
+
+std::size_t StateModel::find_or_create(const std::vector<int>& bands, bool& created) {
+    created = false;
+    // Best = (distance, tie_key) lexicographic minimum over all leaders; the
+    // tie_key is a seed-mixed hash, so equidistant leaders resolve the same
+    // way for the same seed and (possibly) differently for another.
+    std::size_t best = 0;
+    double best_dist = std::numeric_limits<double>::infinity();
+    std::uint64_t best_key = 0;
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+        const double dist = l1_distance(states_[i].center, bands);
+        if (dist < best_dist ||
+            (dist == best_dist && states_[i].tie_key < best_key)) {
+            best = i;
+            best_dist = dist;
+            best_key = states_[i].tie_key;
+        }
+    }
+    if (best_dist <= config_.cluster_radius) {
+        return best;
+    }
+    if (states_.size() < config_.max_states) {
+        State fresh;
+        fresh.center = bands;
+        fresh.tie_key = mix64(config_.seed ^ mix64(states_.size() + 1));
+        states_.push_back(std::move(fresh));
+        created = true;
+        return states_.size() - 1;
+    }
+    // At capacity: the nearest leader absorbs the observation.
+    return best;
+}
+
+StateModel::Observation StateModel::observe(const std::vector<int>& bands) {
+    SA_REQUIRE(!bands.empty(), "state model needs at least one band");
+    if (!states_.empty()) {
+        SA_REQUIRE(bands.size() == states_.front().center.size(),
+                   "band vector width changed mid-stream");
+    }
+    Observation out;
+    out.state = find_or_create(bands, out.new_state);
+
+    // Score against the statistics before this observation. Both terms use
+    // Laplace smoothing over the current state count, so a brand-new state
+    // is maximally (but finitely) surprising.
+    const double k = static_cast<double>(states_.size());
+    State& s = states_[out.state];
+    const double p_state = (static_cast<double>(s.visits) + config_.laplace) /
+                           (static_cast<double>(total_) + config_.laplace * k);
+    double surprise = -std::log2(p_state);
+    if (has_prev_) {
+        State& from = states_[prev_];
+        if (from.outgoing.size() < states_.size()) {
+            from.outgoing.resize(states_.size(), 0);
+        }
+        const double p_trans =
+            (static_cast<double>(from.outgoing[out.state]) + config_.laplace) /
+            (static_cast<double>(from.outgoing_total) + config_.laplace * k);
+        surprise = std::max(surprise, -std::log2(p_trans));
+        ++from.outgoing[out.state];
+        ++from.outgoing_total;
+    }
+    out.score = surprise;
+
+    ++s.visits;
+    ++total_;
+    has_prev_ = true;
+    prev_ = out.state;
+    return out;
+}
+
+const std::vector<int>& StateModel::state_center(std::size_t state) const {
+    SA_REQUIRE(state < states_.size(), "state index out of range");
+    return states_[state].center;
+}
+
+std::uint64_t StateModel::state_visits(std::size_t state) const {
+    SA_REQUIRE(state < states_.size(), "state index out of range");
+    return states_[state].visits;
+}
+
+} // namespace sa::learn

@@ -22,6 +22,7 @@ const char* to_string(Layer layer) noexcept {
     case Layer::Skills: return "skills";
     case Layer::Model: return "model";
     case Layer::Scenario: return "scenario";
+    case Layer::Learn: return "learn";
     case Layer::Campaign: return "campaign";
     }
     return "?";
@@ -84,6 +85,11 @@ const std::vector<RuleInfo>& rule_catalogue() {
          "heartbeat watches a source nothing publishes"},
         {"SCN007", Severity::Warning, Layer::Scenario,
          "sensor bound to a skill node the vehicle's graph lacks"},
+        // --- learn layer ----------------------------------------------------
+        {"LRN001", Severity::Error, Layer::Learn,
+         "learned monitor tracks zero metrics after auto-resolution"},
+        {"LRN002", Severity::Error, Layer::Learn,
+         "learned-monitor warm-up exceeds the declared scenario duration"},
         // --- campaign layer -------------------------------------------------
         {"CMP001", Severity::Error, Layer::Campaign,
          "campaign names an unknown scenario template"},

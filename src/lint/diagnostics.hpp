@@ -32,6 +32,7 @@ enum class Layer {
     Skills,   ///< SkillGraphSpec / CapabilityRegistry / alarm bindings
     Model,    ///< contracts, function model, mapping
     Scenario, ///< builder topology: gateways, domains, monitors
+    Learn,    ///< learned anomaly models: tracked metrics, warm-up budgets
     Campaign, ///< campaign matrices: axes, seed ranges, referenced specs
 };
 

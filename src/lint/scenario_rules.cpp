@@ -203,6 +203,20 @@ void lint_vehicle_into(const VehicleShape& vehicle,
         }
     }
 
+    // LRN001: a learned monitor with nothing to track would assert at build
+    // time (AnomalyModelMonitor REQUIREs at least one metric) — catch the
+    // dead declaration statically.
+    for (std::size_t i = 0; i < vehicle.learned_monitors.size(); ++i) {
+        if (vehicle.learned_monitors[i].metric_count == 0) {
+            report.add("LRN001",
+                       format("vehicle %s / learned monitor %zu",
+                              vehicle.name.c_str(), i),
+                       "no tracked metrics after auto-resolution: declare "
+                       "driving(), sensors or a skill graph before "
+                       "learned_monitor(), or configure metrics explicitly");
+        }
+    }
+
     // SCN007: sensor-to-skill bindings must hit a node of the configured
     // graph (the ability layer silently ignores unknown nodes).
     const std::set<std::string> nodes{vehicle.skill_nodes.begin(),
@@ -349,6 +363,28 @@ LintReport lint_scenario(const ScenarioShape& scenario) {
 
     // SCN002: forwarding cycles with simultaneously satisfiable filters.
     CycleSearch{std::move(edges)}.run(report);
+
+    // LRN002: a warm-up at least as long as the declared run leaves the
+    // learned monitor training forever — it never scores, never alarms, and
+    // the scenario silently loses its anomaly coverage.
+    if (scenario.duration_hint_ns > 0) {
+        for (const VehicleShape& vehicle : scenario.vehicles) {
+            for (std::size_t i = 0; i < vehicle.learned_monitors.size(); ++i) {
+                const auto& learned = vehicle.learned_monitors[i];
+                if (learned.warmup_ns >= scenario.duration_hint_ns) {
+                    report.add(
+                        "LRN002",
+                        format("vehicle %s / learned monitor %zu",
+                               vehicle.name.c_str(), i),
+                        format("warm-up %.3fs >= declared duration %.3fs: "
+                               "the monitor never leaves training",
+                               static_cast<double>(learned.warmup_ns) / 1e9,
+                               static_cast<double>(scenario.duration_hint_ns) /
+                                   1e9));
+                }
+            }
+        }
+    }
 
     return report;
 }

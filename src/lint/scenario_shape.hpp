@@ -35,6 +35,12 @@ struct MonitorRefShape {
     std::string ecu;
 };
 
+/// A learned anomaly monitor declaration after metric auto-resolution.
+struct LearnedMonitorShape {
+    std::size_t metric_count = 0;
+    long long warmup_ns = 0;
+};
+
 struct VehicleShape {
     std::string name;
     std::optional<std::size_t> domain_pin;
@@ -50,6 +56,7 @@ struct VehicleShape {
     std::vector<std::string> skill_nodes;
     /// (sensor name, bound skill node) for sensors with a non-empty binding.
     std::vector<std::pair<std::string, std::string>> sensor_skill_bindings;
+    std::vector<LearnedMonitorShape> learned_monitors;
 };
 
 struct ScenarioShape {
@@ -58,6 +65,8 @@ struct ScenarioShape {
     std::vector<GatewayShape> bridges;  ///< routes use "vehicle:bus" keys
     bool v2v_enabled = false;
     long long v2v_latency_ns = 0;
+    /// Intended run length (ScenarioBuilder::duration_hint()); 0 = unknown.
+    long long duration_hint_ns = 0;
 };
 
 } // namespace sa::lint

@@ -1,0 +1,50 @@
+#pragma once
+// Canonical anomaly-kind strings. Every Anomaly::kind emitted anywhere in
+// the library comes from this catalogue; AlarmBindings and coordinator
+// layers match against the same constants, so a renamed kind breaks at
+// compile time instead of silently unbinding an alarm. The catalogue test
+// (test_monitor) cross-checks kAll against the kinds observed at run time.
+
+#include <algorithm>
+#include <string_view>
+
+namespace sa::monitor::kinds {
+
+inline constexpr const char* kAccessProbe = "access_probe";
+inline constexpr const char* kBudgetViolation = "budget_violation";
+inline constexpr const char* kComponentContained = "component_contained";
+inline constexpr const char* kComponentFailed = "component_failed";
+inline constexpr const char* kDeadlineMiss = "deadline_miss";
+inline constexpr const char* kHeartbeatLoss = "heartbeat_loss";
+inline constexpr const char* kHeartbeatRecovered = "heartbeat_recovered";
+inline constexpr const char* kLearnedAbnormality = "learned_abnormality";
+inline constexpr const char* kLearnedRecovered = "learned_recovered";
+inline constexpr const char* kMissRatioHigh = "miss_ratio_high";
+inline constexpr const char* kMissRatioRecovered = "miss_ratio_recovered";
+inline constexpr const char* kRangeRecovered = "range_recovered";
+inline constexpr const char* kRangeViolation = "range_violation";
+inline constexpr const char* kRateExcess = "rate_excess";
+inline constexpr const char* kRateRecovered = "rate_recovered";
+inline constexpr const char* kSensorDegraded = "sensor_degraded";
+inline constexpr const char* kSensorFailed = "sensor_failed";
+inline constexpr const char* kSensorRecovered = "sensor_recovered";
+
+/// Every catalogued kind, sorted (new kinds keep the order).
+inline constexpr std::string_view kAll[] = {
+    kAccessProbe,         kBudgetViolation,    kComponentContained,
+    kComponentFailed,     kDeadlineMiss,       kHeartbeatLoss,
+    kHeartbeatRecovered,  kLearnedAbnormality, kLearnedRecovered,
+    kMissRatioHigh,       kMissRatioRecovered, kRangeRecovered,
+    kRangeViolation,      kRateExcess,         kRateRecovered,
+    kSensorDegraded,      kSensorFailed,       kSensorRecovered,
+};
+
+/// True when `kind` exactly matches a catalogued constant. Kinds with a
+/// dynamic suffix (the platform layer's "temp.<sensor>" range metrics keep
+/// plain range_violation, so today none exist) must be added here if they
+/// ever appear.
+[[nodiscard]] constexpr bool is_catalogued(std::string_view kind) noexcept {
+    return std::ranges::find(kAll, kind) != std::ranges::end(kAll);
+}
+
+} // namespace sa::monitor::kinds

@@ -1,5 +1,7 @@
 #include "monitor/budget_monitor.hpp"
 
+#include "monitor/anomaly_kinds.hpp"
+
 #include <algorithm>
 
 #include "util/string_util.hpp"
@@ -49,7 +51,7 @@ void BudgetMonitor::on_job(const rte::JobRecord& job) {
     const double magnitude = static_cast<double>(job.executed.count_ns()) /
                              static_cast<double>(it->second.count_ns());
     if (mode_ == BudgetMode::Warn || mode_ == BudgetMode::Enforce) {
-        raise(Severity::Warning, job.task_name, "budget_violation",
+        raise(Severity::Warning, job.task_name, kinds::kBudgetViolation,
               sa::format("executed %s > budget %s", job.executed.str().c_str(),
                          it->second.str().c_str()),
               magnitude);

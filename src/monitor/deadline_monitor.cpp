@@ -1,5 +1,7 @@
 #include "monitor/deadline_monitor.hpp"
 
+#include "monitor/anomaly_kinds.hpp"
+
 #include "util/string_util.hpp"
 
 namespace sa::monitor {
@@ -36,20 +38,20 @@ void DeadlineMonitor::on_job(const rte::JobRecord& job) {
     }
     if (job.deadline_missed) {
         ++misses_;
-        raise(Severity::Warning, job.task_name, "deadline_miss",
+        raise(Severity::Warning, job.task_name, kinds::kDeadlineMiss,
               sa::format("response %s", job.response.str().c_str()),
               1.0);
     }
     const double ratio = miss_ratio();
     if (!ratio_alarmed_ && recent_.size() >= window_ / 2 && ratio > ratio_threshold_) {
         ratio_alarmed_ = true;
-        raise(Severity::Critical, scheduler_.ecu_name(), "miss_ratio_high",
+        raise(Severity::Critical, scheduler_.ecu_name(), kinds::kMissRatioHigh,
               sa::format("miss ratio %.2f over last %zu jobs", ratio, recent_.size()),
               ratio / ratio_threshold_);
     }
     if (ratio_alarmed_ && ratio <= ratio_threshold_ / 2) {
         ratio_alarmed_ = false;
-        raise(Severity::Info, scheduler_.ecu_name(), "miss_ratio_recovered",
+        raise(Severity::Info, scheduler_.ecu_name(), kinds::kMissRatioRecovered,
               sa::format("miss ratio %.2f", ratio), 0.0);
     }
 }

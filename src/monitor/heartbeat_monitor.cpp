@@ -1,5 +1,7 @@
 #include "monitor/heartbeat_monitor.hpp"
 
+#include "monitor/anomaly_kinds.hpp"
+
 #include <algorithm>
 
 #include "util/string_util.hpp"
@@ -24,7 +26,7 @@ void HeartbeatMonitor::beat() {
     last_beat_ = simulator_.now();
     if (!alive_) {
         alive_ = true;
-        raise(Severity::Info, watched_, "heartbeat_recovered", "liveness restored", 0.0);
+        raise(Severity::Info, watched_, kinds::kHeartbeatRecovered, "liveness restored", 0.0);
     }
 }
 
@@ -63,7 +65,7 @@ void HeartbeatMonitor::check() {
     const sim::Duration silence = simulator_.now() - last_beat_;
     if (alive_ && silence > timeout_) {
         alive_ = false;
-        raise(Severity::Critical, watched_, "heartbeat_loss",
+        raise(Severity::Critical, watched_, kinds::kHeartbeatLoss,
               sa::format("no heartbeat for %s", silence.str().c_str()),
               static_cast<double>(silence.count_ns()) /
                   static_cast<double>(timeout_.count_ns()));

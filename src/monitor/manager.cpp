@@ -20,6 +20,7 @@ void MonitorManager::ingest(const Metric& metric) {
     // seen; steady-state ingestion is a pure hash lookup.
     metric_stats_.try_emplace(metric.name).first->second.add(metric.value);
     metric_last_.insert_or_assign(metric.name, metric.value);
+    metric_ingested_.emit(metric);
 }
 
 double MonitorManager::last_value(std::string_view name) const {

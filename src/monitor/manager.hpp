@@ -45,6 +45,13 @@ public:
     /// Lookups are transparent: string_view / const char* keys hash without
     /// allocating a temporary std::string (monitor hot path).
     void ingest(const Metric& metric);
+
+    /// Observer tap on the ingest stream: fired once per ingest(), after the
+    /// stats/last-value stores are updated, in subscription order. Consumers
+    /// (TraceRecorder, learned monitors) subscribe here instead of polling
+    /// metric_last_.
+    sim::Signal<const Metric&>& metric_ingested() noexcept { return metric_ingested_; }
+
     [[nodiscard]] double last_value(std::string_view name) const;
     [[nodiscard]] const RunningStats* stats(std::string_view name) const;
     /// Registered metric names, sorted.
@@ -74,8 +81,12 @@ private:
     using MetricMap = std::unordered_map<std::string, V, StringHash, std::equal_to<>>;
 
     sim::Simulator& simulator_;
-    std::vector<std::unique_ptr<Monitor>> monitors_;
+    // The signals are declared before monitors_ so they outlive the owned
+    // monitors during destruction: a monitor's destructor may unsubscribe
+    // its tap (AnomalyModelMonitor does).
     sim::Signal<const Anomaly&> anomalies_;
+    sim::Signal<const Metric&> metric_ingested_;
+    std::vector<std::unique_ptr<Monitor>> monitors_;
     MetricMap<RunningStats> metric_stats_;
     MetricMap<double> metric_last_;
     std::deque<Anomaly> history_;

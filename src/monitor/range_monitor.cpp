@@ -1,5 +1,7 @@
 #include "monitor/range_monitor.hpp"
 
+#include "monitor/anomaly_kinds.hpp"
+
 #include "util/assert.hpp"
 #include "util/string_util.hpp"
 
@@ -29,12 +31,12 @@ bool RangeMonitor::sample(const std::string& signal, double value) {
         const double span = b.hi - b.lo;
         const double excess =
             value < b.lo ? (b.lo - value) : (value - b.hi);
-        raise(b.severity, signal, "range_violation",
+        raise(b.severity, signal, kinds::kRangeViolation,
               sa::format("%.3f outside [%.3f, %.3f]", value, b.lo, b.hi),
               span > 0 ? 1.0 + excess / span : 1.0);
     } else if (ok && b.in_violation) {
         b.in_violation = false;
-        raise(Severity::Info, signal, "range_recovered",
+        raise(Severity::Info, signal, kinds::kRangeRecovered,
               sa::format("%.3f back within [%.3f, %.3f]", value, b.lo, b.hi), 0.0);
     }
     return ok;

@@ -1,5 +1,7 @@
 #include "monitor/rate_monitor.hpp"
 
+#include "monitor/anomaly_kinds.hpp"
+
 #include "util/string_util.hpp"
 
 namespace sa::monitor {
@@ -58,7 +60,7 @@ void RateMonitor::on_denied(const std::string& client, const std::string& servic
     auto& n = denied_counts_[{client, service}];
     ++n;
     if (n == denied_threshold_) {
-        raise(Severity::Critical, client, "access_probe",
+        raise(Severity::Critical, client, kinds::kAccessProbe,
               sa::format("%u denied opens of %s", n, service.c_str()),
               static_cast<double>(n));
     }
@@ -82,13 +84,13 @@ void RateMonitor::evaluate_window() {
         bool& alarmed = alarmed_[key];
         if (rate > bound && !alarmed) {
             alarmed = true;
-            raise(Severity::Critical, key.first, "rate_excess",
+            raise(Severity::Critical, key.first, kinds::kRateExcess,
                   sa::format("%s -> %s at %.0f msg/s (bound %.0f)", key.first.c_str(),
                              key.second.c_str(), rate, bound),
                   rate / bound);
         } else if (rate <= bound && alarmed) {
             alarmed = false;
-            raise(Severity::Info, key.first, "rate_recovered",
+            raise(Severity::Info, key.first, kinds::kRateRecovered,
                   sa::format("%s -> %s at %.0f msg/s", key.first.c_str(),
                              key.second.c_str(), rate),
                   0.0);

@@ -1,5 +1,7 @@
 #include "monitor/sensor_quality_monitor.hpp"
 
+#include "monitor/anomaly_kinds.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -101,20 +103,20 @@ void SensorQualityMonitor::evaluate() {
     if (!failed_alarmed_ && quality_ < config_.failed_threshold) {
         failed_alarmed_ = true;
         degraded_alarmed_ = true;
-        raise(Severity::Critical, sensor_, "sensor_failed",
+        raise(Severity::Critical, sensor_, kinds::kSensorFailed,
               sa::format("quality %.2f (avail %.2f, valid %.2f, stab %.2f)", quality_,
                          availability_, validity_, stability_),
               1.0 - quality_);
     } else if (!degraded_alarmed_ && quality_ < config_.degraded_threshold) {
         degraded_alarmed_ = true;
-        raise(Severity::Warning, sensor_, "sensor_degraded",
+        raise(Severity::Warning, sensor_, kinds::kSensorDegraded,
               sa::format("quality %.2f (avail %.2f, valid %.2f, stab %.2f)", quality_,
                          availability_, validity_, stability_),
               1.0 - quality_);
     } else if (degraded_alarmed_ && quality_ >= config_.degraded_threshold) {
         degraded_alarmed_ = false;
         failed_alarmed_ = false;
-        raise(Severity::Info, sensor_, "sensor_recovered",
+        raise(Severity::Info, sensor_, kinds::kSensorRecovered,
               sa::format("quality %.2f", quality_), 0.0);
     }
 }

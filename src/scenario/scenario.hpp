@@ -22,6 +22,7 @@
 #include "core/objective_layer.hpp"
 #include "core/platform_layer.hpp"
 #include "core/self_model.hpp"
+#include "learn/anomaly_model_monitor.hpp"
 #include "model/mcc.hpp"
 #include "monitor/range_monitor.hpp"
 #include "monitor/rate_monitor.hpp"
@@ -118,6 +119,12 @@ public:
     }
     [[nodiscard]] monitor::RangeMonitor& thermal_guard();
     [[nodiscard]] monitor::SensorQualityMonitor& sensor_quality(const std::string& sensor);
+    /// Learned anomaly monitor (declared via
+    /// VehicleBuilder::learned_monitor()).
+    [[nodiscard]] bool has_learned_monitor() const noexcept {
+        return learned_ != nullptr;
+    }
+    [[nodiscard]] learn::AnomalyModelMonitor& learned_monitor();
 
     // --- skills / degradation ----------------------------------------------
     [[nodiscard]] bool has_abilities() const noexcept { return abilities_ != nullptr; }
@@ -171,6 +178,8 @@ private:
     monitor::RateMonitor* ids_ = nullptr;             ///< owned by monitors_
     monitor::RangeMonitor* thermal_guard_ = nullptr;  ///< owned by monitors_
     std::map<std::string, monitor::SensorQualityMonitor*> sensor_quality_;
+    learn::AnomalyModelMonitor* learned_ = nullptr; ///< owned by monitors_
+    std::uint64_t learned_pump_id_ = 0;             ///< periodic handle; 0 = none
     std::unique_ptr<skills::AbilityGraph> abilities_;
     std::unique_ptr<skills::DegradationPolicy> policy_;
     std::string root_skill_;

@@ -82,6 +82,12 @@ ScenarioBuilder& ScenarioBuilder::at(sim::Duration when,
     return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::duration_hint(sim::Duration duration) {
+    SA_REQUIRE(duration.count_ns() >= 0, "duration hint must be non-negative");
+    duration_hint_ = duration;
+    return *this;
+}
+
 lint::LintReport
 ScenarioBuilder::lint(const skills::CapabilityRegistry& registry) const {
     lint::LintReport report;
@@ -91,6 +97,7 @@ ScenarioBuilder::lint(const skills::CapabilityRegistry& registry) const {
     shape.num_domains = num_domains_;
     shape.v2v_enabled = v2v_enabled_;
     shape.v2v_latency_ns = v2v_latency_.count_ns();
+    shape.duration_hint_ns = duration_hint_.count_ns();
     for (const auto& name : order_) {
         auto it = std::find_if(builders_.begin(), builders_.end(),
                                [&](const VehicleBuilder& b) {

@@ -70,6 +70,10 @@ public:
     /// Run `action` at absolute simulation time `when`.
     ScenarioBuilder& at(sim::Duration when, std::function<void(Scenario&)> action);
 
+    /// Declare how long the scenario is intended to run. Purely a lint
+    /// surface: rule LRN002 checks learned-monitor warm-ups against it.
+    ScenarioBuilder& duration_hint(sim::Duration duration);
+
     // --- static analysis ----------------------------------------------------
     /// Lint the declared topology without building anything: scenario rules
     /// (SCN*) over every vehicle and bridge, model rules (MDL*) over each
@@ -114,6 +118,7 @@ private:
     std::vector<platoon::MemberCapability> candidates_;
     std::optional<platoon::ManeuverPolicy> maneuver_policy_;
     std::vector<Script> scripts_;
+    sim::Duration duration_hint_ = sim::Duration::zero();
 };
 
 } // namespace sa::scenario

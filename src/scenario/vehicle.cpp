@@ -20,6 +20,9 @@ Vehicle::~Vehicle() {
     if (tactic_planner_id_ != 0) {
         simulator_.cancel_periodic(tactic_planner_id_);
     }
+    if (learned_pump_id_ != 0) {
+        simulator_.cancel_periodic(learned_pump_id_);
+    }
     if (driving_ != nullptr) {
         driving_->stop();
     }
@@ -93,6 +96,12 @@ monitor::SensorQualityMonitor& Vehicle::sensor_quality(const std::string& sensor
     SA_REQUIRE(it != sensor_quality_.end(),
                "vehicle '" + name_ + "': no quality monitor for sensor " + sensor);
     return *it->second;
+}
+
+learn::AnomalyModelMonitor& Vehicle::learned_monitor() {
+    SA_REQUIRE(learned_ != nullptr,
+               "vehicle '" + name_ + "': learned_monitor() not declared");
+    return *learned_;
 }
 
 skills::AbilityGraph& Vehicle::abilities() {

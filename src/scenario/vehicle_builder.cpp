@@ -140,6 +140,33 @@ VehicleBuilder& VehicleBuilder::monitor_overhead_task(std::string ecu_name,
     return *this;
 }
 
+VehicleBuilder& VehicleBuilder::learned_monitor(learn::LearnedMonitorConfig config) {
+    monitor_decls_.emplace_back(LearnedDecl{std::move(config)});
+    return *this;
+}
+
+std::vector<std::string> VehicleBuilder::resolved_learned_metrics(
+    const learn::LearnedMonitorConfig& config) const {
+    if (!config.metrics.empty()) {
+        return config.metrics;
+    }
+    std::vector<std::string> names;
+    if (!config.auto_metrics) {
+        return names;
+    }
+    if (driving_.has_value()) {
+        names.emplace_back("drive.gap");
+        names.emplace_back("drive.speed");
+    }
+    for (const auto& spec : sensors_) {
+        names.push_back("sensor." + spec.config.name);
+    }
+    if (!root_skill_.empty()) {
+        names.push_back("skill." + root_skill_);
+    }
+    return names;
+}
+
 VehicleBuilder& VehicleBuilder::skill_graph(skills::SkillGraph graph,
                                             std::string root_skill) {
     skill_graph_ = std::move(graph);
@@ -329,6 +356,11 @@ void VehicleBuilder::describe(lint::VehicleShape& shape) const {
                 [&](const OverheadDecl& d) {
                     shape.ecu_monitors.push_back({"monitor_overhead", d.ecu});
                 },
+                [&](const LearnedDecl& d) {
+                    shape.learned_monitors.push_back(
+                        {resolved_learned_metrics(d.config).size(),
+                         d.config.warmup.count_ns()});
+                },
             },
             decl);
     }
@@ -409,6 +441,14 @@ void VehicleBuilder::build_monitors(Vehicle& v) const {
                     (void)v.monitors_->attach_overhead_task(v.rte_->ecu(d.ecu),
                                                             d.period, d.wcet,
                                                             d.priority);
+                },
+                [&](const LearnedDecl& d) {
+                    SA_REQUIRE(v.learned_ == nullptr,
+                               "learned_monitor() declared twice");
+                    learn::LearnedMonitorConfig config = d.config;
+                    config.metrics = resolved_learned_metrics(d.config);
+                    v.learned_ = &v.monitors_->add<learn::AnomalyModelMonitor>(
+                        *v.monitors_, std::move(config));
                 },
             },
             decl);
@@ -588,6 +628,69 @@ std::unique_ptr<Vehicle> VehicleBuilder::build(sim::Simulator& simulator) const 
             }
         }
         v.driving_->start();
+    }
+
+    // 7b. Learned-monitor metric pump: one periodic at the monitor's period
+    //     feeding the resolved metrics into the monitor manager (and thereby
+    //     the learned monitor's tap). Metric names that match no standard
+    //     feed are skipped here — external producers ingest them directly.
+    if (v.learned_ != nullptr) {
+        struct Feed {
+            std::string name;
+            std::function<std::optional<double>(Vehicle&)> read;
+        };
+        auto feeds = std::make_shared<std::vector<Feed>>();
+        for (const auto& metric : v.learned_->config().metrics) {
+            if (metric == "drive.gap") {
+                feeds->push_back({metric, [](Vehicle& veh) -> std::optional<double> {
+                    if (veh.driving_ == nullptr) {
+                        return std::nullopt;
+                    }
+                    return veh.driving_->last_fused_gap();
+                }});
+            } else if (metric == "drive.speed") {
+                feeds->push_back({metric, [](Vehicle& veh) -> std::optional<double> {
+                    if (veh.driving_ == nullptr) {
+                        return std::nullopt;
+                    }
+                    return veh.driving_->ego_speed();
+                }});
+            } else if (metric.starts_with("sensor.")) {
+                const std::string sensor_name = metric.substr(7);
+                for (std::size_t i = 0; i < sensors_.size(); ++i) {
+                    if (sensors_[i].config.name == sensor_name) {
+                        feeds->push_back(
+                            {metric, [i](Vehicle& veh) -> std::optional<double> {
+                                if (veh.driving_ == nullptr) {
+                                    return std::nullopt;
+                                }
+                                return veh.driving_->last_measurement(i);
+                            }});
+                        break;
+                    }
+                }
+            } else if (metric.starts_with("skill.")) {
+                const std::string node = metric.substr(6);
+                feeds->push_back({metric, [node](Vehicle& veh) -> std::optional<double> {
+                    if (veh.abilities_ == nullptr ||
+                        !veh.abilities_->structure().has_node(node)) {
+                        return std::nullopt;
+                    }
+                    return veh.abilities_->level(node);
+                }});
+            }
+        }
+        Vehicle* vp = &v;
+        v.learned_pump_id_ = simulator.schedule_periodic(
+            v.learned_->config().period, [vp, feeds] {
+                const sim::Time now = vp->simulator_.now();
+                for (const auto& feed : *feeds) {
+                    if (const std::optional<double> value = feed.read(*vp)) {
+                        vp->monitors_->ingest(
+                            monitor::Metric{feed.name, *value, now});
+                    }
+                }
+            });
     }
 
     // 8. Layer stack; the coordinator subscribes to the anomaly stream.

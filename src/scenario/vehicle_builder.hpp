@@ -14,6 +14,7 @@
 #include <variant>
 #include <vector>
 
+#include "learn/anomaly_model_monitor.hpp"
 #include "lint/scenario_shape.hpp"
 #include "monitor/budget_monitor.hpp"
 #include "scenario/scenario.hpp"
@@ -124,6 +125,20 @@ public:
     /// Model the monitoring cost itself as a periodic RTE task.
     VehicleBuilder& monitor_overhead_task(std::string ecu_name, sim::Duration period,
                                           sim::Duration wcet, int priority);
+    /// Online learned anomaly model over the vehicle's metric stream
+    /// (learn::AnomalyModelMonitor). With auto_metrics (the default) the
+    /// tracked metrics resolve from the declarations — drive.gap and
+    /// drive.speed when driving() is declared, sensor.<name> per declared
+    /// sensor, skill.<root> when a skill graph is declared — and build()
+    /// schedules a metric pump at config.period feeding them into the
+    /// monitor manager. Explicitly configured metrics are pumped when they
+    /// match one of those feeds and otherwise expected from external
+    /// producers (thermal signals, ad-hoc ingest() calls).
+    VehicleBuilder& learned_monitor(learn::LearnedMonitorConfig config = {});
+    /// Tracked metric names of `config` after auto-resolution against this
+    /// builder's declarations (the lint surface for rule LRN001).
+    [[nodiscard]] std::vector<std::string>
+    resolved_learned_metrics(const learn::LearnedMonitorConfig& config) const;
 
     // --- skills / degradation ----------------------------------------------
     VehicleBuilder& skill_graph(skills::SkillGraph graph, std::string root_skill);
@@ -211,7 +226,8 @@ public:
     ///   4. driving loop + sensors + quality monitors (created, not started)
     ///   5. ability graph: aggregation, weights, sensor bindings
     ///   6. tactics + the periodic tactic planner
-    ///   7. quality monitors started, then the driving loop
+    ///   7. quality monitors started, then the driving loop (plus the
+    ///      learned monitor's metric pump, when one was declared)
     ///   8. coordinator: layer stack, connect to the monitor stream
     ///   9. self-model capture
     [[nodiscard]] std::unique_ptr<Vehicle> build(sim::Simulator& simulator) const;
@@ -266,8 +282,12 @@ private:
         sim::Duration wcet;
         int priority;
     };
+    struct LearnedDecl {
+        learn::LearnedMonitorConfig config;
+    };
     using MonitorDecl = std::variant<RateIdsDecl, ThermalGuardDecl, DeadlineDecl,
-                                     BudgetDecl, HeartbeatDecl, OverheadDecl>;
+                                     BudgetDecl, HeartbeatDecl, OverheadDecl,
+                                     LearnedDecl>;
     struct TacticSpec {
         std::string name;
         std::string target_skill;

@@ -34,8 +34,12 @@ ShardedKernel::ShardedKernel(std::size_t num_domains, std::uint64_t seed) {
     SA_REQUIRE(num_domains >= 1, "a sharded kernel needs at least one domain");
     domains_.reserve(num_domains);
     for (std::size_t d = 0; d < num_domains; ++d) {
-        domains_.push_back(std::unique_ptr<DomainKernel>(
-            new DomainKernel(d, mix_seed(seed, d), num_domains)));
+        // Domain 0 keeps the raw seed: a standalone Simulator(seed) and
+        // domain 0 of any sharded run draw the same stream, so moving a
+        // workload between the single-queue and sharded kernels (or between
+        // domain counts) never changes what its noise sources produce.
+        domains_.push_back(std::unique_ptr<DomainKernel>(new DomainKernel(
+            d, d == 0 ? seed : mix_seed(seed, d), num_domains)));
         domains_.back()->simulator_.shard_ = this;
         domains_.back()->simulator_.shard_domain_ = d;
     }

@@ -102,8 +102,10 @@ private:
 /// Coordinator of N DomainKernels. See the header comment for the model.
 class ShardedKernel {
 public:
-    /// Domain simulators are seeded with independent streams derived from
-    /// `seed` (splitmix64), so a sharded run is reproducible from one seed.
+    /// Domain 0 is seeded with `seed` itself (identical to a standalone
+    /// Simulator(seed)); domains 1+ get independent streams derived via
+    /// splitmix64, so a sharded run is reproducible from one seed and
+    /// domain-0 workloads are stream-identical across domain counts.
     explicit ShardedKernel(std::size_t num_domains,
                            std::uint64_t seed = 0x5AA5F00DULL);
     /// Joins the worker threads. Pending events are dropped with their

@@ -1,11 +1,15 @@
 #include "skills/capability_registry.hpp"
 
+#include "monitor/anomaly_kinds.hpp"
+
 #include <algorithm>
 
 #include "skills/acc_graph_factory.hpp"
 #include "util/assert.hpp"
 
 namespace sa::skills {
+
+namespace kinds = sa::monitor::kinds;
 
 const char* to_string(QualityKind kind) noexcept {
     switch (kind) {
@@ -373,21 +377,21 @@ CapabilityRegistry make_builtin() {
     // Default alarm bindings for the stock monitors. Sensor alarms name the
     // degraded sensor in `source`, so the capability resolves from there.
     AlarmBinding failed;
-    failed.anomaly_kind = "sensor_failed";
+    failed.anomaly_kind = kinds::kSensorFailed;
     failed.quality = QualityKind::Availability;
     failed.degraded_value = 0.0;
     failed.domain = monitor::Domain::Sensor;
     registry.bind_alarm(failed);
 
     AlarmBinding degraded;
-    degraded.anomaly_kind = "sensor_degraded";
+    degraded.anomaly_kind = kinds::kSensorDegraded;
     degraded.quality = QualityKind::Accuracy;
     degraded.degraded_value = 0.35;
     degraded.domain = monitor::Domain::Sensor;
     registry.bind_alarm(degraded);
 
     AlarmBinding recovered;
-    recovered.anomaly_kind = "sensor_recovered";
+    recovered.anomaly_kind = kinds::kSensorRecovered;
     recovered.quality = QualityKind::Accuracy;
     recovered.degraded_value = 1.0;
     recovered.domain = monitor::Domain::Sensor;
@@ -396,7 +400,7 @@ CapabilityRegistry make_builtin() {
     registry.bind_alarm(recovered);
 
     AlarmBinding heartbeat;
-    heartbeat.anomaly_kind = "heartbeat_loss";
+    heartbeat.anomaly_kind = kinds::kHeartbeatLoss;
     heartbeat.quality = QualityKind::Availability;
     heartbeat.degraded_value = 0.0;
     registry.bind_alarm(heartbeat);

@@ -21,6 +21,8 @@ std::size_t VehicleSim::add_sensor(SensorConfig sensor) {
     SA_REQUIRE(periodic_id_ == 0, "add sensors before start()");
     sensors_.emplace_back(std::move(sensor));
     quality_monitors_.push_back(nullptr);
+    sensor_bias_.push_back(0.0);
+    last_measurement_.emplace_back();
     return sensors_.size() - 1;
 }
 
@@ -28,6 +30,21 @@ void VehicleSim::attach_quality_monitor(std::size_t sensor_index,
                                         monitor::SensorQualityMonitor& monitor) {
     SA_REQUIRE(sensor_index < sensors_.size(), "sensor index out of range");
     quality_monitors_[sensor_index] = &monitor;
+}
+
+void VehicleSim::set_sensor_bias(std::size_t sensor_index, double bias_m) {
+    SA_REQUIRE(sensor_index < sensors_.size(), "sensor index out of range");
+    sensor_bias_[sensor_index] = bias_m;
+}
+
+double VehicleSim::sensor_bias(std::size_t sensor_index) const {
+    SA_REQUIRE(sensor_index < sensors_.size(), "sensor index out of range");
+    return sensor_bias_[sensor_index];
+}
+
+std::optional<double> VehicleSim::last_measurement(std::size_t sensor_index) const {
+    SA_REQUIRE(sensor_index < sensors_.size(), "sensor index out of range");
+    return last_measurement_[sensor_index];
 }
 
 void VehicleSim::start() {
@@ -52,8 +69,11 @@ std::optional<double> VehicleSim::sense_and_fuse() {
     double sum = 0.0;
     int n = 0;
     for (std::size_t i = 0; i < sensors_.size(); ++i) {
-        const RangeMeasurement m =
+        RangeMeasurement m =
             sensors_[i].measure(true_gap, config_.weather, simulator_.rng());
+        // Calibration drift: the bias rides on every valid return, upstream
+        // of both the quality monitor and the fusion.
+        m.range_m += sensor_bias_[i];
         if (quality_monitors_[i] != nullptr) {
             // Feed the monitor with the raw stream: dropouts are missing
             // samples (availability), invalid returns lower validity.
@@ -64,6 +84,7 @@ std::optional<double> VehicleSim::sense_and_fuse() {
             // signature the availability estimator looks for.
         }
         if (m.valid) {
+            last_measurement_[i] = m.range_m;
             sum += m.range_m;
             ++n;
         }

@@ -44,6 +44,19 @@ public:
     void attach_quality_monitor(std::size_t sensor_index,
                                 monitor::SensorQualityMonitor& monitor);
 
+    /// Additive measurement bias (m) injected into every valid sample of the
+    /// sensor — a calibration-drift fault. The quality monitor sees the
+    /// biased stream too: availability, validity and noise variance are all
+    /// unchanged, so no threshold monitor reacts (the learned monitor's
+    /// use case).
+    void set_sensor_bias(std::size_t sensor_index, double bias_m);
+    [[nodiscard]] double sensor_bias(std::size_t sensor_index) const;
+
+    [[nodiscard]] std::size_t sensor_count() const noexcept { return sensors_.size(); }
+    /// Last valid (bias-included) measurement of a sensor stream; empty
+    /// until the sensor returned its first valid sample.
+    [[nodiscard]] std::optional<double> last_measurement(std::size_t sensor_index) const;
+
     void set_lead_profile(LeadProfile profile) { lead_profile_ = std::move(profile); }
     void set_weather(const WeatherCondition& weather) { config_.weather = weather; }
     [[nodiscard]] const WeatherCondition& weather() const noexcept {
@@ -89,6 +102,8 @@ private:
     LeadProfile lead_profile_;
     std::vector<RangeSensor> sensors_;
     std::vector<monitor::SensorQualityMonitor*> quality_monitors_;
+    std::vector<double> sensor_bias_;
+    std::vector<std::optional<double>> last_measurement_;
     std::optional<double> fused_gap_;
     std::optional<double> prev_fused_gap_;
     std::uint64_t periodic_id_ = 0;

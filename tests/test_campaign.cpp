@@ -135,6 +135,57 @@ TEST(CellConfig, StrParseRoundTrips) {
     EXPECT_NE(cell.id().find("seed=7"), std::string::npos);
 }
 
+TEST(CellConfig, LearnedAxisRoundTripsAndStaysOutOfUnlearnedCells) {
+    // A cell without a learned monitor serializes exactly as before the axis
+    // existed — corpus entries and fingerprints stay byte-stable.
+    CellConfig plain;
+    plain.campaign = "smoke";
+    EXPECT_EQ(plain.str().find("learned"), std::string::npos);
+    EXPECT_EQ(plain.id().find("learned"), std::string::npos);
+
+    CellConfig cell;
+    cell.campaign = "smoke";
+    cell.fault = Fault::SensorDrift;
+    cell.learned_warmup = Duration::ms(200);
+    const auto reparsed = CellConfig::parse(cell.str());
+    EXPECT_EQ(reparsed, cell);
+    EXPECT_NE(cell.id().find("learned=200ms"), std::string::npos);
+    EXPECT_NE(cell.id().find("fault=sensor_drift"), std::string::npos);
+
+    cell.learned_no_metrics = true;
+    const auto reparsed_none = CellConfig::parse(cell.str());
+    EXPECT_EQ(reparsed_none, cell);
+    EXPECT_NE(cell.id().find("/none"), std::string::npos);
+}
+
+TEST(CampaignSpec, LearnedStatementExpandsIntoEveryCell) {
+    const auto spec = CampaignSpec::parse(R"(
+        campaign learned_smoke {
+          template platoon;
+          vehicles 2;
+          duration 300ms;
+          fault none sensor_drift;
+          seeds 1..2;
+          learned 100ms;
+        }
+    )");
+    EXPECT_EQ(spec.learned_warmup(), Duration::ms(100));
+    EXPECT_FALSE(spec.learned_no_metrics());
+    const auto cells = spec.expand();
+    ASSERT_EQ(cells.size(), 4u);
+    for (const auto& cell : cells) {
+        EXPECT_EQ(cell.learned_warmup, Duration::ms(100));
+    }
+    // str() round-trips the statement.
+    const auto reparsed = CampaignSpec::parse(spec.str());
+    EXPECT_EQ(reparsed.str(), spec.str());
+    EXPECT_EQ(reparsed.learned_warmup(), Duration::ms(100));
+
+    EXPECT_THROW((void)CampaignSpec::parse(
+                     "campaign x { seeds 1..1; learned 0ms; }"),
+                 CampaignParseError); // warm-up must be positive
+}
+
 TEST(CellConfig, HarnessProbeFaultsAreClassified) {
     EXPECT_TRUE(fault_is_harness_probe(Fault::Misuse));
     EXPECT_TRUE(fault_is_harness_probe(Fault::Crash));

@@ -8,6 +8,7 @@
 
 #include <set>
 
+#include "learn/anomaly_model_monitor.hpp"
 #include "lint/diagnostics.hpp"
 #include "lint/model_rules.hpp"
 #include "lint/scenario_rules.hpp"
@@ -412,6 +413,49 @@ TEST(LintScenario, SCN007SensorBoundToUnknownSkillNode) {
     ASSERT_TRUE(report.has("SCN007"));
     v.sensor_skill_bindings = {{"radar0", "radar"}};
     EXPECT_FALSE(lint_vehicle(v).has("SCN007"));
+}
+
+TEST(LintScenario, LRN001LearnedMonitorWithNoMetrics) {
+    auto v = minimal_vehicle();
+    v.learned_monitors.push_back({0, sim::Duration::ms(500).count_ns()});
+    const auto report = lint_vehicle(v);
+    ASSERT_TRUE(report.has("LRN001"));
+    EXPECT_FALSE(report.ok());
+    v.learned_monitors[0].metric_count = 3;
+    EXPECT_FALSE(lint_vehicle(v).has("LRN001"));
+}
+
+TEST(LintScenario, LRN002WarmupOutlivesDeclaredRun) {
+    ScenarioShape scenario;
+    auto v = minimal_vehicle();
+    v.learned_monitors.push_back({4, sim::Duration::sec(2).count_ns()});
+    scenario.vehicles.push_back(v);
+
+    scenario.duration_hint_ns = sim::Duration::sec(1).count_ns();
+    ASSERT_TRUE(lint_scenario(scenario).has("LRN002"));
+
+    scenario.duration_hint_ns = sim::Duration::sec(10).count_ns();
+    EXPECT_FALSE(lint_scenario(scenario).has("LRN002"));
+
+    // Unknown duration: the rule gives the benefit of the doubt.
+    scenario.duration_hint_ns = 0;
+    EXPECT_FALSE(lint_scenario(scenario).has("LRN002"));
+}
+
+TEST(LintBuilder, LearnedRulesSurfaceThroughBuilderLint) {
+    // A vehicle with no driving loop, sensors or skill graph has nothing for
+    // metric auto-resolution to find (LRN001), and the warm-up exceeds the
+    // declared duration (LRN002).
+    scenario::ScenarioBuilder builder;
+    builder.duration_hint(sim::Duration::ms(200));
+    learn::LearnedMonitorConfig learned;
+    learned.warmup = sim::Duration::sec(1);
+    builder.vehicle("ego")
+        .ecu({"ecu0", 1.0, 0.75, model::Asil::D, "cabin", "main"})
+        .learned_monitor(learned);
+    const auto report = builder.lint();
+    EXPECT_TRUE(report.has("LRN001")) << report.str();
+    EXPECT_TRUE(report.has("LRN002")) << report.str();
 }
 
 // --- TXT001 + builder integration --------------------------------------------------

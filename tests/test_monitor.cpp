@@ -1,8 +1,14 @@
 // Tests for the monitoring framework: each monitor type, the manager's
-// aggregation/metric store, and the monitoring-overhead accounting.
+// aggregation/metric store/ingest tap, the anomaly-kind catalogue, and the
+// monitoring-overhead accounting.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "monitor/anomaly_kinds.hpp"
 #include "monitor/budget_monitor.hpp"
 #include "monitor/deadline_monitor.hpp"
 #include "monitor/heartbeat_monitor.hpp"
@@ -401,6 +407,85 @@ TEST(Manager, OverheadTaskInterferesMinimally) {
     // The monitor costs 50us per 10ms = 0.5% utilization.
     EXPECT_NEAR(ecu.scheduler().utilization(sim.now()), 0.205, 0.01);
     EXPECT_EQ(ecu.scheduler().missed_deadlines(), 0u);
+}
+
+// --- the metric_ingested() tap -----------------------------------------------------
+
+TEST(Manager, MetricTapFiresAfterStoresInSubscriptionOrder) {
+    sim::Simulator sim;
+    MonitorManager mgr(sim);
+    std::vector<std::string> order;
+    mgr.metric_ingested().subscribe([&](const Metric& m) {
+        // Tap contract: the stats/last-value stores are already updated when
+        // observers fire, so a consumer may read them re-entrantly.
+        EXPECT_DOUBLE_EQ(mgr.last_value(m.name), m.value);
+        order.push_back("first:" + m.name);
+    });
+    mgr.metric_ingested().subscribe(
+        [&](const Metric& m) { order.push_back("second:" + m.name); });
+    mgr.ingest(Metric{"x", 1.0, Time::zero()});
+    mgr.ingest(Metric{"y", 2.0, Time::zero()});
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], "first:x");
+    EXPECT_EQ(order[1], "second:x");
+    EXPECT_EQ(order[2], "first:y");
+    EXPECT_EQ(order[3], "second:y");
+}
+
+TEST(Manager, MetricTapUnsubscribeStopsDeliveryToThatObserverOnly) {
+    sim::Simulator sim;
+    MonitorManager mgr(sim);
+    int first = 0;
+    int second = 0;
+    const auto id = mgr.metric_ingested().subscribe([&](const Metric&) { ++first; });
+    mgr.metric_ingested().subscribe([&](const Metric&) { ++second; });
+    mgr.ingest(Metric{"x", 1.0, Time::zero()});
+    mgr.metric_ingested().unsubscribe(id);
+    mgr.ingest(Metric{"x", 2.0, Time::zero()});
+    EXPECT_EQ(first, 1);
+    EXPECT_EQ(second, 2);
+    // The store itself is unaffected by who listens.
+    EXPECT_DOUBLE_EQ(mgr.last_value("x"), 2.0);
+}
+
+// --- the anomaly-kind catalogue ----------------------------------------------------
+
+TEST(Kinds, CatalogueIsSortedUniqueAndClosed) {
+    EXPECT_TRUE(std::is_sorted(std::begin(kinds::kAll), std::end(kinds::kAll)));
+    EXPECT_EQ(std::adjacent_find(std::begin(kinds::kAll), std::end(kinds::kAll)),
+              std::end(kinds::kAll));
+    for (const auto kind : kinds::kAll) {
+        EXPECT_TRUE(kinds::is_catalogued(kind)) << kind;
+    }
+    EXPECT_TRUE(kinds::is_catalogued(kinds::kLearnedAbnormality));
+    EXPECT_TRUE(kinds::is_catalogued(kinds::kLearnedRecovered));
+    EXPECT_FALSE(kinds::is_catalogued("definitely_not_a_kind"));
+    EXPECT_FALSE(kinds::is_catalogued(""));
+}
+
+TEST(Kinds, RuntimeAnomaliesUseCataloguedKinds) {
+    sim::Simulator sim;
+    MonitorManager mgr(sim);
+    std::vector<std::string> uncatalogued;
+    mgr.anomalies().subscribe([&](const Anomaly& a) {
+        if (!kinds::is_catalogued(a.kind)) {
+            uncatalogued.push_back(a.kind);
+        }
+    });
+
+    auto& range = mgr.add<RangeMonitor>("vitals");
+    range.set_bounds("x", 0.0, 1.0);
+    range.sample("x", 5.0); // range_violation
+    range.sample("x", 0.5); // range_recovered
+
+    auto& hb = mgr.add<HeartbeatMonitor>("pulse", Duration::ms(50), Duration::ms(10));
+    hb.start();
+    sim.run_until(Time(Duration::ms(200).count_ns())); // heartbeat_loss
+    hb.beat();                                         // heartbeat_recovered
+
+    EXPECT_GE(mgr.total_anomalies(), 4u);
+    EXPECT_TRUE(uncatalogued.empty())
+        << "first uncatalogued kind: " << uncatalogued.front();
 }
 
 } // namespace
