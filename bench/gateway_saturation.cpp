@@ -89,11 +89,12 @@ std::unique_ptr<scenario::Scenario> build_fanout(int vehicles, int buses,
     // Cooperative awareness: every vehicle beacons from its own domain.
     for (int i = 0; i < vehicles; ++i) {
         const std::string name = vehicle_name(i);
-        scenario->join_v2v(name, [](const platoon::V2vBeacon&) {});
+        scenario->v2v().attach(name, scenario->vehicle(name).simulator(),
+                               [](const v2v::Frame&, double) {});
         scenario->vehicle(name).simulator().schedule_periodic(
             Duration::ms(100),
             [&v2v = scenario->v2v(), name] {
-                v2v.broadcast(platoon::V2vBeacon{name, 0.0, 25.0, Time::zero()});
+                v2v.transmit(v2v::Medium::cam(name, 0.0, 25.0));
             },
             Duration::ms(1 + i));
     }

@@ -51,15 +51,15 @@ void BM_ShardedDualBusPlatoon(benchmark::State& state) {
         });
         auto scenario = builder.build();
         for (const char* name : kVehicles) {
-            scenario->join_v2v(name, [](const platoon::V2vBeacon&) {});
+            scenario->v2v().attach(name, scenario->vehicle(name).simulator(),
+                                   [](const v2v::Frame&, double) {});
         }
         int slot = 0;
         for (const char* name : kVehicles) {
             scenario->simulator().schedule_periodic(
                 Duration::ms(100),
                 [&v2v = scenario->v2v(), name] {
-                    v2v.broadcast(
-                        platoon::V2vBeacon{name, 0.0, 22.0, Time::zero()});
+                    v2v.transmit(v2v::Medium::cam(name, 0.0, 22.0));
                 },
                 Duration::ms(10 * ++slot));
         }

@@ -115,14 +115,15 @@ int main() {
 
     // Cooperative awareness over V2V: every vehicle beacons its speed.
     for (const char* name : kVehicles) {
-        scenario->v2v().join(name, [](const platoon::V2vBeacon&) {});
+        scenario->v2v().attach(name, scenario->vehicle(name).simulator(),
+                               [](const v2v::Frame&, double) {});
     }
     int beacon_slot = 0;
     for (const char* name : kVehicles) {
         scenario->simulator().schedule_periodic(
             Duration::ms(100),
             [&v2v = scenario->v2v(), name] {
-                v2v.broadcast(platoon::V2vBeacon{name, 0.0, 22.0, sim::Time::zero()});
+                v2v.transmit(v2v::Medium::cam(name, 0.0, 22.0));
             },
             Duration::ms(10 * ++beacon_slot));
     }
@@ -150,8 +151,8 @@ int main() {
                     v.self_model().latest().str().c_str());
         chains_alive = chains_alive && gw.frames_forwarded() > 0 && rx.activations() > 0;
     }
-    std::printf("\nV2V: %llu beacon(s) broadcast, %llu delivered\n",
-                static_cast<unsigned long long>(scenario->v2v().broadcasts()),
+    std::printf("\nV2V: %llu CAM(s) transmitted, %llu delivered\n",
+                static_cast<unsigned long long>(scenario->v2v().transmissions()),
                 static_cast<unsigned long long>(scenario->v2v().deliveries()));
 
     // Platoon formation: beta joins with degraded sensing after containment.

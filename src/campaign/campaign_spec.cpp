@@ -50,8 +50,14 @@ const char* to_string(Topology topology) noexcept {
     switch (topology) {
     case Topology::DualBus: return "dual_bus";
     case Topology::Bridged: return "bridged";
+    case Topology::Mesh: return "mesh";
+    case Topology::LossyMesh: return "lossy_mesh";
     }
     return "?";
+}
+
+bool topology_is_mesh(Topology topology) noexcept {
+    return topology == Topology::Mesh || topology == Topology::LossyMesh;
 }
 
 namespace {
@@ -89,7 +95,9 @@ bool policy_from_string(const std::string& text, PolicyKind& out) {
 }
 
 bool topology_from_string(const std::string& text, Topology& out) {
-    return enum_from_string(text, out, {Topology::DualBus, Topology::Bridged});
+    return enum_from_string(text, out,
+                            {Topology::DualBus, Topology::Bridged,
+                             Topology::Mesh, Topology::LossyMesh});
 }
 
 bool fault_is_harness_probe(Fault fault) noexcept {
@@ -165,6 +173,12 @@ std::string CellConfig::id() const {
             out += "/none";
         }
     }
+    if (mesh_range_m > 0) {
+        out += " mesh_range=" + std::to_string(mesh_range_m);
+    }
+    if (mesh_ttl > 0) {
+        out += " mesh_ttl=" + std::to_string(mesh_ttl);
+    }
     return out;
 }
 
@@ -186,6 +200,12 @@ std::string CellConfig::str() const {
     if (learned_warmup.count_ns() > 0) {
         out += "  learned " + duration_str(learned_warmup) +
                (learned_no_metrics ? " none" : "") + ";\n";
+    }
+    if (mesh_range_m > 0) {
+        out += "  mesh_range " + std::to_string(mesh_range_m) + ";\n";
+    }
+    if (mesh_ttl > 0) {
+        out += "  mesh_ttl " + std::to_string(mesh_ttl) + ";\n";
     }
     out += "}\n";
     return out;
@@ -283,6 +303,10 @@ bool parse_cell_statement(detail::Lexer& lexer, const std::string& keyword, int 
         cell.seed = lexer.take_number("a seed");
     } else if (keyword == "learned") {
         parse_learned(lexer, line, cell.learned_warmup, cell.learned_no_metrics);
+    } else if (keyword == "mesh_range") {
+        cell.mesh_range_m = lexer.take_number("a radio range in meters");
+    } else if (keyword == "mesh_ttl") {
+        cell.mesh_ttl = lexer.take_number("a beacon TTL");
     } else {
         return false;
     }
@@ -383,6 +407,16 @@ CampaignSpec& CampaignSpec::learned(sim::Duration warmup, bool no_metrics) {
     return *this;
 }
 
+CampaignSpec& CampaignSpec::mesh_range(std::uint64_t range_m) {
+    mesh_range_m_ = range_m;
+    return *this;
+}
+
+CampaignSpec& CampaignSpec::mesh_ttl(std::uint64_t ttl) {
+    mesh_ttl_ = ttl;
+    return *this;
+}
+
 std::uint64_t CampaignSpec::cell_count() const noexcept {
     std::uint64_t count = seeds_.count();
     count *= weathers_.size();
@@ -419,6 +453,8 @@ std::vector<CellConfig> CampaignSpec::expand() const {
                                 cell.seed = seed;
                                 cell.learned_warmup = learned_warmup_;
                                 cell.learned_no_metrics = learned_no_metrics_;
+                                cell.mesh_range_m = mesh_range_m_;
+                                cell.mesh_ttl = mesh_ttl_;
                                 cells.push_back(std::move(cell));
                                 if (seed == seeds_.hi) {
                                     break; // avoid overflow at UINT64_MAX
@@ -475,6 +511,12 @@ std::string CampaignSpec::str() const {
     if (learned_warmup_.count_ns() > 0) {
         out += "  learned " + duration_str(learned_warmup_) +
                (learned_no_metrics_ ? " none" : "") + ";\n";
+    }
+    if (mesh_range_m_ > 0) {
+        out += "  mesh_range " + std::to_string(mesh_range_m_) + ";\n";
+    }
+    if (mesh_ttl_ > 0) {
+        out += "  mesh_ttl " + std::to_string(mesh_ttl_) + ";\n";
     }
     out += "}\n";
     return out;
@@ -619,6 +661,12 @@ CampaignSpec CampaignSpec::parse(const std::string& text) {
         } else if (keyword == "learned") {
             parse_learned(lexer, token.line, spec.learned_warmup_,
                           spec.learned_no_metrics_);
+            lexer.expect_punct(";");
+        } else if (keyword == "mesh_range") {
+            spec.mesh_range_m_ = lexer.take_number("a radio range in meters");
+            lexer.expect_punct(";");
+        } else if (keyword == "mesh_ttl") {
+            spec.mesh_ttl_ = lexer.take_number("a beacon TTL");
             lexer.expect_punct(";");
         } else {
             throw CampaignParseError(token.line, "unknown campaign axis '" +

@@ -21,12 +21,16 @@
 //                                   //       storm overrun sensor_drift
 //                                   //       misuse crash
 //     policy <p> [<p> ...];         // axis: steady cautious eager
-//     topology <t> [<t> ...];       // axis: dual_bus bridged
+//     topology <t> [<t> ...];       // axis: dual_bus bridged mesh lossy_mesh
 //     domains <n> [<n> ...];        // axis: ECU domain counts, each in [1, 8]
 //     seeds <lo>..<hi>;             // inclusive seed range
 //     learned <n><unit> [none];     // optional: learned monitor on every
 //                                   // vehicle, with this warm-up; "none"
 //                                   // disables metric auto-resolution
+//     mesh_range <n>;               // optional: radio range in meters for
+//                                   // mesh topologies (0 = template default)
+//     mesh_ttl <n>;                 // optional: announcement beacon TTL for
+//                                   // mesh topologies (0 = template default)
 //   }
 //
 // A cell block uses the same statements with singular values plus
@@ -74,10 +78,15 @@ enum class Fault {
 /// check periods) — see campaign::maneuver_policy_for().
 enum class PolicyKind { Steady, Cautious, Eager };
 
-/// Topology axis: the dual-bus zonal preset alone, or with a scenario-level
+/// Topology axis: the dual-bus zonal preset alone, with a scenario-level
 /// backbone bridge forwarding object frames from the first vehicle's sense
-/// bus into the second vehicle's sense bus.
-enum class Topology { DualBus, Bridged };
+/// bus into the second vehicle's sense bus, or with a multi-hop V2V mesh
+/// (range-limited v2v::Medium + a MeshStack per vehicle). Mesh uses a clean
+/// radio (loss only from range/fading); LossyMesh adds a base loss floor.
+enum class Topology { DualBus, Bridged, Mesh, LossyMesh };
+
+/// True for topologies that put a V2V mesh under the platoon.
+[[nodiscard]] bool topology_is_mesh(Topology topology) noexcept;
 
 [[nodiscard]] const char* to_string(Weather weather) noexcept;
 [[nodiscard]] const char* to_string(Fault fault) noexcept;
@@ -117,6 +126,11 @@ struct CellConfig {
     /// Disable metric auto-resolution (`learned ... none;` — a deliberately
     /// broken configuration surfaced by lint rule LRN001).
     bool learned_no_metrics = false;
+    /// Radio range in meters for mesh topologies (0 = template default).
+    /// Only serialized when non-zero, so pre-existing cells stay identical.
+    std::uint64_t mesh_range_m = 0;
+    /// Announcement beacon TTL for mesh topologies (0 = template default).
+    std::uint64_t mesh_ttl = 0;
 
     bool operator==(const CellConfig&) const = default;
 
@@ -161,6 +175,9 @@ public:
     CampaignSpec& seeds(std::uint64_t lo, std::uint64_t hi);
     /// Learned monitor on every vehicle of every cell (zero warm-up = off).
     CampaignSpec& learned(sim::Duration warmup, bool no_metrics = false);
+    /// Radio range / beacon TTL for mesh-topology cells (0 = defaults).
+    CampaignSpec& mesh_range(std::uint64_t range_m);
+    CampaignSpec& mesh_ttl(std::uint64_t ttl);
 
     // --- introspection ------------------------------------------------------
     [[nodiscard]] const std::string& name() const noexcept { return name_; }
@@ -192,6 +209,10 @@ public:
     [[nodiscard]] bool learned_no_metrics() const noexcept {
         return learned_no_metrics_;
     }
+    [[nodiscard]] std::uint64_t mesh_range() const noexcept {
+        return mesh_range_m_;
+    }
+    [[nodiscard]] std::uint64_t mesh_ttl() const noexcept { return mesh_ttl_; }
 
     /// Matrix size: the product of every axis (0 when the seed range is
     /// empty — lint flags that as CMP002).
@@ -219,6 +240,8 @@ private:
     SeedRange seeds_{};
     sim::Duration learned_warmup_ = sim::Duration::zero();
     bool learned_no_metrics_ = false;
+    std::uint64_t mesh_range_m_ = 0;
+    std::uint64_t mesh_ttl_ = 0;
 };
 
 } // namespace sa::campaign

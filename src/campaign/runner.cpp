@@ -264,6 +264,34 @@ void declare_cell_scenario(scenario::ScenarioBuilder& builder,
                                  0x7F0});
         builder.bridge(std::move(bridge));
     }
+    if (topology_is_mesh(cell.topology)) {
+        // Convoy spacing 120 m with a 150 m default range: only adjacent
+        // vehicles hear each other directly, so any farther coordination
+        // must relay through the mesh. LossyMesh adds a base loss floor on
+        // top of the linear range fading.
+        v2v::MediumConfig medium;
+        medium.loss_probability =
+            cell.topology == Topology::LossyMesh ? 0.10 : 0.0;
+        medium.latency = sim::Duration::ms(20);
+        medium.range_m = cell.mesh_range_m > 0
+                             ? static_cast<double>(cell.mesh_range_m)
+                             : 150.0;
+        medium.fading = v2v::Fading::Linear;
+        medium.seed = cell.seed;
+        builder.v2v(medium);
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            mesh::MeshConfig stack;
+            stack.beacon_ttl =
+                cell.mesh_ttl > 0 ? static_cast<std::uint32_t>(cell.mesh_ttl)
+                                  : 8;
+            // Staggered off-grid phases: no two beacons share a timestamp
+            // with each other or the preset's periodic tasks.
+            stack.beacon_phase =
+                sim::Duration::us(913 * static_cast<std::int64_t>(i) + 11);
+            builder.vehicle(names[i]).mesh(stack,
+                                           120.0 * static_cast<double>(i));
+        }
+    }
     // Off-grid script offsets (+11/13/17 us): never collide with the
     // preset's periodic tasks at shared timestamps, so script-vs-task
     // ordering cannot diverge between domain counts.

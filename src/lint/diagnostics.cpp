@@ -85,6 +85,11 @@ const std::vector<RuleInfo>& rule_catalogue() {
          "heartbeat watches a source nothing publishes"},
         {"SCN007", Severity::Warning, Layer::Scenario,
          "sensor bound to a skill node the vehicle's graph lacks"},
+        // --- mesh (scenario-layer V2V topology) -----------------------------
+        {"MSH001", Severity::Error, Layer::Scenario,
+         "V2V endpoint unreachable under the declared radio ranges"},
+        {"MSH002", Severity::Error, Layer::Scenario,
+         "mesh beacon TTL smaller than the endpoint's hop eccentricity"},
         // --- learn layer ----------------------------------------------------
         {"LRN001", Severity::Error, Layer::Learn,
          "learned monitor tracks zero metrics after auto-resolution"},

@@ -1,6 +1,7 @@
 #include "lint/scenario_rules.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <set>
 #include <string>
@@ -382,6 +383,90 @@ LintReport lint_scenario(const ScenarioShape& scenario) {
                                static_cast<double>(scenario.duration_hint_ns) /
                                    1e9));
                 }
+            }
+        }
+    }
+
+    // MSH001/MSH002: static reachability of the V2V mesh under the declared
+    // radio range. Edges join endpoints within range of each other; only
+    // mesh endpoints relay, so interior nodes of a path must be mesh-capable
+    // (plain v2v() endpoints hear frames but never forward them).
+    if (scenario.v2v_enabled && scenario.v2v_range_m > 0.0) {
+        struct MeshNode {
+            std::string name;
+            double position_m;
+            bool is_mesh;
+            std::uint32_t beacon_ttl;
+        };
+        std::vector<MeshNode> nodes;
+        for (const VehicleShape& vehicle : scenario.vehicles) {
+            if (vehicle.v2v_endpoint.has_value()) {
+                nodes.push_back(MeshNode{
+                    vehicle.name, vehicle.v2v_endpoint->position_m,
+                    vehicle.v2v_endpoint->is_mesh,
+                    vehicle.v2v_endpoint->beacon_ttl});
+            }
+        }
+        constexpr std::uint32_t kUnreachable = 0xFFFFFFFFU;
+        const auto hop_distances = [&](std::size_t from) {
+            std::vector<std::uint32_t> dist(nodes.size(), kUnreachable);
+            dist[from] = 0;
+            std::vector<std::size_t> frontier{from};
+            while (!frontier.empty()) {
+                std::vector<std::size_t> next;
+                for (const std::size_t u : frontier) {
+                    if (u != from && !nodes[u].is_mesh) {
+                        continue; // plain endpoints terminate paths
+                    }
+                    for (std::size_t v = 0; v < nodes.size(); ++v) {
+                        if (dist[v] != kUnreachable ||
+                            std::abs(nodes[v].position_m -
+                                     nodes[u].position_m) >
+                                scenario.v2v_range_m) {
+                            continue;
+                        }
+                        dist[v] = dist[u] + 1;
+                        next.push_back(v);
+                    }
+                }
+                frontier = std::move(next);
+            }
+            return dist;
+        };
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            const auto dist = hop_distances(i);
+            std::uint32_t eccentricity = 0;
+            for (std::size_t j = 0; j < nodes.size(); ++j) {
+                if (j == i) {
+                    continue;
+                }
+                if (dist[j] == kUnreachable) {
+                    // Reachability is symmetric (same edges, same relay
+                    // set), so one finding per unordered pair suffices.
+                    if (i < j) {
+                        report.add(
+                            "MSH001",
+                            format("v2v mesh / %s -> %s",
+                                   nodes[i].name.c_str(),
+                                   nodes[j].name.c_str()),
+                            format("no relay path within radio range %.1fm "
+                                   "(positions %.1fm and %.1fm): the "
+                                   "endpoints can never exchange frames",
+                                   scenario.v2v_range_m, nodes[i].position_m,
+                                   nodes[j].position_m));
+                    }
+                } else if (dist[j] > eccentricity) {
+                    eccentricity = dist[j];
+                }
+            }
+            if (nodes[i].is_mesh && nodes[i].beacon_ttl < eccentricity) {
+                report.add(
+                    "MSH002", "v2v mesh / " + nodes[i].name,
+                    format("beacon TTL %u is smaller than the endpoint's hop "
+                           "eccentricity %u: its announcements never reach "
+                           "the farthest members, which cannot learn a route "
+                           "back to it",
+                           nodes[i].beacon_ttl, eccentricity));
             }
         }
     }

@@ -41,6 +41,15 @@ struct LearnedMonitorShape {
     long long warmup_ns = 0;
 };
 
+/// A vehicle's V2V endpoint declaration (VehicleBuilder::v2v()/mesh()).
+/// Plain endpoints hear frames but never relay; mesh endpoints run the full
+/// MeshStack protocol and carry a beacon TTL (their announcement hop radius).
+struct MeshEndpointShape {
+    bool is_mesh = false;
+    double position_m = 0.0;
+    std::uint32_t beacon_ttl = 0; ///< 0 for plain (non-mesh) endpoints
+};
+
 struct VehicleShape {
     std::string name;
     std::optional<std::size_t> domain_pin;
@@ -57,6 +66,7 @@ struct VehicleShape {
     /// (sensor name, bound skill node) for sensors with a non-empty binding.
     std::vector<std::pair<std::string, std::string>> sensor_skill_bindings;
     std::vector<LearnedMonitorShape> learned_monitors;
+    std::optional<MeshEndpointShape> v2v_endpoint;
 };
 
 struct ScenarioShape {
@@ -65,6 +75,9 @@ struct ScenarioShape {
     std::vector<GatewayShape> bridges;  ///< routes use "vehicle:bus" keys
     bool v2v_enabled = false;
     long long v2v_latency_ns = 0;
+    /// Hard radio range of the medium in meters; 0 = unlimited (MSH001/002
+    /// only fire on a finite range).
+    double v2v_range_m = 0.0;
     /// Intended run length (ScenarioBuilder::duration_hint()); 0 = unknown.
     long long duration_hint_ns = 0;
 };

@@ -2,88 +2,21 @@
 
 #include <cmath>
 
-#include "sim/sharded_kernel.hpp"
-#include "util/assert.hpp"
-
 namespace sa::platoon {
 
-V2vChannel::V2vChannel(sim::Simulator& simulator, double loss_probability,
-                       Duration latency)
-    : simulator_(simulator), loss_probability_(loss_probability), latency_(latency) {
-    SA_REQUIRE(loss_probability_ >= 0.0 && loss_probability_ <= 1.0,
-               "loss probability must be within [0,1]");
-    SA_REQUIRE(latency_.count_ns() >= 0, "latency must be non-negative");
-    if (sim::ShardedKernel* kernel = simulator_.shard()) {
-        SA_REQUIRE(latency_.count_ns() > 0,
-                   "a V2V channel on a sharded kernel needs a positive "
-                   "latency (it becomes every domain's lookahead)");
-        // Any domain may carry a sender, so the beacon latency bounds every
-        // domain's lookahead: it IS the window the domains may race ahead.
-        for (std::size_t d = 0; d < kernel->num_domains(); ++d) {
-            kernel->declare_lookahead(d, latency_);
-        }
-    }
-}
-
-void V2vChannel::join(const std::string& name, Receiver receiver) {
-    // On a sharded kernel a default home would silently pin every receiver
-    // to the channel's own domain — callbacks for vehicles living elsewhere
-    // would run on the wrong worker. Require the explicit overload there.
-    SA_REQUIRE(simulator_.shard() == nullptr,
-               "on a sharded kernel, name the member's home simulator: "
-               "join(name, home, receiver) or Scenario::join_v2v()");
-    join(name, simulator_, std::move(receiver));
-}
-
-void V2vChannel::join(const std::string& name, sim::Simulator& home,
-                      Receiver receiver) {
-    SA_REQUIRE(static_cast<bool>(receiver), "receiver must be callable");
-    SA_REQUIRE(!members_.contains(name), "duplicate channel member: " + name);
-    SA_REQUIRE(&home == &simulator_ || (simulator_.shard() != nullptr &&
-                                        home.shard() == simulator_.shard()),
-               "member home must be the channel's simulator or a domain of "
-               "the same sharded kernel");
-    members_[name] = Member{&home, std::move(receiver)};
-}
-
-void V2vChannel::leave(const std::string& name) { members_.erase(name); }
-
-void V2vChannel::broadcast(V2vBeacon beacon) {
-    broadcasts_.fetch_add(1, std::memory_order_relaxed);
-    // The sending context: the domain whose window is executing, or the
-    // channel's own simulator from quiescent contexts. Its clock stamps the
-    // beacon and its RNG draws the per-receiver losses, keeping each
-    // domain's stream independent and the whole run seed-stable.
-    sim::Simulator* executing = sim::detail::executing_domain();
-    sim::Simulator& context = executing != nullptr ? *executing : simulator_;
-    beacon.sent = context.now();
-    const Time deliver_at = beacon.sent + latency_;
-    for (const auto& [name, member] : members_) {
-        if (name == beacon.sender) {
-            continue;
-        }
-        if (loss_probability_ > 0.0 && context.rng().chance(loss_probability_)) {
-            losses_.fetch_add(1, std::memory_order_relaxed);
-            continue;
-        }
-        deliveries_.fetch_add(1, std::memory_order_relaxed);
-        sim::post(*member.home, deliver_at,
-                  [receiver = member.receiver, beacon] { receiver(beacon); });
-    }
-}
-
-bool PlausibilityChecker::check(const V2vBeacon& beacon, double measured_position_m,
+bool PlausibilityChecker::check(const v2v::Frame& frame,
+                                double measured_position_m,
                                 double measured_speed_mps) {
     ++checks_;
     const bool position_ok =
-        std::abs(beacon.position_m - measured_position_m) <= position_tolerance_m_;
+        std::abs(frame.position_m - measured_position_m) <= position_tolerance_m_;
     const bool speed_ok =
-        std::abs(beacon.speed_mps - measured_speed_mps) <= speed_tolerance_mps_;
+        std::abs(frame.speed_mps - measured_speed_mps) <= speed_tolerance_mps_;
     const bool plausible = position_ok && speed_ok;
     if (!plausible) {
         ++implausible_;
     }
-    trust_.record(beacon.sender, plausible);
+    trust_.record(frame.origin, plausible);
     return plausible;
 }
 

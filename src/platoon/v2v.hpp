@@ -1,93 +1,22 @@
 #pragma once
-// Vehicle-to-vehicle communication substrate and plausibility-based trust
-// formation (§V: cooperating vehicles "share information", but "the
-// communication to or the platform of another vehicle might not be fully
-// trustworthy"). Beacons broadcast over a lossy channel; receivers compare a
-// neighbour's claims against their own sensor observations and feed the
+// Plausibility-based trust formation over the V2V mesh (§V: cooperating
+// vehicles "share information", but "the communication to or the platform of
+// another vehicle might not be fully trustworthy"). CAM frames arrive over
+// the v2v::Medium / mesh::MeshStack transport (src/mesh/); receivers compare
+// a neighbour's claims against their own sensor observations and feed the
 // outcome into the TrustManager — this is how the reputation that gates
 // platoon formation is earned in the first place.
 //
-// Sharding: V2V is the canonical cross-domain link. Each member may name a
-// home simulator (the domain its vehicle lives on); beacons are delivered to
-// every member's home via sim::post(), and when the channel rides a
-// ShardedKernel its latency is declared as every domain's lookahead bound —
-// the 20 ms beacon latency is exactly the window the domains may race ahead
-// inside. On a single shared simulator the behaviour (and event order) is
-// bit-for-bit the pre-sharding one.
+// The old single-hop V2vChannel lived here; it has been replaced by the
+// redesigned radio substrate in mesh/medium.hpp (v2v::Medium) plus the
+// per-vehicle protocol endpoint in mesh/mesh_stack.hpp (mesh::MeshStack).
 
-#include <atomic>
-#include <functional>
-#include <map>
-#include <string>
+#include <cstdint>
 
+#include "mesh/medium.hpp"
 #include "platoon/trust.hpp"
-#include "sim/simulator.hpp"
 
 namespace sa::platoon {
-
-using sim::Duration;
-using sim::Time;
-
-/// Periodic cooperative-awareness message (CAM-style).
-struct V2vBeacon {
-    std::string sender;
-    double position_m = 0.0; ///< along-track position
-    double speed_mps = 0.0;
-    Time sent;
-};
-
-/// Lossy broadcast channel with constant latency.
-class V2vChannel {
-public:
-    V2vChannel(sim::Simulator& simulator, double loss_probability = 0.0,
-               Duration latency = Duration::ms(20));
-
-    using Receiver = std::function<void(const V2vBeacon&)>;
-
-    /// Join the channel; every delivered beacon from *other* senders invokes
-    /// the callback. The member's home is the channel's own simulator —
-    /// therefore only valid on an unsharded channel (on a sharded kernel
-    /// every member must name its home; use the overload below).
-    void join(const std::string& name, Receiver receiver);
-    /// Join with an explicit home simulator: delivered beacons execute on
-    /// `home` (its domain worker, under sharding). `home` must be the
-    /// channel's simulator or a domain of the same ShardedKernel.
-    void join(const std::string& name, sim::Simulator& home, Receiver receiver);
-    void leave(const std::string& name);
-
-    /// Broadcast a beacon; each receiver independently experiences loss.
-    /// Timestamps and loss draws use the calling domain's clock and RNG
-    /// (the channel simulator's outside any sharded window). Membership
-    /// must be quiescent during a sharded run: join/leave only between
-    /// runs or from script barriers.
-    void broadcast(V2vBeacon beacon);
-
-    [[nodiscard]] std::uint64_t broadcasts() const noexcept {
-        return broadcasts_.load(std::memory_order_relaxed);
-    }
-    [[nodiscard]] std::uint64_t deliveries() const noexcept {
-        return deliveries_.load(std::memory_order_relaxed);
-    }
-    [[nodiscard]] std::uint64_t losses() const noexcept {
-        return losses_.load(std::memory_order_relaxed);
-    }
-
-private:
-    struct Member {
-        sim::Simulator* home;
-        Receiver receiver;
-    };
-
-    sim::Simulator& simulator_;
-    double loss_probability_;
-    Duration latency_;
-    std::map<std::string, Member> members_;
-    // Relaxed atomics: broadcasts may run concurrently on several domain
-    // workers; the counts are order-free sums.
-    std::atomic<std::uint64_t> broadcasts_{0};
-    std::atomic<std::uint64_t> deliveries_{0};
-    std::atomic<std::uint64_t> losses_{0};
-};
 
 /// Compares a neighbour's claimed kinematics against own observations and
 /// records the outcome as a trust interaction.
@@ -99,10 +28,12 @@ public:
           position_tolerance_m_(position_tolerance_m),
           speed_tolerance_mps_(speed_tolerance_mps) {}
 
-    /// Check a beacon against an own measurement of the sender (e.g. from
-    /// radar): measured position/speed of the vehicle the beacon claims to
-    /// be. Records positive/negative trust and returns plausibility.
-    bool check(const V2vBeacon& beacon, double measured_position_m,
+    /// Check a CAM frame against an own measurement of its ORIGIN (e.g. from
+    /// radar): measured position/speed of the vehicle the frame claims to
+    /// be. Trust accrues to the origin, not the relaying transmitter — a
+    /// relay faithfully forwarding a liar's claim is not the liar. Records
+    /// positive/negative trust and returns plausibility.
+    bool check(const v2v::Frame& frame, double measured_position_m,
                double measured_speed_mps);
 
     [[nodiscard]] std::uint64_t checks() const noexcept { return checks_; }

@@ -57,15 +57,20 @@ Vehicle& Scenario::only_vehicle() {
     return *vehicles_.begin()->second;
 }
 
-platoon::V2vChannel& Scenario::v2v() {
+v2v::Medium& Scenario::v2v() {
     SA_REQUIRE(v2v_ != nullptr, "v2v() not declared on the ScenarioBuilder");
     return *v2v_;
 }
 
-void Scenario::join_v2v(const std::string& vehicle_name,
-                        platoon::V2vChannel::Receiver receiver) {
-    v2v().join(vehicle_name, vehicle(vehicle_name).simulator(),
-               std::move(receiver));
+bool Scenario::has_mesh(const std::string& vehicle_name) const {
+    return meshes_.contains(vehicle_name);
+}
+
+mesh::MeshStack& Scenario::mesh(const std::string& vehicle_name) {
+    auto it = meshes_.find(vehicle_name);
+    SA_REQUIRE(it != meshes_.end(),
+               "no mesh endpoint declared for vehicle: " + vehicle_name);
+    return *it->second;
 }
 
 bool Scenario::has_bridge(const std::string& name) const {

@@ -23,6 +23,7 @@
 #include "core/platform_layer.hpp"
 #include "core/self_model.hpp"
 #include "learn/anomaly_model_monitor.hpp"
+#include "mesh/mesh_stack.hpp"
 #include "model/mcc.hpp"
 #include "monitor/range_monitor.hpp"
 #include "monitor/rate_monitor.hpp"
@@ -231,10 +232,13 @@ public:
     // --- cooperation substrate ---------------------------------------------
     [[nodiscard]] platoon::TrustManager& trust() noexcept { return trust_; }
     [[nodiscard]] bool has_v2v() const noexcept { return v2v_ != nullptr; }
-    [[nodiscard]] platoon::V2vChannel& v2v();
-    /// Join `vehicle` to the V2V channel with its own simulator as home:
-    /// delivered beacons execute on the vehicle's domain.
-    void join_v2v(const std::string& vehicle, platoon::V2vChannel::Receiver receiver);
+    /// The shared radio substrate (ScenarioBuilder::v2v()). Custom receivers
+    /// attach here directly: v2v().attach(name, vehicle(name).simulator(),
+    /// receiver) — one surface, no implicit home rule.
+    [[nodiscard]] v2v::Medium& v2v();
+    /// The mesh protocol endpoint of `vehicle` (VehicleBuilder::mesh()).
+    [[nodiscard]] bool has_mesh(const std::string& vehicle) const;
+    [[nodiscard]] mesh::MeshStack& mesh(const std::string& vehicle);
 
     // --- cross-vehicle bridges ---------------------------------------------
     /// Scenario-level CAN gateway declared via ScenarioBuilder::bridge():
@@ -321,7 +325,11 @@ private:
     /// re-arms.
     bool check_armed_ = false;
     std::vector<platoon::MemberCapability> detached_;
-    std::unique_ptr<platoon::V2vChannel> v2v_;
+    std::unique_ptr<v2v::Medium> v2v_;
+    /// Declared after v2v_: each MeshStack detaches from the medium in its
+    /// destructor, so reverse member destruction must tear the stacks down
+    /// while the medium is still alive.
+    std::map<std::string, std::unique_ptr<mesh::MeshStack>> meshes_;
     std::vector<std::string> order_;
     std::map<std::string, std::unique_ptr<Vehicle>> vehicles_;
     std::map<std::string, std::unique_ptr<can::BusGateway>> bridges_;

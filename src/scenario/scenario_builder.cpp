@@ -37,13 +37,19 @@ ScenarioBuilder& ScenarioBuilder::bridge(BridgeSpec spec) {
     return *this;
 }
 
-ScenarioBuilder& ScenarioBuilder::v2v(double loss_probability, sim::Duration latency) {
-    SA_REQUIRE(loss_probability >= 0.0 && loss_probability <= 1.0,
+ScenarioBuilder& ScenarioBuilder::v2v(v2v::MediumConfig config) {
+    SA_REQUIRE(config.loss_probability >= 0.0 && config.loss_probability <= 1.0,
                "loss probability must be in [0, 1]");
     v2v_enabled_ = true;
-    v2v_loss_ = loss_probability;
-    v2v_latency_ = latency;
+    v2v_config_ = config;
     return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::v2v(double loss_probability, sim::Duration latency) {
+    v2v::MediumConfig config;
+    config.loss_probability = loss_probability;
+    config.latency = latency;
+    return v2v(config);
 }
 
 ScenarioBuilder& ScenarioBuilder::trust(const std::string& peer, int positive,
@@ -96,7 +102,8 @@ ScenarioBuilder::lint(const skills::CapabilityRegistry& registry) const {
     lint::ScenarioShape shape;
     shape.num_domains = num_domains_;
     shape.v2v_enabled = v2v_enabled_;
-    shape.v2v_latency_ns = v2v_latency_.count_ns();
+    shape.v2v_latency_ns = v2v_config_.latency.count_ns();
+    shape.v2v_range_m = v2v_config_.range_m;
     shape.duration_hint_ns = duration_hint_.count_ns();
     for (const auto& name : order_) {
         auto it = std::find_if(builders_.begin(), builders_.end(),
@@ -203,8 +210,31 @@ std::unique_ptr<Scenario> ScenarioBuilder::build() {
         }
     }
     if (v2v_enabled_) {
-        scenario->v2v_ = std::make_unique<platoon::V2vChannel>(
-            scenario->simulator(), v2v_loss_, v2v_latency_);
+        scenario->v2v_ = std::make_unique<v2v::Medium>(scenario->simulator(),
+                                                       v2v_config_);
+    }
+    for (const auto& name : order_) {
+        auto it = std::find_if(builders_.begin(), builders_.end(),
+                               [&](const VehicleBuilder& b) { return b.name() == name; });
+        SA_ASSERT(it != builders_.end(), "builder list out of sync");
+        const auto& endpoint = it->v2v_endpoint();
+        if (!endpoint.has_value()) {
+            continue;
+        }
+        SA_REQUIRE(v2v_enabled_, "vehicle '" + name +
+                                     "' declared a V2V endpoint but the "
+                                     "scenario has no v2v() medium");
+        sim::Simulator& home = scenario->vehicle(name).simulator();
+        if (endpoint->is_mesh) {
+            scenario->meshes_.emplace(
+                name, std::make_unique<mesh::MeshStack>(
+                          name, *scenario->v2v_, home, endpoint->config,
+                          endpoint->position_m));
+        } else {
+            scenario->v2v_->attach(
+                name, home, [](const v2v::Frame&, double) {},
+                endpoint->position_m);
+        }
     }
     scenario->platoon_config_ = platoon_config_;
     scenario->candidates_ = candidates_;

@@ -53,6 +53,11 @@ public:
     ScenarioBuilder& bridge(BridgeSpec spec);
 
     // --- cooperation substrate ---------------------------------------------
+    /// Create the shared V2V radio medium (v2v::Medium) with the full
+    /// physics surface: base loss, latency, hard radio range and fading
+    /// model. Vehicles join it via VehicleBuilder::v2v()/mesh().
+    ScenarioBuilder& v2v(v2v::MediumConfig config);
+    /// Range-free shorthand (base loss + latency only).
     ScenarioBuilder& v2v(double loss_probability,
                          sim::Duration latency = sim::Duration::ms(20));
     /// Seed the shared TrustManager with interaction history for a peer.
@@ -111,8 +116,7 @@ private:
     std::list<VehicleBuilder> builders_; ///< list: stable references
     std::vector<BridgeSpec> bridges_;
     bool v2v_enabled_ = false;
-    double v2v_loss_ = 0.0;
-    sim::Duration v2v_latency_ = sim::Duration::ms(20);
+    v2v::MediumConfig v2v_config_{};
     std::vector<TrustSeed> trust_seeds_;
     platoon::PlatoonConfig platoon_config_{};
     std::vector<platoon::MemberCapability> candidates_;

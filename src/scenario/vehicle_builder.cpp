@@ -281,6 +281,20 @@ VehicleBuilder& VehicleBuilder::lead_profile(vehicle::LeadProfile profile) {
     return *this;
 }
 
+VehicleBuilder& VehicleBuilder::v2v(double position_m) {
+    SA_REQUIRE(!v2v_endpoint_.has_value(),
+               "vehicle already declared a V2V endpoint");
+    v2v_endpoint_ = V2vEndpointSpec{false, {}, position_m};
+    return *this;
+}
+
+VehicleBuilder& VehicleBuilder::mesh(mesh::MeshConfig config, double position_m) {
+    SA_REQUIRE(!v2v_endpoint_.has_value(),
+               "vehicle already declared a V2V endpoint");
+    v2v_endpoint_ = V2vEndpointSpec{true, config, position_m};
+    return *this;
+}
+
 model::PlatformModel VehicleBuilder::platform_model() const {
     model::PlatformModel platform;
     platform.ecus.reserve(ecus_.size());
@@ -363,6 +377,11 @@ void VehicleBuilder::describe(lint::VehicleShape& shape) const {
                 },
             },
             decl);
+    }
+    if (v2v_endpoint_.has_value()) {
+        shape.v2v_endpoint = lint::MeshEndpointShape{
+            v2v_endpoint_->is_mesh, v2v_endpoint_->position_m,
+            v2v_endpoint_->is_mesh ? v2v_endpoint_->config.beacon_ttl : 0};
     }
     if (skill_spec_.has_value()) {
         shape.has_skill_graph = true;

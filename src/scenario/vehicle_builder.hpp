@@ -184,6 +184,28 @@ public:
     VehicleBuilder& ability_update_hook(UpdateHook hook);
     VehicleBuilder& self_model(sim::Duration period);
 
+    // --- V2V mesh -----------------------------------------------------------
+    /// A plain endpoint and a full mesh stack on the scenario's radio medium
+    /// (requires ScenarioBuilder::v2v()). Exactly one of the two per vehicle.
+    struct V2vEndpointSpec {
+        bool is_mesh = false;
+        mesh::MeshConfig config{};
+        double position_m = 0.0;
+    };
+    /// Attach this vehicle to the V2V medium at `position_m` as a plain
+    /// endpoint: it hears frames (and counts toward deliveries/losses) but
+    /// runs no protocol. For a custom receiver, skip this declaration and
+    /// call Medium::attach(name, home, receiver) on the built scenario.
+    VehicleBuilder& v2v(double position_m = 0.0);
+    /// Give this vehicle a mesh::MeshStack protocol endpoint at
+    /// `position_m`: neighbor table, TTL'd self-announcements and multi-hop
+    /// CAM relay under `config`. Reachable as Scenario::mesh(name).
+    VehicleBuilder& mesh(mesh::MeshConfig config = {}, double position_m = 0.0);
+    [[nodiscard]] const std::optional<V2vEndpointSpec>&
+    v2v_endpoint() const noexcept {
+        return v2v_endpoint_;
+    }
+
     // --- closed-loop driving ------------------------------------------------
     VehicleBuilder& driving(vehicle::ScenarioConfig config);
     /// Range sensor on the driving loop; with a quality config a
@@ -342,6 +364,7 @@ private:
     std::optional<vehicle::ScenarioConfig> driving_;
     std::vector<SensorSpec> sensors_;
     vehicle::LeadProfile lead_profile_;
+    std::optional<V2vEndpointSpec> v2v_endpoint_;
 };
 
 } // namespace sa::scenario

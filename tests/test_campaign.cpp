@@ -186,6 +186,65 @@ TEST(CampaignSpec, LearnedStatementExpandsIntoEveryCell) {
                  CampaignParseError); // warm-up must be positive
 }
 
+TEST(CellConfig, MeshAxisRoundTripsAndStaysOutOfNonMeshCells) {
+    // Non-mesh cells serialize exactly as before the mesh axis existed —
+    // corpus entries and fingerprints stay byte-stable.
+    CellConfig plain;
+    plain.campaign = "smoke";
+    EXPECT_EQ(plain.str().find("mesh"), std::string::npos);
+    EXPECT_EQ(plain.id().find("mesh"), std::string::npos);
+
+    CellConfig cell;
+    cell.campaign = "smoke";
+    cell.topology = Topology::LossyMesh;
+    cell.mesh_range_m = 200;
+    cell.mesh_ttl = 6;
+    const auto reparsed = CellConfig::parse(cell.str());
+    EXPECT_EQ(reparsed, cell);
+    EXPECT_NE(cell.id().find("topology=lossy_mesh"), std::string::npos);
+    EXPECT_NE(cell.id().find("mesh_range=200"), std::string::npos);
+    EXPECT_NE(cell.id().find("mesh_ttl=6"), std::string::npos);
+
+    Topology parsed{};
+    ASSERT_TRUE(topology_from_string("mesh", parsed));
+    EXPECT_EQ(parsed, Topology::Mesh);
+    ASSERT_TRUE(topology_from_string("lossy_mesh", parsed));
+    EXPECT_EQ(parsed, Topology::LossyMesh);
+    EXPECT_TRUE(topology_is_mesh(Topology::Mesh));
+    EXPECT_TRUE(topology_is_mesh(Topology::LossyMesh));
+    EXPECT_FALSE(topology_is_mesh(Topology::DualBus));
+    EXPECT_FALSE(topology_is_mesh(Topology::Bridged));
+}
+
+TEST(CampaignSpec, MeshStatementsExpandIntoEveryCell) {
+    const auto spec = CampaignSpec::parse(R"(
+        campaign mesh_smoke {
+          template platoon;
+          vehicles 4;
+          duration 300ms;
+          topology mesh lossy_mesh;
+          mesh_range 200;
+          mesh_ttl 6;
+          seeds 1..2;
+        }
+    )");
+    EXPECT_EQ(spec.mesh_range(), 200u);
+    EXPECT_EQ(spec.mesh_ttl(), 6u);
+    const auto cells = spec.expand();
+    ASSERT_EQ(cells.size(), 4u);
+    for (const auto& cell : cells) {
+        EXPECT_EQ(cell.mesh_range_m, 200u);
+        EXPECT_EQ(cell.mesh_ttl, 6u);
+    }
+    EXPECT_EQ(cells.front().topology, Topology::Mesh);
+    EXPECT_EQ(cells.back().topology, Topology::LossyMesh);
+    // str() round-trips both statements.
+    const auto reparsed = CampaignSpec::parse(spec.str());
+    EXPECT_EQ(reparsed.str(), spec.str());
+    EXPECT_EQ(reparsed.mesh_range(), 200u);
+    EXPECT_EQ(reparsed.mesh_ttl(), 6u);
+}
+
 TEST(CellConfig, HarnessProbeFaultsAreClassified) {
     EXPECT_TRUE(fault_is_harness_probe(Fault::Misuse));
     EXPECT_TRUE(fault_is_harness_probe(Fault::Crash));
@@ -250,6 +309,26 @@ TEST(CampaignDeterminism, SixteenCellsReplayIdenticallyAcrossDomainCounts) {
     const std::size_t stride = cells.size() / 16;
     for (std::size_t i = 0; i < 16; ++i) {
         CellConfig cell = cells[i * stride];
+        cell.domains = 1;
+        const auto first = run_cell(cell).json();
+        const auto replay = run_cell(cell).json();
+        EXPECT_EQ(first, replay) << "replay diverged: " << cell.id();
+        cell.domains = 2;
+        const auto sharded = run_cell(cell).json();
+        EXPECT_EQ(first, sharded)
+            << "domain count leaked into the verdict: " << cell.id();
+    }
+}
+
+TEST(CampaignDeterminism, MeshCellsReplayIdenticallyAcrossDomainCounts) {
+    // The mesh topologies put a range-limited v2v::Medium plus a MeshStack
+    // per vehicle under the platoon; their verdicts must stay a pure
+    // function of the cell — same seed, any domain count.
+    for (const Topology topology : {Topology::Mesh, Topology::LossyMesh}) {
+        CellConfig cell;
+        cell.vehicles = 4;
+        cell.duration = Duration::ms(150);
+        cell.topology = topology;
         cell.domains = 1;
         const auto first = run_cell(cell).json();
         const auto replay = run_cell(cell).json();

@@ -1,11 +1,12 @@
 // Tests for the extension features: latency viewpoint (end-to-end chain
 // acceptance), VF arbitration ablation (priority vs. round-robin), V2V
-// channel + plausibility-based trust formation.
+// medium + plausibility-based trust formation.
 
 #include <gtest/gtest.h>
 
 #include "can/bus.hpp"
 #include "can/virtual_controller.hpp"
+#include "mesh/medium.hpp"
 #include "model/contract_parser.hpp"
 #include "model/mcc.hpp"
 #include "platoon/v2v.hpp"
@@ -216,73 +217,123 @@ TEST(VfArbitration, PriorityIsDefault) {
 
 // --- V2V + plausibility trust ---------------------------------------------------------
 
-TEST(V2v, BroadcastReachesOthersNotSelf) {
+TEST(V2v, TransmitReachesOthersNotSelf) {
     sim::Simulator sim;
-    platoon::V2vChannel channel(sim, 0.0, Duration::ms(10));
+    v2v::Medium medium(sim, {.latency = Duration::ms(10)});
     int a_rx = 0;
     int b_rx = 0;
-    channel.join("a", [&](const platoon::V2vBeacon&) { ++a_rx; });
-    channel.join("b", [&](const platoon::V2vBeacon&) { ++b_rx; });
-    channel.broadcast(platoon::V2vBeacon{"a", 100.0, 25.0, Time::zero()});
+    medium.attach("a", sim, [&](const v2v::Frame&, double) { ++a_rx; });
+    medium.attach("b", sim, [&](const v2v::Frame&, double) { ++b_rx; });
+    medium.transmit(v2v::Medium::cam("a", 100.0, 25.0));
     sim.run_until(Time(Duration::ms(50).count_ns()));
     EXPECT_EQ(a_rx, 0);
     EXPECT_EQ(b_rx, 1);
-    EXPECT_EQ(channel.deliveries(), 1u);
+    EXPECT_EQ(medium.transmissions(), 1u);
+    EXPECT_EQ(medium.deliveries(), 1u);
 }
 
 TEST(V2v, DeliveryLatencyApplied) {
     sim::Simulator sim;
-    platoon::V2vChannel channel(sim, 0.0, Duration::ms(20));
+    v2v::Medium medium(sim, {.latency = Duration::ms(20)});
     Time delivered;
-    channel.join("rx", [&](const platoon::V2vBeacon&) { delivered = sim.now(); });
-    channel.broadcast(platoon::V2vBeacon{"tx", 0.0, 0.0, Time::zero()});
+    medium.attach("tx", sim, [](const v2v::Frame&, double) {});
+    medium.attach("rx", sim,
+                  [&](const v2v::Frame&, double) { delivered = sim.now(); });
+    medium.transmit(v2v::Medium::cam("tx", 0.0, 0.0));
     sim.run_until(Time(Duration::ms(100).count_ns()));
     EXPECT_EQ(delivered.ns(), Duration::ms(20).count_ns());
 }
 
-TEST(V2v, LossyChannelDropsStatistically) {
-    sim::Simulator sim(77);
-    platoon::V2vChannel channel(sim, 0.5, Duration::ms(1));
+TEST(V2v, LossyMediumDropsStatistically) {
+    sim::Simulator sim;
+    v2v::Medium medium(sim, {.loss_probability = 0.5,
+                             .latency = Duration::ms(1)});
     int rx = 0;
-    channel.join("rx", [&](const platoon::V2vBeacon&) { ++rx; });
+    medium.attach("tx", sim, [](const v2v::Frame&, double) {});
+    medium.attach("rx", sim, [&](const v2v::Frame&, double) { ++rx; });
     for (int i = 0; i < 1000; ++i) {
-        channel.broadcast(platoon::V2vBeacon{"tx", 0.0, 0.0, Time::zero()});
+        // Distinct seq per frame: the loss draw is a stateless hash of the
+        // frame identity, so identical frames would share one fate.
+        v2v::Frame frame = v2v::Medium::cam("tx", 0.0, 0.0);
+        frame.seq = static_cast<std::uint32_t>(i);
+        medium.transmit(frame);
     }
     sim.run_until(Time(Duration::sec(1).count_ns()));
     EXPECT_GT(rx, 400);
     EXPECT_LT(rx, 600);
-    EXPECT_EQ(channel.losses() + channel.deliveries(), 1000u);
+    EXPECT_EQ(medium.losses() + medium.deliveries(), 1000u);
 }
 
-TEST(Plausibility, HonestBeaconsBuildTrust) {
+TEST(V2v, RangeGatesDeliveryAndFadingShapesLoss) {
+    sim::Simulator sim;
+    v2v::Medium medium(sim, {.latency = Duration::ms(1),
+                             .range_m = 100.0,
+                             .fading = v2v::Fading::Linear});
+    EXPECT_DOUBLE_EQ(medium.loss_at(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(medium.loss_at(50.0), 0.5);
+    EXPECT_DOUBLE_EQ(medium.loss_at(150.0), 1.0); // beyond range: certain loss
+    int near_rx = 0;
+    int far_rx = 0;
+    medium.attach("tx", sim, [](const v2v::Frame&, double) {}, 0.0);
+    medium.attach("near", sim, [&](const v2v::Frame&, double) { ++near_rx; },
+                  10.0);
+    medium.attach("far", sim, [&](const v2v::Frame&, double) { ++far_rx; },
+                  250.0);
+    for (int i = 0; i < 50; ++i) {
+        v2v::Frame frame = v2v::Medium::cam("tx", 0.0, 25.0);
+        frame.seq = static_cast<std::uint32_t>(i);
+        medium.transmit(frame);
+    }
+    sim.run_until(Time(Duration::sec(1).count_ns()));
+    EXPECT_GT(near_rx, 30); // 10% fading loss at 10m of 100m range
+    EXPECT_EQ(far_rx, 0);   // out of range entirely
+}
+
+TEST(Plausibility, HonestCamsBuildTrust) {
     platoon::TrustManager trust;
     platoon::PlausibilityChecker checker(trust);
     for (int i = 0; i < 20; ++i) {
-        platoon::V2vBeacon beacon{"honest", 100.0 + i, 25.0, Time::zero()};
-        EXPECT_TRUE(checker.check(beacon, 100.0 + i + 0.5, 25.3));
+        v2v::Frame cam = v2v::Medium::cam("honest", 100.0 + i, 25.0);
+        EXPECT_TRUE(checker.check(cam, 100.0 + i + 0.5, 25.3));
     }
     EXPECT_GT(trust.trust("honest"), 0.9);
     EXPECT_EQ(checker.implausible(), 0u);
 }
 
-TEST(Plausibility, LyingBeaconsDestroyTrust) {
+TEST(Plausibility, LyingCamsDestroyTrust) {
     platoon::TrustManager trust;
     platoon::PlausibilityChecker checker(trust);
     for (int i = 0; i < 20; ++i) {
         // Claims to be 50m ahead of where the radar sees it.
-        platoon::V2vBeacon beacon{"liar", 150.0, 25.0, Time::zero()};
-        EXPECT_FALSE(checker.check(beacon, 100.0, 25.0));
+        v2v::Frame cam = v2v::Medium::cam("liar", 150.0, 25.0);
+        EXPECT_FALSE(checker.check(cam, 100.0, 25.0));
     }
     EXPECT_LT(trust.trust("liar"), 0.1);
     EXPECT_EQ(checker.implausible(), 20u);
 }
 
-TEST(Plausibility, EndToEndTrustFormationOverChannel) {
+TEST(Plausibility, RelayedCamBlamesOriginNotRelay) {
+    platoon::TrustManager trust;
+    platoon::PlausibilityChecker checker(trust);
+    for (int i = 0; i < 20; ++i) {
+        // A relayed copy of a liar's CAM: the relay forwarded it verbatim,
+        // so the origin — not the forwarding hop — takes the trust hit.
+        v2v::Frame cam = v2v::Medium::cam("liar", 150.0, 25.0);
+        cam.transmitter = "relay";
+        cam.hops = 1;
+        EXPECT_FALSE(checker.check(cam, 100.0, 25.0));
+    }
+    EXPECT_LT(trust.trust("liar"), 0.1);
+    EXPECT_GT(trust.trust("relay"), 0.45); // untouched default
+}
+
+TEST(Plausibility, EndToEndTrustFormationOverMedium) {
     // Two honest vehicles and a position-spoofing attacker broadcast for a
     // while; the observer's trust separates them — and would gate platoon
     // formation accordingly.
     sim::Simulator sim(13);
-    platoon::V2vChannel channel(sim, 0.05, Duration::ms(20));
+    v2v::Medium medium(sim, {.loss_probability = 0.05,
+                             .latency = Duration::ms(20)});
     platoon::TrustManager trust;
     platoon::PlausibilityChecker checker(trust);
 
@@ -291,25 +342,26 @@ TEST(Plausibility, EndToEndTrustFormationOverChannel) {
         const double v = id == "truck" ? 22.0 : 25.0;
         return 50.0 + v * t.s();
     };
-    channel.join("observer", [&](const platoon::V2vBeacon& beacon) {
-        checker.check(beacon, true_position(beacon.sender, sim.now()),
-                      beacon.sender == "truck" ? 22.0 : 25.0);
+    medium.attach("observer", sim, [&](const v2v::Frame& cam, double) {
+        checker.check(cam, true_position(cam.origin, sim.now()),
+                      cam.origin == "truck" ? 22.0 : 25.0);
     });
-    channel.join("truck", [](const platoon::V2vBeacon&) {});
-    channel.join("car", [](const platoon::V2vBeacon&) {});
-    channel.join("spoofer", [](const platoon::V2vBeacon&) {});
+    medium.attach("truck", sim, [](const v2v::Frame&, double) {});
+    medium.attach("car", sim, [](const v2v::Frame&, double) {});
+    medium.attach("spoofer", sim, [](const v2v::Frame&, double) {});
 
+    std::uint32_t seq = 0;
     sim.schedule_periodic(Duration::ms(100), [&] {
-        channel.broadcast(
-            platoon::V2vBeacon{"truck", true_position("truck", sim.now()), 22.0,
-                               Time::zero()});
-        channel.broadcast(
-            platoon::V2vBeacon{"car", true_position("car", sim.now()), 25.0,
-                               Time::zero()});
+        ++seq;
+        auto send = [&](const std::string& id, double position, double speed) {
+            v2v::Frame cam = v2v::Medium::cam(id, position, speed);
+            cam.seq = seq;
+            medium.transmit(cam);
+        };
+        send("truck", true_position("truck", sim.now()), 22.0);
+        send("car", true_position("car", sim.now()), 25.0);
         // The spoofer claims to be 40m ahead of reality.
-        channel.broadcast(platoon::V2vBeacon{
-            "spoofer", true_position("spoofer", sim.now()) + 40.0, 25.0,
-            Time::zero()});
+        send("spoofer", true_position("spoofer", sim.now()) + 40.0, 25.0);
     });
     sim.run_until(Time(Duration::sec(10).count_ns()));
 

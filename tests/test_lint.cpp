@@ -415,6 +415,70 @@ TEST(LintScenario, SCN007SensorBoundToUnknownSkillNode) {
     EXPECT_FALSE(lint_vehicle(v).has("SCN007"));
 }
 
+TEST(LintScenario, MSH001EndpointOutOfRadioRange) {
+    ScenarioShape scenario;
+    scenario.v2v_enabled = true;
+    scenario.v2v_range_m = 50.0;
+    auto a = minimal_vehicle("a");
+    a.v2v_endpoint = MeshEndpointShape{true, 0.0, 4};
+    auto b = minimal_vehicle("b");
+    b.v2v_endpoint = MeshEndpointShape{true, 120.0, 4};
+    scenario.vehicles.push_back(a);
+    scenario.vehicles.push_back(b);
+    const auto report = lint_scenario(scenario);
+    ASSERT_TRUE(report.has("MSH001"));
+    EXPECT_FALSE(report.ok()) << "islands can never exchange frames";
+    // Widening the range (or an unlimited medium) resolves it.
+    scenario.v2v_range_m = 150.0;
+    EXPECT_FALSE(lint_scenario(scenario).has("MSH001"));
+    scenario.v2v_range_m = 0.0;
+    EXPECT_FALSE(lint_scenario(scenario).has("MSH001"));
+}
+
+TEST(LintScenario, MSH001PlainEndpointsDoNotRelay) {
+    // a -- plain(60) -- b: each hop is in range, but the interior endpoint
+    // never forwards, so the far pair is still unreachable.
+    ScenarioShape scenario;
+    scenario.v2v_enabled = true;
+    scenario.v2v_range_m = 100.0;
+    auto a = minimal_vehicle("a");
+    a.v2v_endpoint = MeshEndpointShape{true, 0.0, 4};
+    auto mid = minimal_vehicle("mid");
+    mid.v2v_endpoint = MeshEndpointShape{false, 60.0, 0};
+    auto b = minimal_vehicle("b");
+    b.v2v_endpoint = MeshEndpointShape{true, 120.0, 4};
+    scenario.vehicles.push_back(a);
+    scenario.vehicles.push_back(mid);
+    scenario.vehicles.push_back(b);
+    ASSERT_TRUE(lint_scenario(scenario).has("MSH001"));
+    // The same interior endpoint as a mesh stack relays — reachable.
+    scenario.vehicles[1].v2v_endpoint = MeshEndpointShape{true, 60.0, 4};
+    EXPECT_FALSE(lint_scenario(scenario).has("MSH001"));
+}
+
+TEST(LintScenario, MSH002BeaconTtlBelowHopEccentricity) {
+    // Four-hop chain: the end nodes sit 3 hops from each other, so a TTL of
+    // 1 starves their announcements before the far side learns a route.
+    ScenarioShape scenario;
+    scenario.v2v_enabled = true;
+    scenario.v2v_range_m = 150.0;
+    for (int i = 0; i < 4; ++i) {
+        auto v = minimal_vehicle("v" + std::to_string(i));
+        v.v2v_endpoint = MeshEndpointShape{true, 120.0 * i, 1};
+        scenario.vehicles.push_back(v);
+    }
+    const auto report = lint_scenario(scenario);
+    ASSERT_TRUE(report.has("MSH002"));
+    EXPECT_FALSE(report.ok());
+    EXPECT_NE(report.first("MSH002")->message.find("eccentricity"),
+              std::string::npos);
+    // A TTL covering the eccentricity clears every endpoint.
+    for (auto& v : scenario.vehicles) {
+        v.v2v_endpoint->beacon_ttl = 3;
+    }
+    EXPECT_FALSE(lint_scenario(scenario).has("MSH002"));
+}
+
 TEST(LintScenario, LRN001LearnedMonitorWithNoMetrics) {
     auto v = minimal_vehicle();
     v.learned_monitors.push_back({0, sim::Duration::ms(500).count_ns()});

@@ -315,7 +315,7 @@ TEST(ScenarioBuilder, TrustSeedsAndPlatoonFormation) {
     EXPECT_TRUE(agreement.speed_safe);
 }
 
-TEST(ScenarioBuilder, V2vChannelDeliversBetweenVehicles) {
+TEST(ScenarioBuilder, V2vMediumDeliversBetweenVehicles) {
     scenario::ScenarioBuilder builder(6);
     builder.vehicle("a").ecu({"ecu0", 1.0, 0.75, model::Asil::D, "cabin", "main"});
     builder.vehicle("b").ecu({"ecu0", 1.0, 0.75, model::Asil::D, "cabin", "main"});
@@ -323,14 +323,41 @@ TEST(ScenarioBuilder, V2vChannelDeliversBetweenVehicles) {
     auto scenario = builder.build();
 
     int received = 0;
-    scenario->v2v().join("a", [&](const platoon::V2vBeacon&) { ++received; });
-    scenario->v2v().join("b", [&](const platoon::V2vBeacon&) { ++received; });
+    scenario->v2v().attach("a", scenario->vehicle("a").simulator(),
+                           [&](const v2v::Frame&, double) { ++received; });
+    scenario->v2v().attach("b", scenario->vehicle("b").simulator(),
+                           [&](const v2v::Frame&, double) { ++received; });
     scenario->simulator().schedule(Duration::ms(5), [&] {
-        scenario->v2v().broadcast(platoon::V2vBeacon{"a", 0.0, 20.0, sim::Time::zero()});
+        scenario->v2v().transmit(v2v::Medium::cam("a", 0.0, 20.0));
     });
     scenario->run(Duration::ms(100));
-    EXPECT_EQ(scenario->v2v().broadcasts(), 1u);
-    EXPECT_EQ(received, 1); // own beacons are not delivered back
+    EXPECT_EQ(scenario->v2v().transmissions(), 1u);
+    EXPECT_EQ(received, 1); // own frames are not delivered back
+}
+
+TEST(ScenarioBuilder, MeshEndpointsFormNeighborTables) {
+    scenario::ScenarioBuilder builder(8);
+    builder.vehicle("a").ecu({"ecu0", 1.0, 0.75, model::Asil::D, "cabin", "main"});
+    builder.vehicle("b").ecu({"ecu0", 1.0, 0.75, model::Asil::D, "cabin", "main"});
+    builder.v2v({.latency = Duration::ms(5), .range_m = 200.0});
+    builder.vehicle("a").mesh({}, 0.0);
+    builder.vehicle("b").mesh({}, 50.0);
+    auto scenario = builder.build();
+
+    ASSERT_TRUE(scenario->has_mesh("a"));
+    ASSERT_TRUE(scenario->has_mesh("b"));
+    scenario->run(Duration::ms(500));
+    EXPECT_TRUE(scenario->mesh("a").neighbors().contains("b"));
+    EXPECT_TRUE(scenario->mesh("b").neighbors().contains("a"));
+    EXPECT_GT(scenario->mesh("a").announces_sent(), 0u);
+}
+
+TEST(ScenarioBuilder, V2vEndpointWithoutMediumRejected) {
+    scenario::ScenarioBuilder builder(9);
+    builder.vehicle("a")
+        .ecu({"ecu0", 1.0, 0.75, model::Asil::D, "cabin", "main"})
+        .v2v();
+    EXPECT_THROW(builder.build(), ContractViolation);
 }
 
 TEST(Scenario, WeatherAppliesToDrivingVehicles) {

@@ -17,6 +17,7 @@
 
 #include "can/bus.hpp"
 #include "can/controller.hpp"
+#include "mesh/medium.hpp"
 #include "scenario/presets.hpp"
 #include "scenario/scenario_builder.hpp"
 #include "sim/sharded_kernel.hpp"
@@ -365,44 +366,75 @@ TEST(ShardedGateway, RouteAcrossDistinctKernelsIsRejected) {
 
 // --- cross-domain V2V --------------------------------------------------------------
 
-TEST(ShardedV2v, DeliversBeaconsToMembersOnTheirHomeDomains) {
+TEST(ShardedV2v, DeliversFramesToEndpointsOnTheirHomeDomains) {
     sim::ShardedKernel kernel(2, 42);
-    platoon::V2vChannel channel(kernel.domain(0), 0.0, Duration::ms(20));
-    // The channel's latency bounds every domain's lookahead.
+    v2v::Medium medium(kernel.domain(0), {.latency = Duration::ms(20)});
+    // The medium's latency bounds every domain's lookahead.
     EXPECT_EQ(kernel.domain_kernel(0).lookahead(), Duration::ms(20));
     EXPECT_EQ(kernel.domain_kernel(1).lookahead(), Duration::ms(20));
 
     Time b_received = Time::zero();
-    channel.join("a", kernel.domain(0), [](const platoon::V2vBeacon&) {});
-    channel.join("b", kernel.domain(1), [&](const platoon::V2vBeacon& beacon) {
-        EXPECT_EQ(beacon.sender, "a");
+    medium.attach("a", kernel.domain(0), [](const v2v::Frame&, double) {});
+    medium.attach("b", kernel.domain(1), [&](const v2v::Frame& frame, double) {
+        EXPECT_EQ(frame.origin, "a");
         b_received = kernel.domain(1).now();
     });
     kernel.domain(0).schedule(Duration::ms(1), [&] {
-        channel.broadcast(platoon::V2vBeacon{"a", 100.0, 22.0, Time::zero()});
+        medium.transmit(v2v::Medium::cam("a", 100.0, 22.0));
     });
 
     kernel.run_until(Time(Duration::ms(50).count_ns()));
 
-    EXPECT_EQ(channel.broadcasts(), 1u);
-    EXPECT_EQ(channel.deliveries(), 1u);
+    EXPECT_EQ(medium.transmissions(), 1u);
+    EXPECT_EQ(medium.deliveries(), 1u);
     EXPECT_EQ(b_received, Time(Duration::ms(21).count_ns()));
 }
 
-TEST(ShardedV2v, HomelessJoinOnAShardedChannelIsRejected) {
+TEST(ShardedV2v, MidRunMembershipMutationIsRejected) {
+    // Regression: membership and positions are read lock-free by every
+    // domain's transmit(), so mutating them from inside a sharded window
+    // must fail loudly instead of racing. Quiescent contexts (between runs,
+    // script barriers) stay allowed.
     sim::ShardedKernel kernel(2, 42);
-    platoon::V2vChannel channel(kernel.domain(0), 0.0, Duration::ms(20));
-    // The legacy overload would silently home the member on domain 0 and
-    // run its callback on the wrong worker; it must fail loudly instead.
-    EXPECT_THROW(channel.join("a", [](const platoon::V2vBeacon&) {}),
-                 sa::ContractViolation);
+    v2v::Medium medium(kernel.domain(0), {.latency = Duration::ms(20)});
+    medium.attach("a", kernel.domain(0), [](const v2v::Frame&, double) {});
+
+    std::atomic<bool> attach_threw{false};
+    std::atomic<bool> detach_threw{false};
+    std::atomic<bool> move_threw{false};
+    kernel.domain(1).schedule(Duration::ms(1), [&] {
+        try {
+            medium.attach("b", kernel.domain(1), [](const v2v::Frame&, double) {});
+        } catch (const sa::ContractViolation&) {
+            attach_threw = true;
+        }
+        try {
+            medium.detach("a");
+        } catch (const sa::ContractViolation&) {
+            detach_threw = true;
+        }
+        try {
+            medium.move("a", 10.0);
+        } catch (const sa::ContractViolation&) {
+            move_threw = true;
+        }
+    });
+    kernel.run_until(Time(Duration::ms(10).count_ns()));
+    EXPECT_TRUE(attach_threw);
+    EXPECT_TRUE(detach_threw);
+    EXPECT_TRUE(move_threw);
+    EXPECT_TRUE(medium.attached("a"));
+    EXPECT_FALSE(medium.attached("b"));
+
+    // Between runs the kernel is quiescent again: mutation is fine.
     EXPECT_NO_THROW(
-        channel.join("a", kernel.domain(0), [](const platoon::V2vBeacon&) {}));
+        medium.attach("b", kernel.domain(1), [](const v2v::Frame&, double) {}));
+    EXPECT_NO_THROW(medium.move("a", 25.0));
 }
 
-TEST(ShardedV2v, ZeroLatencyChannelOnAShardedKernelIsRejected) {
+TEST(ShardedV2v, ZeroLatencyMediumOnAShardedKernelIsRejected) {
     sim::ShardedKernel kernel(2, 42);
-    EXPECT_THROW(platoon::V2vChannel(kernel.domain(0), 0.0, Duration::zero()),
+    EXPECT_THROW(v2v::Medium(kernel.domain(0), {.latency = Duration::zero()}),
                  sa::ContractViolation);
 }
 
@@ -451,14 +483,15 @@ RunFingerprint run_platoon(std::size_t num_domains, std::uint64_t seed) {
         });
     auto scenario = builder.build();
     for (const char* name : kPlatoonVehicles) {
-        scenario->join_v2v(name, [](const platoon::V2vBeacon&) {});
+        scenario->v2v().attach(name, scenario->vehicle(name).simulator(),
+                               [](const v2v::Frame&, double) {});
     }
     int slot = 0;
     for (const char* name : kPlatoonVehicles) {
         scenario->simulator().schedule_periodic(
             Duration::ms(100),
             [&v2v = scenario->v2v(), name] {
-                v2v.broadcast(platoon::V2vBeacon{name, 0.0, 22.0, Time::zero()});
+                v2v.transmit(v2v::Medium::cam(name, 0.0, 22.0));
             },
             Duration::ms(10 * ++slot));
     }
@@ -479,7 +512,7 @@ RunFingerprint run_platoon(std::size_t num_domains, std::uint64_t seed) {
         s += trace_fingerprint(v.rte().can_bus("can_act").trace());
         fp.vehicles.push_back(std::move(s));
     }
-    fp.v2v = std::to_string(scenario->v2v().broadcasts()) + "/" +
+    fp.v2v = std::to_string(scenario->v2v().transmissions()) + "/" +
              std::to_string(scenario->v2v().deliveries());
     return fp;
 }
