@@ -23,6 +23,13 @@ Modes shared by CI and the local workflow:
                      the best observation — wall-time noise (preemption, VM
                      steal) only ever inflates, so only real regressions stay
                      slow in every sample.
+  --report-allocs    after aggregating, print every benchmark entry that
+                     carries allocation-harness counters (counter names
+                     containing "alloc" or "recycle", e.g. the event queue's
+                     steady_allocs_per_wave / bucket_recycle_hit_rate) as a
+                     table — a quick eyeball of pool health without opening
+                     the JSON. Purely informational; the hard zero-allocation
+                     pins live in tests/test_alloc.cpp.
   --update-baseline BASELINE
                      merge entries that are new in this run (key: binary +
                      benchmark name) into BASELINE. Existing baseline rows
@@ -158,6 +165,36 @@ def update_baseline(merged, baseline_path):
         print(f"\nno new entries for {baseline_path} (rewritten sorted)")
 
 
+def report_allocs(merged):
+    """Print allocation-harness counters of the aggregated report.
+
+    A counter belongs to the harness when its name mentions "alloc" or
+    "recycle" (the event queue's steady_allocs_per_wave and the bucket
+    pool's recycle/created/acquire counters use both stems). Entries without
+    such counters are skipped; benches opt in simply by exporting them.
+    """
+    rows = []
+    for entry in merged["benchmarks"]:
+        if entry.get("run_type", "iteration") != "iteration":
+            continue
+        counters = {
+            key: value
+            for key, value in entry.items()
+            if isinstance(value, (int, float))
+            and ("alloc" in key.lower() or "recycle" in key.lower())
+        }
+        if counters:
+            rows.append((entry.get("binary", ""), entry.get("name", ""), counters))
+    print("\nallocation-harness counters:")
+    if not rows:
+        print("  (no benchmark exported alloc/recycle counters)")
+        return
+    for binary, name, counters in sorted(rows, key=lambda r: (r[0], r[1])):
+        rendered = ", ".join(f"{key}={value:g}"
+                             for key, value in sorted(counters.items()))
+        print(f"  {binary}:{name}: {rendered}")
+
+
 def diff_against_baseline(merged, baseline_path, tolerance, allow_missing):
     """Compare wall times against a baseline report.
 
@@ -231,6 +268,10 @@ def main():
                         help=f"reduced measurement time per benchmark "
                              f"(min_time {QUICK_MIN_TIME}s instead of "
                              f"{MIN_TIME}s)")
+    parser.add_argument("--report-allocs", action="store_true",
+                        help="print allocation-harness counters (names "
+                             "containing alloc/recycle) of every benchmark "
+                             "entry after aggregating")
     parser.add_argument("--diff", metavar="BASELINE",
                         help="after running, diff wall times against this "
                              "baseline JSON and exit non-zero on regression")
@@ -294,6 +335,9 @@ def main():
     os.replace(tmp_out, args.out)
     print(f"wrote {len(merged['benchmarks'])} benchmark entries from "
           f"{len(binaries)}/{len(binaries)} binaries to {args.out}")
+
+    if args.report_allocs:
+        report_allocs(merged)
 
     if args.update_baseline:
         if not os.path.isfile(args.update_baseline):

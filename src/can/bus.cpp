@@ -122,11 +122,11 @@ void CanBus::try_start_transmission() {
     tx_corrupted_ =
         config_.bit_error_rate > 0.0 && simulator_.rng().chance(config_.bit_error_rate);
 
-    std::string detail;
-    const std::string frame_str = tx_frame_.str();
-    detail.reserve(tx_controller_->node_name().size() + 11 + frame_str.size());
-    detail.append(tx_controller_->node_name()).append(" wins with ").append(frame_str);
-    trace_.record(simulator_.now(), "can.arb", std::move(detail));
+    // Format straight into the trace's retained storage: no temporary
+    // strings on the per-transmission path.
+    std::string& detail = trace_.append_record(simulator_.now(), "can.arb");
+    detail.append(tx_controller_->node_name()).append(" wins with ");
+    tx_frame_.append_str(detail);
 
     simulator_.schedule(tx_time, [this] { finish_transmission(); });
 }
@@ -152,13 +152,13 @@ void CanBus::finish_transmission() {
         // Error frame: all nodes discard; the transmitter retries via the
         // next arbitration round.
         ++frames_err_;
-        trace_.record(simulator_.now(), "can.err", frame.str());
+        frame.append_str(trace_.append_record(simulator_.now(), "can.err"));
         if (winner_attached) {
             winner->tx_aborted(frame);
         }
     } else {
         ++frames_tx_;
-        trace_.record(simulator_.now(), "can.tx", frame.str());
+        frame.append_str(trace_.append_record(simulator_.now(), "can.tx"));
         // Completion order: the transmitter is told first (it frees its
         // mailbox), then every controller attached at completion time sees
         // the frame. Deliver from a snapshot so an RX callback that
@@ -169,6 +169,7 @@ void CanBus::finish_transmission() {
             winner->tx_done(frame, simulator_.now());
         }
         rx_scratch_.clear();
+        rx_scratch_.reserve(arb_.size()); // no-op after the first delivery
         for (const auto& e : arb_) {
             rx_scratch_.push_back(e.controller);
         }

@@ -39,8 +39,8 @@ bool CanFrame::valid() const noexcept {
     return id <= (extended ? kMaxExtendedId : kMaxStandardId);
 }
 
-std::string CanFrame::str() const {
-    // Hot path (bus tracing): manual formatting, no ostringstream. str() has
+void CanFrame::append_str(std::string& out) const {
+    // Hot path (bus tracing): manual formatting, no ostringstream. There is
     // no validity precondition (it is used to describe bad frames too), so
     // clamp to the payload that actually exists. Worst case fits easily:
     // "x" + 8 hex id + " [255]" + 8 * " : ff" = well under 64 bytes.
@@ -51,7 +51,13 @@ std::string CanFrame::str() const {
         n += std::snprintf(buf + n, sizeof buf - static_cast<std::size_t>(n), "%s%x",
                            i ? " " : " : ", int(data[static_cast<std::size_t>(i)]));
     }
-    return std::string(buf, static_cast<std::size_t>(n));
+    out.append(buf, static_cast<std::size_t>(n));
+}
+
+std::string CanFrame::str() const {
+    std::string out;
+    append_str(out);
+    return out;
 }
 
 namespace {

@@ -29,6 +29,9 @@ struct CanFrame {
 
     [[nodiscard]] bool valid() const noexcept;
     [[nodiscard]] std::string str() const;
+    /// Append str() to `out` without a temporary (bus trace hot path:
+    /// formats on the stack, then one append into retained trace storage).
+    void append_str(std::string& out) const;
 
     bool operator==(const CanFrame&) const = default;
 };

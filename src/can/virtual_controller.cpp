@@ -41,6 +41,9 @@ bool VirtualFunction::send(const CanFrame& frame) {
 void VirtualFunction::add_rx_filter(std::uint32_t id, std::uint32_t mask,
                                     std::function<void(const CanFrame&, Time)> callback) {
     SA_REQUIRE(static_cast<bool>(callback), "RX filter needs a callback");
+    if (filters_.empty()) {
+        owner_.note_rx_filter(index_);
+    }
     filters_.push_back(RxFilter{id, mask, std::move(callback)});
 }
 
@@ -65,9 +68,8 @@ PfToken VirtualCanController::take_pf_token() {
 VirtualFunction& VirtualCanController::pf_create_vf(const PfToken&, std::size_t mailboxes) {
     SA_REQUIRE(mailboxes > 0, "a VF needs at least one mailbox");
     const int index = static_cast<int>(vfs_.size());
-    vfs_.push_back(std::unique_ptr<VirtualFunction>(
-        new VirtualFunction(*this, index, mailboxes)));
-    return *vfs_.back();
+    vfs_.emplace_back(VirtualFunction::Key{}, *this, index, mailboxes);
+    return vfs_.back();
 }
 
 void VirtualCanController::pf_enable_vf(const PfToken&, int vf_index, bool enabled) {
@@ -90,13 +92,13 @@ void VirtualCanController::pf_set_vf_mailboxes(const PfToken&, int vf_index,
 VirtualFunction& VirtualCanController::vf(int index) {
     SA_REQUIRE(index >= 0 && static_cast<std::size_t>(index) < vfs_.size(),
                "VF index out of range");
-    return *vfs_[static_cast<std::size_t>(index)];
+    return vfs_[static_cast<std::size_t>(index)];
 }
 
 std::size_t VirtualCanController::active_vf_count() const noexcept {
     std::size_t n = 0;
     for (const auto& vf : vfs_) {
-        if (vf->enabled_) {
+        if (vf.enabled_) {
             ++n;
         }
     }
@@ -123,7 +125,7 @@ void VirtualCanController::vf_doorbell(VirtualFunction& vf, std::uint64_t seq) {
 void VirtualCanController::latch_doorbell(std::uint64_t token) {
     const auto vf_index = static_cast<std::size_t>(token >> kTokenVfShift);
     const std::uint64_t seq = token & kTokenSeqMask;
-    VirtualFunction& f = *vfs_[vf_index];
+    VirtualFunction& f = vfs_[vf_index];
     for (auto& p : f.queue_) {
         if ((p.seq & kTokenSeqMask) == seq) {
             p.latched = true;
@@ -131,6 +133,13 @@ void VirtualCanController::latch_doorbell(std::uint64_t token) {
         }
     }
     bus_.notify_tx_pending(*this);
+}
+
+void VirtualCanController::note_rx_filter(int vf_index) {
+    // Keep ascending VF-index order so deliveries happen in the same order a
+    // full scan over vfs_ would produce.
+    auto it = std::lower_bound(rx_filtered_vfs_.begin(), rx_filtered_vfs_.end(), vf_index);
+    rx_filtered_vfs_.insert(it, vf_index);
 }
 
 void VirtualCanController::pf_set_arbitration(const PfToken&, VfArbitration arbitration) {
@@ -145,17 +154,17 @@ VirtualFunction* VirtualCanController::best_pending(const CanFrame** frame_out) 
     const CanFrame* best = nullptr;
     if (arbitration_ == VfArbitration::Priority) {
         // The paper's design: lowest CAN id across all VFs wins.
-        for (auto& vfp : vfs_) {
-            if (!vfp->enabled_) {
+        for (auto& f : vfs_) {
+            if (!f.enabled_) {
                 continue;
             }
-            for (const auto& p : vfp->queue_) {
+            for (const auto& p : f.queue_) {
                 if (!p.latched) {
                     continue;
                 }
                 if (best == nullptr || p.frame.id < best->id) {
                     best = &p.frame;
-                    best_vf = vfp.get();
+                    best_vf = &f;
                 }
                 break; // queue is priority-sorted; first latched is its best
             }
@@ -166,14 +175,14 @@ VirtualFunction* VirtualCanController::best_pending(const CanFrame** frame_out) 
         // the cursor advances in tx_done, i.e. per transmission granted.
         const std::size_t n = vfs_.size();
         for (std::size_t k = 0; k < n && best == nullptr; ++k) {
-            auto& vfp = vfs_[(rr_next_ + k) % n];
-            if (!vfp->enabled_) {
+            VirtualFunction& f = vfs_[(rr_next_ + k) % n];
+            if (!f.enabled_) {
                 continue;
             }
-            for (const auto& p : vfp->queue_) {
+            for (const auto& p : f.queue_) {
                 if (p.latched) {
                     best = &p.frame;
-                    best_vf = vfp.get();
+                    best_vf = &f;
                     break;
                 }
             }
@@ -195,19 +204,19 @@ std::optional<CanFrame> VirtualCanController::peek_tx() {
 
 void VirtualCanController::tx_done(const CanFrame& frame, Time at) {
     // Find the VF holding this latched frame at its head position.
-    for (auto& vfp : vfs_) {
-        auto& q = vfp->queue_;
+    for (auto& f : vfs_) {
+        auto& q = f.queue_;
         auto it = std::find_if(q.begin(), q.end(), [&](const VirtualFunction::PendingTx& p) {
             return p.latched && p.frame == frame;
         });
         if (it != q.end()) {
-            vfp->tx_count_++;
-            vfp->tx_latency_us_.add((at - it->enqueued).to_us());
-            last_tx_vf_ = vfp->index_;
+            f.tx_count_++;
+            f.tx_latency_us_.add((at - it->enqueued).to_us());
+            last_tx_vf_ = f.index_;
             q.erase(it);
             // Round-robin rotates per transmission granted (not per peek:
             // peeks are cached by the bus and must stay side-effect-free).
-            rr_next_ = (static_cast<std::size_t>(vfp->index_) + 1) % vfs_.size();
+            rr_next_ = (static_cast<std::size_t>(f.index_) + 1) % vfs_.size();
             return;
         }
     }
@@ -218,18 +227,22 @@ void VirtualCanController::rx_frame(const CanFrame& frame, Time at) {
     // Filter towards the VMs; the transmitting VF does not see its own frame.
     const bool own = (last_tx_vf_ >= 0) && (at == bus_.simulator().now());
     const Duration delay = latency_.rx_filter + latency_.rx_copy;
-    for (auto& vfp : vfs_) {
-        if (!vfp->enabled_) {
+    for (const int idx : rx_filtered_vfs_) {
+        VirtualFunction& f = vfs_[static_cast<std::size_t>(idx)];
+        if (!f.enabled_) {
             continue;
         }
-        if (own && vfp->index_ == last_tx_vf_) {
+        if (own && f.index_ == last_tx_vf_) {
             continue;
         }
-        for (std::size_t fi = 0; fi < vfp->filters_.size(); ++fi) {
-            if (vfp->filters_[fi].matches(frame)) {
+        for (std::size_t fi = 0; fi < f.filters_.size(); ++fi) {
+            if (f.filters_[fi].matches(frame)) {
                 // Stage the delivery; the event captures only `this` and the
                 // FIFO hands it the right entry (fixed delay => FIFO order).
-                rx_fifo_.push_back(PendingRx{vfp->index_, fi, frame});
+                if (rx_fifo_.capacity() == 0) {
+                    rx_fifo_.reserve(8); // skip the 1/2/4 doubling ramp
+                }
+                rx_fifo_.push_back(PendingRx{f.index_, fi, frame});
                 bus_.simulator().schedule(delay, [this] { deliver_pending_rx(); });
                 break; // first matching filter wins per VF
             }
@@ -253,14 +266,19 @@ void VirtualCanController::deliver_pending_rx() {
                        rx_fifo_.begin() + static_cast<std::ptrdiff_t>(rx_head_));
         rx_head_ = 0;
     }
-    VirtualFunction& f = *vfs_[static_cast<std::size_t>(rx.vf_index)];
+    VirtualFunction& f = vfs_[static_cast<std::size_t>(rx.vf_index)];
     f.rx_count_++;
     // Filters are append-only, so the staged index stays valid even if the
-    // callback registered more filters meanwhile — but invoke a COPY: a
-    // callback that adds filters to its own VF reallocates filters_, which
-    // would destroy the std::function mid-invocation.
-    const auto callback = f.filters_[rx.filter_index].callback;
+    // callback registered more filters meanwhile — but MOVE the callback out
+    // for the call: a callback that adds filters to its own VF reallocates
+    // filters_, which would destroy the std::function mid-invocation. Moving
+    // (instead of the old copy) keeps the steady-state delivery free of the
+    // capture-state allocation; deliveries are scheduled events, so the slot
+    // is never invoked re-entrantly while vacated.
+    auto callback = std::move(f.filters_[rx.filter_index].callback);
     callback(rx.frame, bus_.simulator().now());
+    vfs_[static_cast<std::size_t>(rx.vf_index)].filters_[rx.filter_index].callback =
+        std::move(callback);
 }
 
 } // namespace sa::can

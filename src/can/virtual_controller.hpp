@@ -28,13 +28,13 @@
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "can/bus.hpp"
 #include "can/controller.hpp" // RxFilter
+#include "util/stable_vector.hpp"
 #include "util/stats.hpp"
 
 namespace sa::can {
@@ -85,6 +85,19 @@ class VirtualCanController;
 /// Data-path handle a VM uses: private TX mailboxes + RX callback.
 class VirtualFunction {
 public:
+    /// Passkey gating construction to the owning controller. The constructor
+    /// must be public so the controller's StableVector can emplace VFs in
+    /// place, but only VirtualCanController can mint a Key — so VF creation
+    /// still goes through pf_create_vf exclusively.
+    class Key {
+        friend class VirtualCanController;
+        Key() = default;
+    };
+
+    VirtualFunction(Key /*key*/, VirtualCanController& owner, int index,
+                    std::size_t mailboxes)
+        : owner_(owner), index_(index), mailboxes_(mailboxes) {}
+
     /// Queue a frame in this VF's mailbox set. Returns false (drop) when all
     /// mailboxes are occupied.
     bool send(const CanFrame& frame);
@@ -109,9 +122,6 @@ private:
         std::uint64_t seq = 0; ///< doorbell identity
         bool latched = false;  ///< doorbell latency elapsed; visible to arbiter
     };
-
-    VirtualFunction(VirtualCanController& owner, int index, std::size_t mailboxes)
-        : owner_(owner), index_(index), mailboxes_(mailboxes) {}
 
     VirtualCanController& owner_;
     int index_;
@@ -174,6 +184,8 @@ private:
     void vf_doorbell(VirtualFunction& vf, std::uint64_t seq);
     void latch_doorbell(std::uint64_t token);
     void deliver_pending_rx();
+    /// Called by a VF when its filter table goes from empty to non-empty.
+    void note_rx_filter(int vf_index);
     [[nodiscard]] Duration arbitration_latency() const;
     VirtualFunction* best_pending(const CanFrame** frame_out);
     std::uint64_t next_tx_seq_ = 1;
@@ -182,7 +194,12 @@ private:
     std::string name_;
     VirtLatencyModel latency_;
     bool pf_token_taken_ = false;
-    std::vector<std::unique_ptr<VirtualFunction>> vfs_;
+    // StableVector, not vector<unique_ptr>: references must stay stable
+    // across pf_create_vf (vf() hands out VirtualFunction&), and its chunked
+    // storage makes N VFs cost O(N / chunk) allocations instead of one `new`
+    // per VF — controller bring-up is the allocation-heaviest part of the
+    // virtualized data path (fig. 2 bench).
+    util::StableVector<VirtualFunction> vfs_;
     int last_tx_vf_ = -1; ///< VF of the just-completed transmission (self-RX mask)
     VfArbitration arbitration_ = VfArbitration::Priority;
     std::size_t rr_next_ = 0; ///< round-robin cursor
@@ -191,6 +208,13 @@ private:
     // delivery does not allocate.
     std::vector<PendingRx> rx_fifo_;
     std::size_t rx_head_ = 0;
+    // Indices (ascending) of VFs with at least one RX filter. rx_frame runs
+    // once per completed frame per controller and only these VFs can match,
+    // so it scans this list instead of every VF — with many VFs configured
+    // and few subscribed (the common virtualized topology), that's the
+    // difference between O(#VFs) and O(#subscribers) per delivery. Ascending
+    // order preserves the original VF-index delivery order.
+    std::vector<int> rx_filtered_vfs_;
 };
 
 } // namespace sa::can

@@ -30,30 +30,38 @@ BudgetMonitor::~BudgetMonitor() {
 }
 
 void BudgetMonitor::set_budget(rte::TaskId task, sim::Duration budget) {
+    if (task >= budgets_.size()) {
+        budgets_.resize(task + 1, sim::Duration::zero());
+        has_budget_.resize(task + 1, 0);
+    }
     budgets_[task] = budget;
+    has_budget_[task] = 1;
 }
 
 sim::Duration BudgetMonitor::observed_max(rte::TaskId task) const {
-    auto it = observed_max_.find(task);
-    return it == observed_max_.end() ? sim::Duration::zero() : it->second;
+    return task < observed_max_.size() ? observed_max_[task] : sim::Duration::zero();
 }
 
 void BudgetMonitor::on_job(const rte::JobRecord& job) {
     note_check();
-    auto& seen = observed_max_[job.task];
+    if (job.task >= observed_max_.size()) {
+        observed_max_.resize(job.task + 1, sim::Duration::zero());
+    }
+    sim::Duration& seen = observed_max_[job.task];
     seen = std::max(seen, job.executed);
 
-    auto it = budgets_.find(job.task);
-    if (it == budgets_.end() || job.executed <= it->second) {
+    if (job.task >= budgets_.size() || has_budget_[job.task] == 0 ||
+        job.executed <= budgets_[job.task]) {
         return;
     }
+    const sim::Duration budget = budgets_[job.task];
     ++violations_;
     const double magnitude = static_cast<double>(job.executed.count_ns()) /
-                             static_cast<double>(it->second.count_ns());
+                             static_cast<double>(budget.count_ns());
     if (mode_ == BudgetMode::Warn || mode_ == BudgetMode::Enforce) {
         raise(Severity::Warning, job.task_name, kinds::kBudgetViolation,
               sa::format("executed %s > budget %s", job.executed.str().c_str(),
-                         it->second.str().c_str()),
+                         budget.str().c_str()),
               magnitude);
     }
     if (mode_ == BudgetMode::Enforce && action_) {

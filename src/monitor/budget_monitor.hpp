@@ -9,7 +9,7 @@
 //              configures it, e.g. restart or contain the component)
 
 #include <functional>
-#include <map>
+#include <vector>
 
 #include "monitor/monitor.hpp"
 #include "rte/scheduler.hpp"
@@ -48,8 +48,12 @@ private:
     rte::FixedPriorityScheduler& scheduler_;
     BudgetMode mode_ = BudgetMode::Warn;
     EnforcementAction action_;
-    std::map<rte::TaskId, sim::Duration> budgets_;
-    std::map<rte::TaskId, sim::Duration> observed_max_;
+    // TaskIds are dense per-scheduler indices, so per-task state lives in
+    // TaskId-indexed vectors instead of std::map: the on_job observation
+    // runs once per completed job and must not pay tree lookups.
+    std::vector<sim::Duration> budgets_;
+    std::vector<unsigned char> has_budget_;
+    std::vector<sim::Duration> observed_max_;
     std::uint64_t violations_ = 0;
     std::uint64_t enforcements_ = 0;
     std::uint64_t subscription_ = 0;

@@ -20,21 +20,28 @@ DeadlineMonitor::~DeadlineMonitor() {
 }
 
 double DeadlineMonitor::miss_ratio() const noexcept {
-    if (recent_.empty()) {
+    if (recent_size_ == 0) {
         return 0.0;
     }
-    std::size_t missed = 0;
-    for (bool m : recent_) {
-        missed += m ? 1 : 0;
-    }
-    return static_cast<double>(missed) / static_cast<double>(recent_.size());
+    return static_cast<double>(recent_missed_) / static_cast<double>(recent_size_);
 }
 
 void DeadlineMonitor::on_job(const rte::JobRecord& job) {
     note_check();
-    recent_.push_back(job.deadline_missed);
-    if (recent_.size() > window_) {
-        recent_.pop_front();
+    if (window_ > 0) {
+        if (recent_.empty()) {
+            recent_.assign(window_, 0); // one allocation, on the first job
+        }
+        if (recent_size_ == window_) {
+            // Ring is full: the slot being overwritten holds the oldest
+            // observation — retire it from the running count.
+            recent_missed_ -= recent_[recent_head_];
+        } else {
+            ++recent_size_;
+        }
+        recent_[recent_head_] = job.deadline_missed ? 1 : 0;
+        recent_missed_ += recent_[recent_head_];
+        recent_head_ = recent_head_ + 1 == window_ ? 0 : recent_head_ + 1;
     }
     if (job.deadline_missed) {
         ++misses_;
@@ -43,10 +50,10 @@ void DeadlineMonitor::on_job(const rte::JobRecord& job) {
               1.0);
     }
     const double ratio = miss_ratio();
-    if (!ratio_alarmed_ && recent_.size() >= window_ / 2 && ratio > ratio_threshold_) {
+    if (!ratio_alarmed_ && recent_size_ >= window_ / 2 && ratio > ratio_threshold_) {
         ratio_alarmed_ = true;
         raise(Severity::Critical, scheduler_.ecu_name(), kinds::kMissRatioHigh,
-              sa::format("miss ratio %.2f over last %zu jobs", ratio, recent_.size()),
+              sa::format("miss ratio %.2f over last %zu jobs", ratio, recent_size_),
               ratio / ratio_threshold_);
     }
     if (ratio_alarmed_ && ratio <= ratio_threshold_ / 2) {

@@ -2,8 +2,13 @@
 // Deadline monitor: observes a scheduler and raises an anomaly for every
 // missed deadline; additionally tracks the miss ratio over a sliding count
 // window so sustained overload is distinguishable from a one-off miss.
+//
+// The window is a flat ring buffer with a running missed-count, so the
+// per-job observation is O(1) with no container churn — this monitor runs
+// once per completed job per attached instance, which makes it one of the
+// densest ingest paths in the stack (see bench/monitor_overhead.cpp).
 
-#include <deque>
+#include <vector>
 
 #include "monitor/monitor.hpp"
 #include "rte/scheduler.hpp"
@@ -28,7 +33,10 @@ private:
 
     rte::FixedPriorityScheduler& scheduler_;
     std::size_t window_;
-    std::deque<bool> recent_;
+    std::vector<unsigned char> recent_; ///< ring of 0/1 miss flags, size window_
+    std::size_t recent_size_ = 0;       ///< observations retained (<= window_)
+    std::size_t recent_head_ = 0;       ///< next write position in the ring
+    std::size_t recent_missed_ = 0;     ///< running count of 1s in the ring
     std::uint64_t misses_ = 0;
     double ratio_threshold_ = 0.1;
     bool ratio_alarmed_ = false;

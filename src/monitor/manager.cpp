@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/assert.hpp"
+
 namespace sa::monitor {
 
 void MonitorManager::hook(Monitor& monitor) {
@@ -15,29 +17,69 @@ void MonitorManager::hook(Monitor& monitor) {
     });
 }
 
+MetricId MonitorManager::metric_id(std::string_view name) {
+    const auto it = metric_ids_.find(name);
+    if (it != metric_ids_.end()) {
+        return it->second;
+    }
+    const auto id = static_cast<MetricId>(metric_stats_.size());
+    const auto inserted = metric_ids_.emplace(std::string(name), id).first;
+    metric_names_by_id_.push_back(&inserted->first);
+    metric_stats_.emplace_back();
+    metric_last_.push_back(0.0);
+    return id;
+}
+
+const std::string& MonitorManager::metric_name(MetricId id) const {
+    SA_REQUIRE(id < metric_names_by_id_.size(), "unknown metric id");
+    return *metric_names_by_id_[id];
+}
+
+void MonitorManager::ingest(MetricId id, double value, sim::Time at) {
+    SA_REQUIRE(id < metric_stats_.size(), "unknown metric id");
+    metric_stats_[id].add(value);
+    metric_last_[id] = value;
+    // Notify the tap through a scratch Metric whose name string keeps its
+    // capacity across ingests. One scratch per re-entrancy depth; the depth
+    // counter is restored even if a subscriber throws.
+    if (emit_scratch_.size() == emit_depth_) {
+        emit_scratch_.emplace_back();
+    }
+    Metric& scratch = emit_scratch_[emit_depth_];
+    scratch.name.assign(*metric_names_by_id_[id]);
+    scratch.value = value;
+    scratch.at = at;
+    ++emit_depth_;
+    struct DepthGuard {
+        std::size_t& depth;
+        ~DepthGuard() { --depth; }
+    } guard{emit_depth_};
+    metric_ingested_.emit(scratch);
+}
+
 void MonitorManager::ingest(const Metric& metric) {
-    // try_emplace: the key string is copied only when the metric is first
-    // seen; steady-state ingestion is a pure hash lookup.
-    metric_stats_.try_emplace(metric.name).first->second.add(metric.value);
-    metric_last_.insert_or_assign(metric.name, metric.value);
+    const MetricId id = metric_id(metric.name);
+    metric_stats_[id].add(metric.value);
+    metric_last_[id] = metric.value;
+    // Emit the caller's Metric directly — no copy into scratch needed.
     metric_ingested_.emit(metric);
 }
 
 double MonitorManager::last_value(std::string_view name) const {
-    auto it = metric_last_.find(name);
-    return it == metric_last_.end() ? 0.0 : it->second;
+    const auto it = metric_ids_.find(name);
+    return it == metric_ids_.end() ? 0.0 : metric_last_[it->second];
 }
 
 const RunningStats* MonitorManager::stats(std::string_view name) const {
-    auto it = metric_stats_.find(name);
-    return it == metric_stats_.end() ? nullptr : &it->second;
+    const auto it = metric_ids_.find(name);
+    return it == metric_ids_.end() ? nullptr : &metric_stats_[it->second];
 }
 
 std::vector<std::string> MonitorManager::metric_names() const {
     std::vector<std::string> names;
-    names.reserve(metric_stats_.size());
-    for (const auto& [name, _] : metric_stats_) {
-        names.push_back(name);
+    names.reserve(metric_names_by_id_.size());
+    for (const std::string* name : metric_names_by_id_) {
+        names.push_back(*name);
     }
     std::sort(names.begin(), names.end());
     return names;

@@ -20,6 +20,13 @@
 
 namespace sa::monitor {
 
+/// Dense handle for an interned metric name. Producers that emit the same
+/// metric repeatedly (periodic pumps, substrate taps) intern the name once
+/// via MonitorManager::metric_id() and ingest by id afterwards: steady-state
+/// ingestion is then two vector writes — no hashing, no string compare, no
+/// allocation.
+using MetricId = std::uint32_t;
+
 class MonitorManager {
 public:
     explicit MonitorManager(sim::Simulator& simulator) : simulator_(simulator) {}
@@ -41,9 +48,19 @@ public:
     /// All anomalies from all registered monitors.
     sim::Signal<const Anomaly&>& anomalies() noexcept { return anomalies_; }
 
+    /// Intern a metric name, registering it on first sight. The returned id
+    /// stays valid for the manager's lifetime.
+    MetricId metric_id(std::string_view name);
+    /// The interned name for an id returned by metric_id().
+    [[nodiscard]] const std::string& metric_name(MetricId id) const;
+
     /// Metric ingestion (monitors and substrates push; the MCC reads).
-    /// Lookups are transparent: string_view / const char* keys hash without
-    /// allocating a temporary std::string (monitor hot path).
+    /// The id-based overload is the hot path: stats/last-value updates are
+    /// direct vector writes and the tap notification reuses a scratch
+    /// Metric, so steady-state ingestion never allocates.
+    void ingest(MetricId id, double value, sim::Time at);
+    /// Name-based convenience path: interns (heterogeneous string_view
+    /// lookup, copying the name only on first sight) and forwards.
     void ingest(const Metric& metric);
 
     /// Observer tap on the ingest stream: fired once per ingest(), after the
@@ -87,8 +104,20 @@ private:
     sim::Signal<const Anomaly&> anomalies_;
     sim::Signal<const Metric&> metric_ingested_;
     std::vector<std::unique_ptr<Monitor>> monitors_;
-    MetricMap<RunningStats> metric_stats_;
-    MetricMap<double> metric_last_;
+    // Interned metric store: the map owns the names (unordered_map nodes are
+    // address-stable, so metric_names_by_id_ points at its keys) and maps
+    // them to dense ids; stats and last values are flat vectors indexed by
+    // id — the by-name maps of the old design became two cache-line reads.
+    MetricMap<MetricId> metric_ids_;
+    std::vector<const std::string*> metric_names_by_id_;
+    std::vector<RunningStats> metric_stats_;
+    std::vector<double> metric_last_;
+    // Scratch Metrics for the tap notification of id-based ingest, one per
+    // re-entrancy depth (a tap subscriber may ingest metrics of its own). A
+    // deque, NOT a vector: growing it for a nested ingest must not move the
+    // scratch Metric the outer emit already handed to its subscribers.
+    std::deque<Metric> emit_scratch_;
+    std::size_t emit_depth_ = 0;
     std::deque<Anomaly> history_;
     std::uint64_t total_ = 0;
     static constexpr std::size_t kHistoryCapacity = 4096;

@@ -224,9 +224,14 @@ void FixedPriorityScheduler::complete_running() {
     ready_.erase(it);
 
     auto task_it = tasks_.find(job.task);
-    JobRecord record;
+    // Reuse the member scratch record: task_name's capacity survives across
+    // completions, so the per-job monitor notification stops allocating.
+    // complete_running never nests (it only runs as a scheduled event), so
+    // one scratch is enough.
+    JobRecord& record = record_scratch_;
     record.task = job.task;
-    record.task_name = task_it != tasks_.end() ? task_it->second.config.name : "<removed>";
+    record.task_name.assign(task_it != tasks_.end() ? task_it->second.config.name
+                                                    : "<removed>");
     record.release = job.release;
     record.completion = simulator_.now();
     record.response = record.completion - record.release;

@@ -144,6 +144,7 @@ private:
     std::uint64_t missed_ = 0;
     std::uint64_t dropped_ = 0;
     std::int64_t busy_ns_ = 0;
+    JobRecord record_scratch_; ///< reused per completion (see complete_running)
 
     sim::Signal<const JobRecord&> job_completed_;
     sim::Signal<const JobRecord&> deadline_missed_;

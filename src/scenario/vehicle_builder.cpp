@@ -654,21 +654,26 @@ std::unique_ptr<Vehicle> VehicleBuilder::build(sim::Simulator& simulator) const 
     //     the learned monitor's tap). Metric names that match no standard
     //     feed are skipped here — external producers ingest them directly.
     if (v.learned_ != nullptr) {
+        // Names are interned once here; the pump ingests by MetricId, so the
+        // periodic feed never re-hashes (or copies) a metric name.
         struct Feed {
-            std::string name;
+            monitor::MetricId id;
             std::function<std::optional<double>(Vehicle&)> read;
         };
         auto feeds = std::make_shared<std::vector<Feed>>();
+        const auto feed_id = [&v](const std::string& name) {
+            return v.monitors_->metric_id(name);
+        };
         for (const auto& metric : v.learned_->config().metrics) {
             if (metric == "drive.gap") {
-                feeds->push_back({metric, [](Vehicle& veh) -> std::optional<double> {
+                feeds->push_back({feed_id(metric), [](Vehicle& veh) -> std::optional<double> {
                     if (veh.driving_ == nullptr) {
                         return std::nullopt;
                     }
                     return veh.driving_->last_fused_gap();
                 }});
             } else if (metric == "drive.speed") {
-                feeds->push_back({metric, [](Vehicle& veh) -> std::optional<double> {
+                feeds->push_back({feed_id(metric), [](Vehicle& veh) -> std::optional<double> {
                     if (veh.driving_ == nullptr) {
                         return std::nullopt;
                     }
@@ -679,7 +684,7 @@ std::unique_ptr<Vehicle> VehicleBuilder::build(sim::Simulator& simulator) const 
                 for (std::size_t i = 0; i < sensors_.size(); ++i) {
                     if (sensors_[i].config.name == sensor_name) {
                         feeds->push_back(
-                            {metric, [i](Vehicle& veh) -> std::optional<double> {
+                            {feed_id(metric), [i](Vehicle& veh) -> std::optional<double> {
                                 if (veh.driving_ == nullptr) {
                                     return std::nullopt;
                                 }
@@ -690,7 +695,7 @@ std::unique_ptr<Vehicle> VehicleBuilder::build(sim::Simulator& simulator) const 
                 }
             } else if (metric.starts_with("skill.")) {
                 const std::string node = metric.substr(6);
-                feeds->push_back({metric, [node](Vehicle& veh) -> std::optional<double> {
+                feeds->push_back({feed_id(metric), [node](Vehicle& veh) -> std::optional<double> {
                     if (veh.abilities_ == nullptr ||
                         !veh.abilities_->structure().has_node(node)) {
                         return std::nullopt;
@@ -705,8 +710,7 @@ std::unique_ptr<Vehicle> VehicleBuilder::build(sim::Simulator& simulator) const 
                 const sim::Time now = vp->simulator_.now();
                 for (const auto& feed : *feeds) {
                     if (const std::optional<double> value = feed.read(*vp)) {
-                        vp->monitors_->ingest(
-                            monitor::Metric{feed.name, *value, now});
+                        vp->monitors_->ingest(feed.id, *value, now);
                     }
                 }
             });

@@ -7,23 +7,16 @@
 namespace sa::sim {
 
 EventQueue::Bucket* EventQueue::acquire_bucket(std::int64_t at) {
-    Bucket* bucket = nullptr;
-    if (!free_buckets_.empty()) {
-        bucket = free_buckets_.back();
-        free_buckets_.pop_back();
-    } else {
-        bucket_storage_.push_back(std::make_unique<Bucket>());
-        bucket = bucket_storage_.back().get();
-        // Keep the free list's capacity >= total buckets so recycling in
-        // the noexcept clear()/destructor path never needs to allocate.
-        free_buckets_.reserve(bucket_storage_.capacity());
-    }
+    // Pool recycling keeps the bucket's items CAPACITY from its previous
+    // life; only the logical state is reset here.
+    Bucket* bucket = bucket_pool_.acquire();
     bucket->at = at;
     bucket->next = 0;
     bucket->items.clear();
-    by_time_.emplace(at, bucket);
+    by_time_.insert(at, bucket);
     heap_.push_back(bucket);
     std::push_heap(heap_.begin(), heap_.end(), &EventQueue::bucket_after);
+    last_bucket_ = bucket;
     return bucket;
 }
 
@@ -34,7 +27,10 @@ void EventQueue::retire_front_bucket() {
     by_time_.erase(bucket->at);
     bucket->items.clear();
     bucket->next = 0;
-    free_buckets_.push_back(bucket);
+    if (last_bucket_ == bucket) {
+        last_bucket_ = nullptr;
+    }
+    bucket_pool_.release(bucket);
 }
 
 std::uint32_t EventQueue::acquire_slot() {
@@ -59,15 +55,18 @@ void EventQueue::release_slot(std::uint32_t slot) noexcept {
 
 EventHandle EventQueue::push(Time at, Action action) {
     SA_REQUIRE(static_cast<bool>(action), "cannot schedule an empty action");
-    Bucket* bucket = nullptr;
-    if (const auto it = by_time_.find(at.ns()); it != by_time_.end()) {
-        bucket = it->second;
+    const std::int64_t at_ns = at.ns();
+    Bucket* bucket = (last_bucket_ != nullptr && last_bucket_->at == at_ns)
+                         ? last_bucket_
+                         : by_time_.find(at_ns);
+    if (bucket == nullptr) {
+        bucket = acquire_bucket(at_ns);
     } else {
-        bucket = acquire_bucket(at.ns());
+        last_bucket_ = bucket;
     }
     const std::uint32_t slot = acquire_slot();
     slots_[slot].live = true;
-    bucket->items.push_back(Item{std::move(action), slot});
+    bucket->items.emplace_back(std::move(action), slot);
     ++live_;
     return EventHandle(slot + 1, slots_[slot].generation);
 }
@@ -128,6 +127,28 @@ EventQueue::Popped EventQueue::pop() {
     return out;
 }
 
+bool EventQueue::pop_until(Time until, Popped& out) {
+    prune_front();
+    if (heap_.empty()) {
+        return false;
+    }
+    Bucket* bucket = heap_.front();
+    if (bucket->at > until.ns()) {
+        return false;
+    }
+    Item& item = bucket->items[bucket->next];
+    out.at = Time(bucket->at);
+    out.action = std::move(item.action);
+    item.action = nullptr;
+    release_slot(item.slot);
+    ++bucket->next;
+    --live_;
+    if (bucket->next == bucket->items.size()) {
+        retire_front_bucket();
+    }
+    return true;
+}
+
 Time EventQueue::pop_batch(std::vector<Action>& out) {
     prune_front();
     SA_REQUIRE(!heap_.empty(), "pop_batch on empty queue");
@@ -158,10 +179,11 @@ void EventQueue::clear() noexcept {
         }
         bucket->items.clear();
         bucket->next = 0;
-        free_buckets_.push_back(bucket);
+        bucket_pool_.release(bucket);
     }
     heap_.clear();
     by_time_.clear();
+    last_bucket_ = nullptr;
     live_ = 0;
 }
 

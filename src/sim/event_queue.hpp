@@ -9,6 +9,24 @@
 // (periodic monitors, batched CAN windows) cheap, and it is the foundation
 // of Simulator::run_batch().
 //
+// Memory layout (the steady-state hot path is allocation-free):
+//  - Actions are util::InlineCallable with 24 bytes of inline storage — an
+//    Item is 40 bytes and typical captures ({this, id, token}) never touch
+//    the heap. Dense-cohort push throughput is bandwidth-bound in
+//    sizeof(Item), so the buffer is sized for three pointers, not for the
+//    fattest caller: bigger captures fall back to one heap allocation
+//    (long-lived callables such as periodic bodies pay it once at
+//    registration — relocation of a heap target just moves a pointer).
+//  - Buckets are recycled through a util::Pool: a drained bucket goes back
+//    to the free list with its items vector's CAPACITY intact, so the next
+//    timestamp reuses the same line-sized storage instead of reallocating.
+//    (The old design kept a vector<unique_ptr<Bucket>> that allocated each
+//    bucket individually and never shrank.)
+//  - The timestamp -> bucket index is a last-bucket cache over an
+//    open-addressed flat table (util::FlatPtrMap64): repeated pushes to the
+//    current cohort hit the cache, everything else is one mixed probe into
+//    a flat array — no per-node malloc, and clear() keeps the table.
+//
 // Cancellation uses generation counters: every event owns a slot in a slot
 // table and its handle stores the slot's generation at push time. cancel()
 // is O(1) — it just kills the slot — and a handle can never revoke a later
@@ -16,12 +34,12 @@
 // generation. There is no tombstone scan and no retained heap entry.
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/time.hpp"
+#include "util/flat_map.hpp"
+#include "util/inline_callable.hpp"
+#include "util/pool.hpp"
 
 namespace sa::sim {
 
@@ -55,7 +73,8 @@ private:
 /// deterministic regardless of heap internals.
 class EventQueue {
 public:
-    using Action = std::function<void()>;
+    /// Move-only small-buffer callable (24 inline bytes; see header note).
+    using Action = util::InlineCallable<void(), 24>;
 
     EventQueue() = default;
     EventQueue(const EventQueue&) = delete;
@@ -86,6 +105,13 @@ public:
     };
     Popped pop();
 
+    /// Pop the earliest event into `out` if its time is <= `until`; returns
+    /// false (leaving `out` untouched) when the queue is empty or the next
+    /// event is later. Equivalent to `!empty() && next_time() <= until` then
+    /// pop(), but with a single front-pruning pass — this is the simulator
+    /// run-loop fast path.
+    bool pop_until(Time until, Popped& out);
+
     /// Batched drain: move ALL live events at the earliest timestamp into
     /// `out` (appended, in FIFO order) in one call and return that
     /// timestamp. Requires !empty().
@@ -97,6 +123,18 @@ public:
     Time pop_batch(std::vector<Action>& out);
 
     void clear() noexcept;
+
+    /// Bucket-pool statistics: the queue microbench asserts the recycle-hit
+    /// rate so the pool fix stays a regression-tested invariant.
+    [[nodiscard]] std::size_t buckets_created() const noexcept {
+        return bucket_pool_.created();
+    }
+    [[nodiscard]] std::uint64_t bucket_acquires() const noexcept {
+        return bucket_pool_.acquires();
+    }
+    [[nodiscard]] double bucket_recycle_hit_rate() const noexcept {
+        return bucket_pool_.recycle_hit_rate();
+    }
 
 private:
     struct Item {
@@ -135,9 +173,11 @@ private:
     // Min-heap over bucket timestamps (std::push_heap/pop_heap with a
     // greater-than comparator). Holds one entry per *distinct* timestamp.
     std::vector<Bucket*> heap_;
-    std::unordered_map<std::int64_t, Bucket*> by_time_;
-    std::vector<std::unique_ptr<Bucket>> bucket_storage_;
-    std::vector<Bucket*> free_buckets_;
+    /// Timestamp index: cache of the bucket the last push landed in (dense
+    /// cohorts hit it almost always), backed by the flat table.
+    Bucket* last_bucket_ = nullptr;
+    util::FlatPtrMap64<Bucket*> by_time_;
+    util::Pool<Bucket> bucket_pool_;
     std::vector<Slot> slots_;
     std::vector<std::uint32_t> free_slots_;
     std::size_t live_ = 0;

@@ -88,7 +88,14 @@ void ShardedKernel::declare_lookahead(const Simulator& from, Duration min_latenc
 void ShardedKernel::schedule_script(Time at, std::function<void()> action) {
     SA_REQUIRE(action != nullptr, "script needs an action");
     SA_REQUIRE(at >= now_, "cannot schedule a script into the past");
-    scripts_.insert({at, std::move(action)});
+    // Sorted insert after any equal-time entries, preserving the multimap's
+    // registration order for same-time scripts. Only the live tail
+    // [scripts_head_, end) is searched — entries before the cursor are
+    // already executed.
+    const auto it = std::upper_bound(
+        scripts_.begin() + static_cast<std::ptrdiff_t>(scripts_head_),
+        scripts_.end(), at, [](Time t, const Script& s) { return t < s.at; });
+    scripts_.insert(it, Script{at, std::move(action)});
 }
 
 Time ShardedKernel::progress() const noexcept {
@@ -229,8 +236,9 @@ std::size_t ShardedKernel::run_until(Time until) {
             stopped = true;
             break;
         }
-        const Time script_at =
-            scripts_.empty() ? Time::max() : scripts_.begin()->first;
+        const Time script_at = scripts_head_ == scripts_.size()
+                                   ? Time::max()
+                                   : scripts_[scripts_head_].at;
         Time next_min = script_at;
         Time bound = Time::max();
         for (const auto& domain : domains_) {
@@ -250,9 +258,17 @@ std::size_t ShardedKernel::run_until(Time until) {
                 domain->simulator_.advance_to(script_at);
             }
             now_ = script_at;
-            while (!scripts_.empty() && scripts_.begin()->first == script_at) {
-                auto action = std::move(scripts_.begin()->second);
-                scripts_.erase(scripts_.begin());
+            while (scripts_head_ < scripts_.size() &&
+                   scripts_[scripts_head_].at == script_at) {
+                auto action = std::move(scripts_[scripts_head_].action);
+                ++scripts_head_;
+                if (scripts_head_ == scripts_.size()) {
+                    // Fully drained: compact now so the action below (which
+                    // may register new scripts) starts a fresh, dead-free
+                    // vector that reuses the same allocation.
+                    scripts_.clear();
+                    scripts_head_ = 0;
+                }
                 action();
             }
             continue;

@@ -49,7 +49,6 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -185,8 +184,17 @@ private:
     std::atomic<bool> stop_{false};
     std::uint64_t windows_ = 0;
     std::uint64_t cross_posts_ = 0;
-    /// FIFO per timestamp: multimap insertion order is stable for equal keys.
-    std::multimap<Time, std::function<void()>> scripts_;
+    /// Scripts kept sorted by time in a flat vector (equal times stay in
+    /// registration order: inserts land after existing equal-time entries).
+    /// scripts_head_ is the drain cursor — executed entries are skipped, not
+    /// erased, and the vector compacts only when fully drained, so the
+    /// script queue reuses one allocation instead of a tree node per script.
+    struct Script {
+        Time at;
+        std::function<void()> action;
+    };
+    std::vector<Script> scripts_;
+    std::size_t scripts_head_ = 0;
 
     // Round coordination. The coordinator publishes {window_end_, horizon_,
     // round_} under mutex_ and workers acknowledge through done_; outbox

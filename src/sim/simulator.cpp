@@ -40,6 +40,16 @@ EventHandle Simulator::schedule_at(Time at, EventQueue::Action action) {
     return queue_.push(at, std::move(action));
 }
 
+namespace {
+/// id layout: high 32 bits = slot generation, low 32 bits = slot index + 1.
+constexpr std::uint32_t periodic_index(std::uint64_t id) noexcept {
+    return static_cast<std::uint32_t>(id & 0xFFFF'FFFFULL) - 1;
+}
+constexpr std::uint32_t periodic_generation(std::uint64_t id) noexcept {
+    return static_cast<std::uint32_t>(id >> 32);
+}
+} // namespace
+
 std::uint64_t Simulator::schedule_periodic(Duration period, EventQueue::Action action,
                                            Duration phase) {
     SA_REQUIRE(period.count_ns() > 0, "periodic activity needs a positive period");
@@ -47,45 +57,59 @@ std::uint64_t Simulator::schedule_periodic(Duration period, EventQueue::Action a
     SA_REQUIRE(owned_by_caller(),
                "periodic registered on a foreign simulator from inside a "
                "window; post() the registration to the owning domain instead");
-    auto task = std::make_shared<PeriodicTask>();
-    const std::uint64_t id = next_periodic_id_++;
-    task->id = id;
-    task->period = period;
-    task->action = std::move(action);
-    PeriodicTask& slot = *periodics_.emplace(id, std::move(task)).first->second;
-    arm_periodic(slot, phase);
+    std::uint32_t index;
+    if (!free_periodics_.empty()) {
+        index = free_periodics_.back();
+        free_periodics_.pop_back();
+    } else {
+        periodics_.push_back(PeriodicSlot{});
+        // Keep the free list's capacity >= total slots so cancel_periodic's
+        // push never allocates in steady state.
+        free_periodics_.reserve(periodics_.capacity());
+        index = static_cast<std::uint32_t>(periodics_.size() - 1);
+    }
+    PeriodicSlot& slot = periodics_[index];
+    slot.period = period;
+    slot.action = std::move(action);
+    slot.live = true;
+    const std::uint64_t id =
+        (static_cast<std::uint64_t>(slot.generation) << 32) | (index + 1);
+    arm_periodic(slot, id, phase);
     return id;
 }
 
-Simulator::PeriodicTask* Simulator::find_periodic(std::uint64_t id) noexcept {
-    const auto it = periodics_.find(id);
-    return it == periodics_.end() ? nullptr : it->second.get();
-}
-
-void Simulator::arm_periodic(PeriodicTask& task, Duration delay) {
-    // The firing captures only {this, id} — small enough for std::function's
-    // inline storage, so re-arming a periodic never heap-allocates. The id
+void Simulator::arm_periodic(PeriodicSlot& slot, std::uint64_t id, Duration delay) {
+    // The firing captures only {this, id} — well within the Action's inline
+    // buffer, so re-arming a periodic never heap-allocates. The id
     // indirection (instead of a pointer) keeps the firing safe even if the
     // task cancels itself from inside its own action.
-    const std::uint64_t id = task.id;
-    task.next = schedule(delay, [this, id] { fire_periodic(id); });
+    slot.next = schedule(delay, [this, id] { fire_periodic(id); });
 }
 
 void Simulator::fire_periodic(std::uint64_t id) {
-    const auto it = periodics_.find(id);
-    if (it == periodics_.end()) {
+    const std::uint32_t index = periodic_index(id);
+    if (index >= periodics_.size()) {
         return; // cancelled between scheduling and firing (belt and braces)
     }
-    // Pin the task across the call: the action may cancel_periodic its own
-    // id, which erases the map entry — the std::function and its captures
-    // must outlive their invocation.
-    const std::shared_ptr<PeriodicTask> task = it->second;
-    task->next = EventHandle{};
-    task->action();
-    // Re-resolve before re-arming: only still-registered tasks continue.
-    PeriodicTask* live = find_periodic(id);
-    if (live != nullptr) {
-        arm_periodic(*live, live->period);
+    {
+        PeriodicSlot& slot = periodics_[index];
+        if (!slot.live || slot.generation != periodic_generation(id)) {
+            return; // slot was cancelled (and possibly reused) meanwhile
+        }
+        slot.next = EventHandle{};
+    }
+    // Move the action out of the slot for the call: the action may
+    // cancel_periodic its own id (which would null the slot's action) or
+    // register new periodics (which may reallocate the vector); its captures
+    // must outlive their invocation either way.
+    EventQueue::Action action = std::move(periodics_[index].action);
+    action();
+    // Re-resolve before re-arming: only a still-live, same-generation slot
+    // gets the action back and continues.
+    PeriodicSlot& slot = periodics_[index];
+    if (slot.live && slot.generation == periodic_generation(id)) {
+        slot.action = std::move(action);
+        arm_periodic(slot, id, slot.period);
     }
 }
 
@@ -93,25 +117,32 @@ void Simulator::cancel_periodic(std::uint64_t id) {
     SA_REQUIRE(owned_by_caller(),
                "periodic cancelled on a foreign simulator from inside a "
                "window; post() the cancellation to the owning domain instead");
-    const auto it = periodics_.find(id);
-    if (it != periodics_.end()) {
-        queue_.cancel(it->second->next); // eager: no stale event stays queued
-        periodics_.erase(it);
+    const std::uint32_t index = periodic_index(id);
+    if (index >= periodics_.size()) {
+        return;
     }
+    PeriodicSlot& slot = periodics_[index];
+    if (!slot.live || slot.generation != periodic_generation(id)) {
+        return; // already cancelled (possibly a stale id on a reused slot)
+    }
+    queue_.cancel(slot.next); // eager: no stale event stays queued
+    slot.next = EventHandle{};
+    slot.live = false;
+    slot.action = nullptr;
+    ++slot.generation; // stale ids can never act on this slot again
+    free_periodics_.push_back(index);
 }
 
 std::size_t Simulator::run_until(Time until) {
     std::size_t executed = 0;
     stop_requested_.store(false, std::memory_order_relaxed);
-    while (!queue_.empty() && !stop_requested_.load(std::memory_order_relaxed)) {
-        const Time next = queue_.next_time();
-        if (next > until) {
-            break;
-        }
-        auto popped = queue_.pop();
+    EventQueue::Popped popped;
+    while (!stop_requested_.load(std::memory_order_relaxed) &&
+           queue_.pop_until(until, popped)) {
         SA_ASSERT(popped.at >= now_, "event queue time went backwards");
         now_ = popped.at;
         popped.action();
+        popped.action = nullptr; // destroy captures promptly
         ++executed;
         ++executed_;
     }
@@ -167,14 +198,10 @@ std::size_t Simulator::run_batch(Time until) {
 }
 
 bool Simulator::step(Time until) {
-    if (queue_.empty()) {
+    EventQueue::Popped popped;
+    if (!queue_.pop_until(until, popped)) {
         return false;
     }
-    const Time next = queue_.next_time();
-    if (next > until) {
-        return false;
-    }
-    auto popped = queue_.pop();
     now_ = popped.at;
     popped.action();
     ++executed_;

@@ -14,11 +14,7 @@
 
 #include <atomic>
 #include <cstdint>
-#include <functional>
-#include <memory>
 #include <optional>
-#include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -160,18 +156,23 @@ public:
     }
 
 private:
-    struct PeriodicTask {
-        std::uint64_t id;
+    /// One periodic activity, stored flat in `periodics_`. Slots are reused
+    /// after cancellation; the generation counter makes reuse safe (a stale
+    /// id can never act on a later registration in the same slot) exactly
+    /// like EventQueue's cancellation slots. The public id encodes both:
+    /// id = (generation << 32) | (slot + 1), so a valid id is never 0.
+    struct PeriodicSlot {
         Duration period;
         EventQueue::Action action;
         EventHandle next; ///< the in-flight occurrence, cancelled eagerly
+        std::uint32_t generation = 1;
+        bool live = false;
     };
 
     friend class ShardedKernel; ///< binds shard_/shard_domain_ at construction
 
     void fire_periodic(std::uint64_t id);
-    void arm_periodic(PeriodicTask& task, Duration delay);
-    PeriodicTask* find_periodic(std::uint64_t id) noexcept;
+    void arm_periodic(PeriodicSlot& slot, std::uint64_t id, Duration delay);
     /// True when the calling thread may mutate single-threaded state: either
     /// no sharded window is executing on this thread, or the window is ours.
     /// Applies to EVERY simulator, sharded or not — a domain worker holding
@@ -193,12 +194,14 @@ private:
     ShardedKernel* shard_ = nullptr;
     std::size_t shard_domain_ = 0;
     std::uint64_t executed_ = 0;
-    std::uint64_t next_periodic_id_ = 1;
-    // Keyed by id: firings resolve their task in O(1). shared_ptr (not
-    // unique_ptr) so fire_periodic can pin the task across the action call —
-    // an action that cancels its own id would otherwise destroy the
-    // std::function (and its captures) while it executes.
-    std::unordered_map<std::uint64_t, std::shared_ptr<PeriodicTask>> periodics_;
+    // Flat slot storage: a firing decodes its slot index straight from the
+    // id — no hashing, no per-task heap node. fire_periodic moves the action
+    // out of the slot before invoking it, so an action that cancels its own
+    // id (or registers new periodics, reallocating the vector) never
+    // destroys its own captures mid-call; this replaces the shared_ptr
+    // pinning the old map-based registry needed.
+    std::vector<PeriodicSlot> periodics_;
+    std::vector<std::uint32_t> free_periodics_;
     std::vector<EventQueue::Action> batch_; ///< reused run_batch() buffer
 };
 

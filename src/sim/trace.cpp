@@ -2,17 +2,45 @@
 
 namespace sa::sim {
 
-void Trace::record(Time at, std::string tag, std::string detail) {
-    if (records_.size() == capacity_) {
-        records_.pop_front();
+TraceRecord& Trace::next_slot() {
+    if (ring_.size() < capacity_) {
+        if (ring_.size() == ring_.capacity()) {
+            // Grow in one jump to 16 records instead of letting the vector
+            // double through 1/2/4/8: short-lived simulations (bench worlds,
+            // unit tests) record a handful of events and would otherwise pay
+            // four reallocations before the ring settles.
+            std::size_t want = ring_.capacity() == 0 ? 16 : ring_.capacity() * 2;
+            ring_.reserve(want < capacity_ ? want : capacity_);
+        }
+        ring_.emplace_back();
+        return ring_.back();
     }
-    records_.push_back(TraceRecord{at, std::move(tag), std::move(detail)});
+    // Saturated: recycle the oldest record in place.
+    TraceRecord& slot = ring_[head_];
+    head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+    return slot;
+}
+
+void Trace::record(Time at, std::string_view tag, std::string_view detail) {
+    TraceRecord& slot = next_slot();
+    slot.at = at;
+    slot.tag.assign(tag);       // reuses the evicted record's capacity
+    slot.detail.assign(detail);
     ++total_;
+}
+
+std::string& Trace::append_record(Time at, std::string_view tag) {
+    TraceRecord& slot = next_slot();
+    slot.at = at;
+    slot.tag.assign(tag);
+    slot.detail.clear();
+    ++total_;
+    return slot.detail;
 }
 
 std::vector<TraceRecord> Trace::with_tag(const std::string& tag) const {
     std::vector<TraceRecord> out;
-    for (const auto& r : records_) {
+    for (const auto& r : records()) {
         if (r.tag == tag) {
             out.push_back(r);
         }
@@ -22,7 +50,7 @@ std::vector<TraceRecord> Trace::with_tag(const std::string& tag) const {
 
 std::size_t Trace::count_tag(const std::string& tag) const {
     std::size_t n = 0;
-    for (const auto& r : records_) {
+    for (const auto& r : records()) {
         if (r.tag == tag) {
             ++n;
         }

@@ -2,14 +2,20 @@
 // Event tracing: a bounded in-memory record of named simulation events with
 // timestamps. Tests and experiment harnesses query it; example programs can
 // dump it. Kept deliberately simple (no categories/levels beyond a tag).
+//
+// Storage is a ring buffer over a flat vector: the vector grows (lazily) to
+// the configured capacity once and then wraps, recycling each TraceRecord in
+// place — tag and detail are assign()ed into the evicted record's strings,
+// so a saturated trace records events without touching the heap at all.
+// (The previous deque-based design paid a node churn per eviction.)
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/time.hpp"
+#include "util/assert.hpp"
 
 namespace sa::sim {
 
@@ -21,30 +27,105 @@ struct TraceRecord {
 
 class Trace {
 public:
-    explicit Trace(std::size_t capacity = 65536) : capacity_(capacity) {}
+    explicit Trace(std::size_t capacity = 65536) : capacity_(capacity) {
+        SA_REQUIRE(capacity_ >= 1, "trace capacity must be at least 1");
+    }
 
-    void record(Time at, std::string tag, std::string detail = {});
+    void record(Time at, std::string_view tag, std::string_view detail = {});
 
-    [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+    /// Start a record and hand back its (cleared) detail string so the
+    /// caller can format into the retained storage directly — the CAN bus
+    /// uses this to build arbitration details without a temporary string.
+    /// The reference is valid until the next record() / append_record() /
+    /// clear().
+    std::string& append_record(Time at, std::string_view tag);
+
+    [[nodiscard]] std::size_t size() const noexcept { return ring_.size(); }
     [[nodiscard]] std::uint64_t total_recorded() const noexcept { return total_; }
 
-    /// All retained records, oldest first.
-    [[nodiscard]] const std::deque<TraceRecord>& records() const noexcept { return records_; }
+    /// Lightweight range over the retained records, oldest first. Valid
+    /// until the trace is next mutated (like iterating the container the
+    /// old API exposed).
+    class View {
+    public:
+        class iterator {
+        public:
+            using value_type = TraceRecord;
+            using reference = const TraceRecord&;
+            using difference_type = std::ptrdiff_t;
 
-    /// Records whose tag matches exactly.
+            iterator() = default;
+            iterator(const Trace* trace, std::size_t pos) : trace_(trace), pos_(pos) {}
+            reference operator*() const { return trace_->at(pos_); }
+            const TraceRecord* operator->() const { return &trace_->at(pos_); }
+            iterator& operator++() {
+                ++pos_;
+                return *this;
+            }
+            iterator operator++(int) {
+                iterator old = *this;
+                ++pos_;
+                return old;
+            }
+            bool operator==(const iterator&) const = default;
+
+        private:
+            const Trace* trace_ = nullptr;
+            std::size_t pos_ = 0;
+        };
+
+        [[nodiscard]] iterator begin() const noexcept { return {trace_, 0}; }
+        [[nodiscard]] iterator end() const noexcept { return {trace_, size_}; }
+        [[nodiscard]] std::size_t size() const noexcept { return size_; }
+        [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+        [[nodiscard]] const TraceRecord& front() const { return trace_->at(0); }
+        [[nodiscard]] const TraceRecord& back() const { return trace_->at(size_ - 1); }
+        [[nodiscard]] const TraceRecord& operator[](std::size_t i) const {
+            return trace_->at(i);
+        }
+
+    private:
+        friend class Trace;
+        View(const Trace* trace, std::size_t size) : trace_(trace), size_(size) {}
+        const Trace* trace_;
+        std::size_t size_;
+    };
+
+    /// All retained records, oldest first.
+    [[nodiscard]] View records() const noexcept { return View(this, ring_.size()); }
+
+    /// Records whose tag matches exactly (copies, oldest first).
     [[nodiscard]] std::vector<TraceRecord> with_tag(const std::string& tag) const;
 
     /// Count of retained records with the given tag.
     [[nodiscard]] std::size_t count_tag(const std::string& tag) const;
 
+    /// Drop all records. Keeps the ring's storage (records and their string
+    /// capacities) for reuse.
     void clear() noexcept {
-        records_.clear();
+        ring_.clear();
+        head_ = 0;
         total_ = 0;
     }
 
 private:
+    /// i-th retained record, oldest first. head_ is the eviction cursor:
+    /// 0 until the ring first fills, after which it marks the oldest record.
+    [[nodiscard]] const TraceRecord& at(std::size_t i) const {
+        std::size_t pos = head_ + i;
+        if (pos >= ring_.size()) {
+            pos -= ring_.size();
+        }
+        return ring_[pos];
+    }
+
+    /// The record slot for the next event: a fresh slot while growing to
+    /// capacity, the evicted oldest slot once saturated.
+    TraceRecord& next_slot();
+
     std::size_t capacity_;
-    std::deque<TraceRecord> records_;
+    std::vector<TraceRecord> ring_;
+    std::size_t head_ = 0;
     std::uint64_t total_ = 0;
 };
 

@@ -1,0 +1,130 @@
+// Interposing operator new/delete + the counting accessors. Keep EVERYTHING
+// of the harness in this one translation unit: static-library pull-in is the
+// test-only hook (see alloc_hook.hpp). Do not add other utilities here.
+
+#include "util/alloc_hook.hpp"
+
+#include <cstdlib>
+#include <new>
+
+namespace sa::util::alloc_hook {
+
+namespace {
+
+struct ThreadCounters {
+    std::uint64_t allocations = 0;
+    std::uint64_t deallocations = 0;
+    bool counting = false;
+};
+
+thread_local ThreadCounters t_counters;
+
+void* counted_allocate(std::size_t size) {
+    if (t_counters.counting) {
+        ++t_counters.allocations;
+    }
+    // Standard-conformant failure protocol: retry through the new-handler.
+    for (;;) {
+        if (void* p = std::malloc(size == 0 ? 1 : size)) {
+            return p;
+        }
+        std::new_handler handler = std::get_new_handler();
+        if (handler == nullptr) {
+            throw std::bad_alloc{};
+        }
+        handler();
+    }
+}
+
+void* counted_allocate_nothrow(std::size_t size) noexcept {
+    if (t_counters.counting) {
+        ++t_counters.allocations;
+    }
+    return std::malloc(size == 0 ? 1 : size);
+}
+
+void counted_deallocate(void* p) noexcept {
+    if (p == nullptr) {
+        return;
+    }
+    if (t_counters.counting) {
+        ++t_counters.deallocations;
+    }
+    std::free(p);
+}
+
+} // namespace
+
+bool interposed() noexcept { return true; }
+
+bool set_counting(bool enabled) noexcept {
+    const bool previous = t_counters.counting;
+    t_counters.counting = enabled;
+    return previous;
+}
+
+bool counting() noexcept { return t_counters.counting; }
+
+std::uint64_t thread_allocations() noexcept { return t_counters.allocations; }
+
+std::uint64_t thread_deallocations() noexcept { return t_counters.deallocations; }
+
+CountScope::CountScope() noexcept
+    : previous_(set_counting(true)),
+      start_allocations_(thread_allocations()),
+      start_deallocations_(thread_deallocations()) {}
+
+CountScope::~CountScope() { set_counting(previous_); }
+
+std::uint64_t CountScope::allocations() const noexcept {
+    return thread_allocations() - start_allocations_;
+}
+
+std::uint64_t CountScope::deallocations() const noexcept {
+    return thread_deallocations() - start_deallocations_;
+}
+
+} // namespace sa::util::alloc_hook
+
+// ---------------------------------------------------------------------------
+// Global replacements ([new.delete.single] / [new.delete.array]). Unaligned
+// forms only — the codebase has no over-aligned types, and the library
+// defaults for align_val_t allocate independently of these, so the pairing
+// stays consistent either way.
+// ---------------------------------------------------------------------------
+
+void* operator new(std::size_t size) {
+    return sa::util::alloc_hook::counted_allocate(size);
+}
+
+void* operator new[](std::size_t size) {
+    return sa::util::alloc_hook::counted_allocate(size);
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+    return sa::util::alloc_hook::counted_allocate_nothrow(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+    return sa::util::alloc_hook::counted_allocate_nothrow(size);
+}
+
+void operator delete(void* p) noexcept { sa::util::alloc_hook::counted_deallocate(p); }
+
+void operator delete[](void* p) noexcept { sa::util::alloc_hook::counted_deallocate(p); }
+
+void operator delete(void* p, std::size_t) noexcept {
+    sa::util::alloc_hook::counted_deallocate(p);
+}
+
+void operator delete[](void* p, std::size_t) noexcept {
+    sa::util::alloc_hook::counted_deallocate(p);
+}
+
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+    sa::util::alloc_hook::counted_deallocate(p);
+}
+
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+    sa::util::alloc_hook::counted_deallocate(p);
+}

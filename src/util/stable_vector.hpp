@@ -1,0 +1,122 @@
+#pragma once
+// Chunked sequence with stable element addresses and lazy storage.
+//
+// The third piece of the sa::util memory layer (with Pool and
+// InlineCallable): a grow-only sequence for objects that hand out long-lived
+// references — VirtualCanController's virtual functions, registries of
+// per-entity state. Elements are placement-new'd into fixed-size chunks, so
+//
+//  - references/pointers to elements NEVER move (unlike std::vector), and
+//  - N elements cost ceil(N / ChunkSize) chunk allocations (unlike
+//    vector<unique_ptr<T>>'s one `new` per element), and
+//  - an empty container owns no heap at all (unlike std::deque, which
+//    allocates its map plus one chunk on default construction).
+//
+// Elements need not be movable or copyable — emplace_back constructs in
+// place, which is what lets types with reference members live here.
+// Grow-only by design: no erase/pop, indices are stable identities. clear()
+// destroys elements but keeps the chunks for reuse.
+
+#include <cstddef>
+#include <iterator>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace sa::util {
+
+template <typename T, std::size_t ChunkSize = 8>
+class StableVector {
+    static_assert(ChunkSize > 0, "chunks must hold at least one element");
+
+public:
+    StableVector() = default;
+    StableVector(const StableVector&) = delete;
+    StableVector& operator=(const StableVector&) = delete;
+
+    ~StableVector() {
+        clear();
+        for (T* chunk : chunks_) {
+            std::allocator<T>{}.deallocate(chunk, ChunkSize);
+        }
+    }
+
+    template <typename... Args>
+    T& emplace_back(Args&&... args) {
+        const std::size_t chunk = size_ / ChunkSize;
+        if (chunk == chunks_.size()) {
+            chunks_.push_back(std::allocator<T>{}.allocate(ChunkSize));
+        }
+        T* slot = chunks_[chunk] + size_ % ChunkSize;
+        std::construct_at(slot, std::forward<Args>(args)...);
+        ++size_;
+        return *slot;
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+    [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+    [[nodiscard]] T& operator[](std::size_t i) noexcept {
+        return chunks_[i / ChunkSize][i % ChunkSize];
+    }
+    [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+        return chunks_[i / ChunkSize][i % ChunkSize];
+    }
+
+    [[nodiscard]] T& back() noexcept { return (*this)[size_ - 1]; }
+    [[nodiscard]] const T& back() const noexcept { return (*this)[size_ - 1]; }
+
+    /// Destroy all elements (indices restart at 0). Chunk storage is kept,
+    /// so refilling after a clear() does not allocate.
+    void clear() noexcept {
+        for (std::size_t i = size_; i-- > 0;) {
+            std::destroy_at(&(*this)[i]);
+        }
+        size_ = 0;
+    }
+
+    template <bool Const>
+    class Iterator {
+        using Container = std::conditional_t<Const, const StableVector, StableVector>;
+
+    public:
+        using iterator_category = std::forward_iterator_tag;
+        using value_type = T;
+        using difference_type = std::ptrdiff_t;
+        using reference = std::conditional_t<Const, const T&, T&>;
+        using pointer = std::conditional_t<Const, const T*, T*>;
+
+        Iterator() = default;
+        Iterator(Container* owner, std::size_t pos) : owner_(owner), pos_(pos) {}
+        reference operator*() const { return (*owner_)[pos_]; }
+        pointer operator->() const { return &(*owner_)[pos_]; }
+        Iterator& operator++() {
+            ++pos_;
+            return *this;
+        }
+        Iterator operator++(int) {
+            Iterator old = *this;
+            ++pos_;
+            return old;
+        }
+        bool operator==(const Iterator&) const = default;
+
+    private:
+        Container* owner_ = nullptr;
+        std::size_t pos_ = 0;
+    };
+
+    using iterator = Iterator<false>;
+    using const_iterator = Iterator<true>;
+
+    [[nodiscard]] iterator begin() noexcept { return {this, 0}; }
+    [[nodiscard]] iterator end() noexcept { return {this, size_}; }
+    [[nodiscard]] const_iterator begin() const noexcept { return {this, 0}; }
+    [[nodiscard]] const_iterator end() const noexcept { return {this, size_}; }
+
+private:
+    std::vector<T*> chunks_;
+    std::size_t size_ = 0;
+};
+
+} // namespace sa::util

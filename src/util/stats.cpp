@@ -50,6 +50,11 @@ double RunningStats::min() const noexcept { return n_ ? min_ : 0.0; }
 double RunningStats::max() const noexcept { return n_ ? max_ : 0.0; }
 
 void SampleSet::add(double x) {
+    if (samples_.capacity() == 0) {
+        // Skip the 1/2/4/8 doubling ramp: even short-lived sample sets (one
+        // latency series per bench world) record a few observations.
+        samples_.reserve(16);
+    }
     samples_.push_back(x);
     sorted_ = false;
 }

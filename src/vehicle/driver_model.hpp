@@ -4,6 +4,8 @@
 // a configurable period; an HMI fault silences the stream, which the
 // sensor-quality monitor converts into a degraded ability.
 
+#include <functional>
+
 #include "sim/simulator.hpp"
 
 namespace sa::vehicle {

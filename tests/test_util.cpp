@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "util/alloc_hook.hpp"
 #include "util/assert.hpp"
 #include "util/random.hpp"
+#include "util/stable_vector.hpp"
 #include "util/stats.hpp"
 #include "util/string_util.hpp"
 
@@ -253,6 +255,111 @@ TEST(StringUtil, HumanDuration) {
     EXPECT_EQ(human_duration_ns(1'500), "1.500us");
     EXPECT_EQ(human_duration_ns(2'000'000), "2.000ms");
     EXPECT_EQ(human_duration_ns(3'000'000'000LL), "3.000s");
+}
+
+// --- StableVector ----------------------------------------------------------
+
+TEST(StableVector, EmptyContainerOwnsNoHeap) {
+    util::alloc_hook::CountScope scope;
+    util::StableVector<int, 4> v;
+    EXPECT_TRUE(v.empty());
+    EXPECT_EQ(v.size(), 0u);
+    if (util::alloc_hook::interposed()) {
+        EXPECT_EQ(scope.allocations(), 0u);
+    }
+}
+
+TEST(StableVector, IndexBackAndSize) {
+    util::StableVector<int, 4> v;
+    for (int i = 0; i < 10; ++i) {
+        v.emplace_back(i * i);
+    }
+    EXPECT_EQ(v.size(), 10u);
+    EXPECT_FALSE(v.empty());
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        EXPECT_EQ(v[i], static_cast<int>(i * i));
+    }
+    EXPECT_EQ(v.back(), 81);
+    v.back() = -1;
+    EXPECT_EQ(v[9], -1);
+}
+
+TEST(StableVector, AddressesStableAcrossChunkGrowth) {
+    util::StableVector<int, 4> v;
+    std::vector<int*> addresses;
+    for (int i = 0; i < 33; ++i) { // crosses several chunk boundaries
+        addresses.push_back(&v.emplace_back(i));
+    }
+    for (std::size_t i = 0; i < addresses.size(); ++i) {
+        EXPECT_EQ(addresses[i], &v[i]);
+        EXPECT_EQ(*addresses[i], static_cast<int>(i));
+    }
+}
+
+TEST(StableVector, IterationMatchesInsertionOrder) {
+    util::StableVector<int, 4> v;
+    for (int i = 0; i < 9; ++i) {
+        v.emplace_back(i);
+    }
+    int expected = 0;
+    for (const int value : v) {
+        EXPECT_EQ(value, expected++);
+    }
+    EXPECT_EQ(expected, 9);
+
+    const auto& cv = v;
+    expected = 0;
+    for (const int value : cv) {
+        EXPECT_EQ(value, expected++);
+    }
+}
+
+namespace stable_vector_detail {
+struct Pinned {
+    Pinned(int& counter, int id) : counter(counter), id(id) { ++counter; }
+    ~Pinned() { --counter; }
+    Pinned(const Pinned&) = delete;
+    Pinned& operator=(const Pinned&) = delete;
+    int& counter; // reference member: the type is neither movable nor copyable
+    int id;
+};
+} // namespace stable_vector_detail
+
+TEST(StableVector, HoldsImmovableTypesWithReferenceMembers) {
+    int live = 0;
+    {
+        util::StableVector<stable_vector_detail::Pinned, 2> v;
+        for (int i = 0; i < 5; ++i) {
+            v.emplace_back(live, i);
+        }
+        EXPECT_EQ(live, 5);
+        EXPECT_EQ(v[3].id, 3);
+        EXPECT_EQ(&v[3].counter, &live);
+    }
+    EXPECT_EQ(live, 0); // destructor ran for every element
+}
+
+TEST(StableVector, ClearKeepsChunksAndRefillDoesNotAllocate) {
+    int live = 0;
+    util::StableVector<stable_vector_detail::Pinned, 2> v;
+    for (int i = 0; i < 7; ++i) {
+        v.emplace_back(live, i);
+    }
+    v.clear();
+    EXPECT_EQ(live, 0);
+    EXPECT_TRUE(v.empty());
+    {
+        util::alloc_hook::CountScope scope;
+        for (int i = 0; i < 7; ++i) {
+            v.emplace_back(live, 100 + i);
+        }
+        if (util::alloc_hook::interposed()) {
+            EXPECT_EQ(scope.allocations(), 0u); // refill reuses retained chunks
+        }
+    }
+    EXPECT_EQ(v.size(), 7u);
+    EXPECT_EQ(v[0].id, 100);
+    EXPECT_EQ(v.back().id, 106);
 }
 
 } // namespace
